@@ -1,0 +1,205 @@
+// Command ibench regenerates the tables and figures of the iOverlay
+// paper's evaluation on the in-process virtual testbed and prints them in
+// the paper's units. By default it runs scaled-down configurations that
+// finish in a couple of minutes; -full runs the paper-scale versions
+// (81-node trees, 500-requirement federation sweeps).
+//
+// Usage:
+//
+//	ibench              # everything, scaled
+//	ibench -fig 6       # one figure
+//	ibench -table 3     # one table
+//	ibench -full        # paper-scale parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/federation"
+	"repro/internal/tree"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 5,6,7,8,9,11,12,14,15,16,17,18,19 (empty = all)")
+	table := flag.String("table", "", "table to regenerate: 3 (empty = all)")
+	full := flag.Bool("full", false, "paper-scale parameters (slower)")
+	flag.Parse()
+
+	want := func(name string) bool {
+		if *fig == "" && *table == "" {
+			return true
+		}
+		return name == "fig"+*fig || name == "table"+*table
+	}
+	start := time.Now()
+	ok := true
+	runStep := func(names []string, run func() error) {
+		hit := false
+		for _, n := range names {
+			if want(n) {
+				hit = true
+			}
+		}
+		if !hit {
+			return
+		}
+		if err := run(); err != nil {
+			fmt.Fprintf(os.Stderr, "ibench: %v\n", err)
+			ok = false
+		}
+	}
+
+	runStep([]string{"fig5"}, func() error {
+		cfg := experiments.Fig5Config{}
+		if !*full {
+			cfg.Sizes = []int{2, 3, 4, 5, 6, 8, 12, 16, 32}
+			cfg.Window = 700 * time.Millisecond
+		}
+		rows, err := experiments.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig5(rows))
+		fmt.Println()
+		return nil
+	})
+
+	runStep([]string{"fig6"}, func() error {
+		phases, err := experiments.Fig6(experiments.Fig6Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig6("Fig 6: engine correctness, small buffers (back-pressure)", phases))
+		fmt.Println()
+		return nil
+	})
+
+	runStep([]string{"fig7"}, func() error {
+		phases, err := experiments.Fig7(experiments.Fig6Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig6("Fig 7: large buffers localize bottlenecks", phases))
+		fmt.Println()
+		return nil
+	})
+
+	runStep([]string{"fig8"}, func() error {
+		res, err := experiments.Fig8(experiments.Fig8Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig8(res))
+		fmt.Println()
+		return nil
+	})
+
+	runStep([]string{"table3", "fig9"}, func() error {
+		rows, figs, err := experiments.TreeSmall(experiments.TreeSmallConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable3(rows))
+		fmt.Println()
+		fmt.Print(experiments.RenderFig9(figs))
+		fmt.Println()
+		return nil
+	})
+
+	runStep([]string{"fig11", "fig12", "fig13"}, func() error {
+		cfg := experiments.Fig11Config{Seed: 7}
+		if !*full {
+			cfg.N = 24
+			cfg.Window = 2 * time.Second
+		}
+		results, err := experiments.Fig11(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig11(results))
+		fmt.Println()
+		for _, r := range results {
+			if r.Variant == tree.StressAware {
+				fmt.Println("Fig 12/13: node-stress-aware topology")
+				fmt.Print(experiments.RenderTopology(r))
+				fmt.Println()
+			}
+		}
+		return nil
+	})
+
+	runStep([]string{"fig14", "fig15"}, func() error {
+		res, err := experiments.Fed16(experiments.Fed16Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFed16(res))
+		fmt.Println()
+		return nil
+	})
+
+	runStep([]string{"fig16"}, func() error {
+		cfg := experiments.Fig16Config{}
+		if !*full {
+			cfg.N = 18
+			cfg.Minutes = 14
+			cfg.MinuteDur = 200 * time.Millisecond
+		}
+		points, err := experiments.Fig16(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig16(points))
+		fmt.Println()
+		return nil
+	})
+
+	runStep([]string{"fig17", "fig18"}, func() error {
+		cfg := experiments.FedSweepConfig{Policy: federation.SFlow}
+		if !*full {
+			cfg.Sizes = []int{5, 10, 15, 20, 25, 30}
+			cfg.Requirements = 30
+		}
+		rows, err := experiments.FedSweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig17(rows))
+		fmt.Println()
+		for _, r := range rows {
+			if r.Size == 30 {
+				fmt.Print(experiments.RenderFig18(r))
+				fmt.Println()
+			}
+		}
+		return nil
+	})
+
+	runStep([]string{"fig19"}, func() error {
+		byPolicy := make(map[federation.Selection][]experiments.Fig17Row)
+		for _, p := range []federation.Selection{federation.SFlow, federation.Fixed, federation.RandomSel} {
+			cfg := experiments.FedSweepConfig{Policy: p}
+			if !*full {
+				cfg.Sizes = []int{5, 10, 15, 20, 25, 30}
+				cfg.Requirements = 30
+			}
+			rows, err := experiments.FedSweep(cfg)
+			if err != nil {
+				return err
+			}
+			byPolicy[p] = rows
+		}
+		fmt.Print(experiments.RenderFig19(byPolicy))
+		fmt.Println()
+		return nil
+	})
+
+	fmt.Printf("ibench finished in %v\n", time.Since(start).Round(time.Second))
+	if !ok {
+		os.Exit(1)
+	}
+}

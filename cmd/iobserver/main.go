@@ -1,0 +1,71 @@
+// Command iobserver runs the iOverlay observer: the centralized
+// bootstrap, monitoring and control facility. It is the headless
+// replacement for the paper's Windows GUI: the live topology is printed
+// periodically and traces are logged to stdout.
+//
+// Usage:
+//
+//	iobserver -listen 10.0.0.1:9000 [-bootstrap 8] [-topology 5s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	ioverlay "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iobserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:9000", "observer listen address (ip:port)")
+	bootstrap := flag.Int("bootstrap", 8, "nodes returned per bootstrap request")
+	topoEvery := flag.Duration("topology", 5*time.Second, "topology print interval (0 disables)")
+	flag.Parse()
+
+	id, err := ioverlay.ParseID(*listen)
+	if err != nil {
+		return err
+	}
+	obs, err := ioverlay.NewObserver(ioverlay.ObserverConfig{
+		ID:             id,
+		Transport:      ioverlay.TCPTransport(),
+		BootstrapCount: *bootstrap,
+		TraceWriter:    os.Stdout,
+	})
+	if err != nil {
+		return err
+	}
+	if err := obs.Start(); err != nil {
+		return err
+	}
+	defer obs.Stop()
+	fmt.Printf("observer listening on %s\n", id)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if *topoEvery <= 0 {
+		<-stop
+		return nil
+	}
+	ticker := time.NewTicker(*topoEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			alive := obs.Alive()
+			fmt.Printf("--- %d alive nodes ---\n%s", len(alive), obs.RenderTopology())
+		case <-stop:
+			return nil
+		}
+	}
+}

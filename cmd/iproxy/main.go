@@ -1,0 +1,60 @@
+// Command iproxy runs the iOverlay observer proxy: an efficient relay for
+// environments where the observer sits behind a firewall. Nodes connect
+// to the proxy; their status updates reach the observer over a single
+// trunk connection and observer commands travel back inside relay
+// envelopes.
+//
+// Usage:
+//
+//	iproxy -listen 10.0.0.2:9100 -observer 10.0.0.1:9000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	ioverlay "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:9100", "proxy listen address (ip:port)")
+	observerAddr := flag.String("observer", "127.0.0.1:9000", "upstream observer address")
+	flag.Parse()
+
+	id, err := ioverlay.ParseID(*listen)
+	if err != nil {
+		return err
+	}
+	obsID, err := ioverlay.ParseID(*observerAddr)
+	if err != nil {
+		return err
+	}
+	p, err := ioverlay.NewProxy(ioverlay.ProxyConfig{
+		ID:        id,
+		Observer:  obsID,
+		Transport: ioverlay.TCPTransport(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := p.Start(); err != nil {
+		return err
+	}
+	defer p.Stop()
+	fmt.Printf("proxy on %s relaying to observer %s\n", id, obsID)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	return nil
+}

@@ -1,0 +1,174 @@
+// Package algtest provides a fake engine.API for unit-testing algorithms
+// in isolation: sends are recorded instead of wired, timers are captured
+// for manual firing, and link rates are scripted. Because algorithms are
+// single-threaded by contract, the fake is driven synchronously.
+package algtest
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/message"
+)
+
+// Sent records one Send issued by the algorithm under test.
+type Sent struct {
+	Msg  *message.Msg
+	Dest message.NodeID
+}
+
+// Timer records one After call.
+type Timer struct {
+	D    time.Duration
+	Kind uint32
+}
+
+// SourceCall records StartSource/StopSource invocations.
+type SourceCall struct {
+	App     uint32
+	Rate    int64
+	MsgSize int
+	Stopped bool
+}
+
+// FakeAPI implements engine.API for tests.
+type FakeAPI struct {
+	Self       message.NodeID
+	ObserverID message.NodeID
+	Sends      []Sent
+	Timers     []Timer
+	Sources    []SourceCall
+	Pings      []message.NodeID
+	Probes     []message.NodeID
+	Closed     []message.NodeID
+	Traces     []string
+	Weights    map[message.NodeID]int
+	Rates      map[message.NodeID]float64 // keyed by peer; same up/down
+	Ups        []message.NodeID
+	Downs      []message.NodeID
+	pool       *message.Pool
+}
+
+var _ engine.API = (*FakeAPI)(nil)
+
+// New returns a fake bound to the given identity.
+func New(self message.NodeID) *FakeAPI {
+	return &FakeAPI{
+		Self:    self,
+		Weights: make(map[message.NodeID]int),
+		Rates:   make(map[message.NodeID]float64),
+		pool:    message.NewPool(),
+	}
+}
+
+// ID implements engine.API.
+func (f *FakeAPI) ID() message.NodeID { return f.Self }
+
+// Send implements engine.API, retaining the message like the engine does.
+func (f *FakeAPI) Send(m *message.Msg, dest message.NodeID) {
+	m.Retain()
+	f.Sends = append(f.Sends, Sent{Msg: m, Dest: dest})
+}
+
+// SendNew implements engine.API.
+func (f *FakeAPI) SendNew(m *message.Msg, dests ...message.NodeID) {
+	for _, d := range dests {
+		f.Send(m, d)
+	}
+	m.Release()
+}
+
+// Finish implements engine.API.
+func (f *FakeAPI) Finish(m *message.Msg) { m.Release() }
+
+// NewMsg implements engine.API.
+func (f *FakeAPI) NewMsg(typ message.Type, app, seq uint32, payloadLen int) *message.Msg {
+	return f.pool.Get(typ, f.Self, app, seq, payloadLen)
+}
+
+// NewControl implements engine.API.
+func (f *FakeAPI) NewControl(typ message.Type, app uint32, payload []byte) *message.Msg {
+	return message.New(typ, f.Self, app, 0, payload)
+}
+
+// After implements engine.API.
+func (f *FakeAPI) After(d time.Duration, kind uint32) {
+	f.Timers = append(f.Timers, Timer{D: d, Kind: kind})
+}
+
+// StartSource implements engine.API.
+func (f *FakeAPI) StartSource(app uint32, rate int64, msgSize int) {
+	f.Sources = append(f.Sources, SourceCall{App: app, Rate: rate, MsgSize: msgSize})
+}
+
+// StopSource implements engine.API.
+func (f *FakeAPI) StopSource(app uint32) {
+	f.Sources = append(f.Sources, SourceCall{App: app, Stopped: true})
+}
+
+// Upstreams implements engine.API.
+func (f *FakeAPI) Upstreams() []message.NodeID { return f.Ups }
+
+// Downstreams implements engine.API.
+func (f *FakeAPI) Downstreams() []message.NodeID { return f.Downs }
+
+// LinkRate implements engine.API.
+func (f *FakeAPI) LinkRate(peer message.NodeID, _ bool) float64 { return f.Rates[peer] }
+
+// Ping implements engine.API.
+func (f *FakeAPI) Ping(dest message.NodeID) { f.Pings = append(f.Pings, dest) }
+
+// MeasureBandwidth implements engine.API.
+func (f *FakeAPI) MeasureBandwidth(dest message.NodeID) {
+	f.Probes = append(f.Probes, dest)
+}
+
+// CloseLink implements engine.API.
+func (f *FakeAPI) CloseLink(peer message.NodeID) { f.Closed = append(f.Closed, peer) }
+
+// SetReceiverWeight implements engine.API.
+func (f *FakeAPI) SetReceiverWeight(peer message.NodeID, w int) { f.Weights[peer] = w }
+
+// Observer implements engine.API.
+func (f *FakeAPI) Observer() message.NodeID { return f.ObserverID }
+
+// Trace implements engine.API.
+func (f *FakeAPI) Trace(format string, args ...any) {
+	f.Traces = append(f.Traces, fmt.Sprintf(format, args...))
+}
+
+// SentTo filters recorded sends by destination.
+func (f *FakeAPI) SentTo(dest message.NodeID) []Sent {
+	var out []Sent
+	for _, s := range f.Sends {
+		if s.Dest == dest {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SentOfType filters recorded sends by message type.
+func (f *FakeAPI) SentOfType(typ message.Type) []Sent {
+	var out []Sent
+	for _, s := range f.Sends {
+		if s.Msg.Type() == typ {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Reset clears the recorded interactions.
+func (f *FakeAPI) Reset() {
+	for _, s := range f.Sends {
+		s.Msg.Release()
+	}
+	f.Sends = nil
+	f.Timers = nil
+	f.Sources = nil
+	f.Pings = nil
+	f.Closed = nil
+	f.Traces = nil
+}

@@ -1,0 +1,370 @@
+// Package coding implements the paper's first case study (Section 3.2): a
+// message-processing algorithm that performs network coding on overlay
+// nodes. Messages from multiple incoming streams are coded into one
+// stream using linear codes in GF(2^8), exercising the engine's hold
+// mechanism for the generic n-to-m mapping. Receivers buffer plain and
+// coded messages per sequence number and decode by Gaussian elimination
+// once the collected coefficient vectors reach full rank.
+//
+// Stream identification follows the substream convention: substream i of
+// an application uses data type StreamType(i); coded messages use
+// CodedType and carry their coefficient vector as a payload prefix.
+package coding
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/algorithm"
+	"repro/internal/engine"
+	"repro/internal/gf256"
+	"repro/internal/message"
+)
+
+// StreamType returns the data message type of substream i.
+func StreamType(i int) message.Type {
+	return message.FirstDataType + 1 + message.Type(i)
+}
+
+// CodedType is the data message type of coded messages.
+const CodedType = message.FirstDataType + 90
+
+// streamTag recovers a substream index from a message type, or -1.
+func streamTag(t message.Type) int {
+	if t >= message.FirstDataType+1 && t < CodedType {
+		return int(t - message.FirstDataType - 1)
+	}
+	return -1
+}
+
+// maxPending bounds the per-node buffered sequence numbers; older entries
+// are abandoned so a stalled input cannot exhaust memory.
+const maxPending = 4096
+
+// CodeSpec configures the coder role: combine one message of each input
+// substream (per sequence number) into a coded message for the given
+// destinations, using the given coefficients. K is the total substream
+// count of the session (the coefficient-vector dimension).
+type CodeSpec struct {
+	K      int
+	Inputs []int
+	Coeffs []byte // one per input; nil means all ones (the paper's a+b)
+	Dests  []message.NodeID
+}
+
+// Node is the network-coding algorithm: one type serves every role in the
+// session, selected by configuration — source splitting, verbatim
+// forwarding, coding, and decoding — mirroring how one iOverlay algorithm
+// binary is deployed on every node with per-node configuration from the
+// observer.
+type Node struct {
+	algorithm.Base
+
+	// SplitDests, when set on the source node, splits locally generated
+	// raw data round-robin into len(SplitDests) substreams; substream i
+	// goes to SplitDests[i].
+	SplitDests [][]message.NodeID
+	// Forward routes substream tags to downstreams, verbatim.
+	Forward map[int][]message.NodeID
+	// ForwardCoded routes coded messages, verbatim.
+	ForwardCoded []message.NodeID
+	// Code, when set, makes this node a coding point.
+	Code *CodeSpec
+	// DecodeK, when positive, makes this node a receiver that decodes the
+	// session's K substreams and counts effective throughput.
+	DecodeK int
+
+	splitCount uint64
+	pending    map[uint32]*seqState
+	doneSeqs   map[uint32]bool
+	effective  atomic.Int64
+	decodedCnt atomic.Int64
+}
+
+type heldMsg struct {
+	m   *message.Msg
+	vec []byte
+}
+
+type seqState struct {
+	held      []heldMsg
+	codedSent bool
+	decoded   bool
+}
+
+var _ engine.Algorithm = (*Node)(nil)
+
+// Attach initializes state.
+func (n *Node) Attach(api engine.API) {
+	n.Base.Attach(api)
+	n.pending = make(map[uint32]*seqState)
+	n.doneSeqs = make(map[uint32]bool)
+}
+
+// EffectiveBytes reports the decoded (effective) bytes received, the
+// metric Fig. 8 compares across coding and non-coding configurations.
+// Safe to poll from any goroutine.
+func (n *Node) EffectiveBytes() int64 { return n.effective.Load() }
+
+// DecodedGenerations reports how many sequence numbers reached full rank.
+func (n *Node) DecodedGenerations() int64 { return n.decodedCnt.Load() }
+
+// Process implements the algorithm.
+func (n *Node) Process(m *message.Msg) engine.Verdict {
+	if !m.IsData() {
+		return n.Base.Process(m)
+	}
+	switch {
+	case m.Type() == message.FirstDataType && len(n.SplitDests) > 0:
+		return n.split(m)
+	case m.Type() == CodedType:
+		return n.onData(m, nil)
+	default:
+		tag := streamTag(m.Type())
+		if tag < 0 {
+			return engine.Done // unknown data type: consume
+		}
+		return n.onData(m, &tag)
+	}
+}
+
+// split relabels raw source data into substreams round-robin with aligned
+// sequence numbers, so that coding points can match generations.
+func (n *Node) split(m *message.Msg) engine.Verdict {
+	k := uint64(len(n.SplitDests))
+	i := int(n.splitCount % k)
+	seq := uint32(n.splitCount / k)
+	n.splitCount++
+	d := m.Derive(StreamType(i), n.API.ID(), m.App(), seq)
+	n.API.SendNew(d, n.SplitDests[i]...)
+	return engine.Done
+}
+
+// onData handles one substream or coded message. tag is nil for coded
+// messages.
+func (n *Node) onData(m *message.Msg, tag *int) engine.Verdict {
+	// Verbatim forwarding applies regardless of other roles.
+	if tag != nil {
+		for _, d := range n.Forward[*tag] {
+			n.API.Send(m, d)
+		}
+	} else {
+		for _, d := range n.ForwardCoded {
+			n.API.Send(m, d)
+		}
+	}
+	codes := n.Code != nil && tag != nil && n.codeWants(*tag)
+	decodes := n.DecodeK > 0
+	if !codes && !decodes {
+		return engine.Done
+	}
+	if n.doneSeqs[m.Seq()] {
+		return engine.Done // late duplicate of a completed generation
+	}
+	vec, width, ok := n.vectorOf(m, tag)
+	if !ok {
+		return engine.Done
+	}
+	// Plain substream payloads are useful data on their own: count them
+	// toward effective throughput immediately (the paper's panel without
+	// coding measures exactly this). Decoding later adds only the bytes
+	// of streams recovered from coded messages.
+	if decodes && tag != nil {
+		n.effective.Add(int64(m.Len()))
+	}
+	st := n.pending[m.Seq()]
+	if st == nil {
+		st = &seqState{}
+		n.pending[m.Seq()] = st
+		n.evictIfNeeded()
+	}
+	st.held = append(st.held, heldMsg{m: m, vec: vec})
+
+	if codes && !st.codedSent {
+		n.tryCode(m.App(), m.Seq(), st, width)
+	}
+	if decodes && !st.decoded {
+		n.tryDecode(st, width)
+	}
+	if (n.Code == nil || st.codedSent) && (n.DecodeK == 0 || st.decoded) {
+		n.finishSeq(m.Seq(), st, m)
+		// m was finished inside finishSeq via the held list except for
+		// the delivery reference, which Done returns to the engine.
+		return engine.Done
+	}
+	return engine.Hold
+}
+
+func (n *Node) codeWants(tag int) bool {
+	for _, in := range n.Code.Inputs {
+		if in == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// vectorOf computes the coefficient vector a message represents in the
+// session's K-dimensional space.
+func (n *Node) vectorOf(m *message.Msg, tag *int) (vec []byte, width int, ok bool) {
+	k := n.DecodeK
+	if n.Code != nil && n.Code.K > k {
+		k = n.Code.K
+	}
+	if k == 0 {
+		return nil, 0, false
+	}
+	if tag != nil {
+		if *tag >= k {
+			return nil, 0, false
+		}
+		vec = make([]byte, k)
+		vec[*tag] = 1
+		return vec, m.Len(), true
+	}
+	// Coded: payload = [K coefficients][coded data].
+	if m.Len() < k {
+		return nil, 0, false
+	}
+	vec = append([]byte(nil), m.Payload()[:k]...)
+	return vec, m.Len() - k, true
+}
+
+// payloadOf returns the data portion of a held message.
+func (n *Node) payloadOf(h heldMsg, k int) []byte {
+	if h.m.Type() == CodedType {
+		return h.m.Payload()[k:]
+	}
+	return h.m.Payload()
+}
+
+// tryCode emits a coded combination once one message of every input
+// substream for this generation is held.
+func (n *Node) tryCode(app, seq uint32, st *seqState, width int) {
+	spec := n.Code
+	inputs := make([]heldMsg, len(spec.Inputs))
+	for i, in := range spec.Inputs {
+		found := false
+		for _, h := range st.held {
+			if t := streamTag(h.m.Type()); t == in {
+				inputs[i] = h
+				found = true
+				break
+			}
+		}
+		if !found {
+			return
+		}
+	}
+	coeffs := spec.Coeffs
+	if coeffs == nil {
+		coeffs = make([]byte, len(spec.Inputs))
+		for i := range coeffs {
+			coeffs[i] = 1
+		}
+	}
+	k := spec.K
+	out := n.API.NewMsg(CodedType, app, seq, k+width)
+	payload := out.Payload()
+	for i := range payload {
+		payload[i] = 0
+	}
+	for i, h := range inputs {
+		gf256.Axpy(payload[:k], coeffs[i], h.vec)
+		data := n.payloadOf(h, k)
+		if len(data) > width {
+			data = data[:width]
+		}
+		gf256.Axpy(payload[k:k+len(data)], coeffs[i], data)
+	}
+	n.API.SendNew(out, spec.Dests...)
+	st.codedSent = true
+}
+
+// tryDecode solves the generation once the held coefficient vectors reach
+// full rank.
+func (n *Node) tryDecode(st *seqState, width int) {
+	k := n.DecodeK
+	if len(st.held) < k {
+		return
+	}
+	vecs := make([][]byte, 0, len(st.held))
+	for _, h := range st.held {
+		vecs = append(vecs, h.vec)
+	}
+	if gf256.Rank(vecs) < k {
+		return
+	}
+	// Pick k independent rows and solve.
+	rows, payloads := n.independentRows(st, k)
+	if rows == nil {
+		return
+	}
+	if _, ok := gf256.Solve(rows, payloads); !ok {
+		return
+	}
+	st.decoded = true
+	n.decodedCnt.Add(1)
+	// Credit only the streams recovered by solving: substreams that
+	// arrived plain were already counted on receipt.
+	plain := make(map[int]bool)
+	for _, h := range st.held {
+		if t := streamTag(h.m.Type()); t >= 0 {
+			plain[t] = true
+		}
+	}
+	if recovered := k - len(plain); recovered > 0 {
+		n.effective.Add(int64(recovered * width))
+	}
+}
+
+// independentRows selects k linearly independent held messages.
+func (n *Node) independentRows(st *seqState, k int) (rows, payloads [][]byte) {
+	var chosen [][]byte
+	for _, h := range st.held {
+		trial := append(chosen, h.vec)
+		if gf256.Rank(trial) == len(trial) {
+			chosen = trial
+			payloads = append(payloads, n.payloadOf(h, k))
+			if len(chosen) == k {
+				return chosen, payloads
+			}
+		}
+	}
+	return nil, nil
+}
+
+// finishSeq releases every held message of a completed generation except
+// the currently-delivered one (whose reference the engine still owns).
+func (n *Node) finishSeq(seq uint32, st *seqState, current *message.Msg) {
+	for _, h := range st.held {
+		if h.m != current {
+			n.API.Finish(h.m)
+		}
+	}
+	delete(n.pending, seq)
+	n.doneSeqs[seq] = true
+	if len(n.doneSeqs) > 4*maxPending {
+		n.doneSeqs = make(map[uint32]bool)
+	}
+}
+
+// evictIfNeeded abandons the oldest pending generations when the buffer
+// grows beyond maxPending.
+func (n *Node) evictIfNeeded() {
+	if len(n.pending) <= maxPending {
+		return
+	}
+	seqs := make([]int, 0, len(n.pending))
+	for s := range n.pending {
+		seqs = append(seqs, int(s))
+	}
+	sort.Ints(seqs)
+	for _, s := range seqs[:len(seqs)/2] {
+		st := n.pending[uint32(s)]
+		for _, h := range st.held {
+			n.API.Finish(h.m)
+		}
+		delete(n.pending, uint32(s))
+	}
+}

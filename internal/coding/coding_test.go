@@ -1,0 +1,242 @@
+package coding
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/algtest"
+	"repro/internal/engine"
+	"repro/internal/gf256"
+	"repro/internal/message"
+	"repro/internal/vnet"
+)
+
+func nid(i int) message.NodeID {
+	return message.MakeID(fmt.Sprintf("10.0.1.%d", i), 7000)
+}
+
+func TestStreamTypeTagRoundTrip(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		if got := streamTag(StreamType(i)); got != i {
+			t.Errorf("streamTag(StreamType(%d)) = %d", i, got)
+		}
+	}
+	if got := streamTag(CodedType); got != -1 {
+		t.Errorf("streamTag(CodedType) = %d, want -1", got)
+	}
+	if got := streamTag(message.FirstDataType); got != -1 {
+		t.Errorf("streamTag(raw data) = %d, want -1", got)
+	}
+}
+
+func TestSplitAlternatesStreamsAndAlignsSeqs(t *testing.T) {
+	api := algtest.New(nid(1))
+	n := &Node{SplitDests: [][]message.NodeID{{nid(2)}, {nid(3)}}}
+	n.Attach(api)
+	for seq := uint32(0); seq < 6; seq++ {
+		m := message.New(message.FirstDataType, nid(1), 1, seq, []byte{byte(seq)})
+		if v := n.Process(m); v != engine.Done {
+			t.Fatalf("split verdict = %v", v)
+		}
+		m.Release()
+	}
+	toB, toC := api.SentTo(nid(2)), api.SentTo(nid(3))
+	if len(toB) != 3 || len(toC) != 3 {
+		t.Fatalf("split fan-out = %d/%d, want 3/3", len(toB), len(toC))
+	}
+	for i := range toB {
+		if toB[i].Msg.Type() != StreamType(0) || toB[i].Msg.Seq() != uint32(i) {
+			t.Errorf("stream a msg %d: type %d seq %d", i, toB[i].Msg.Type(), toB[i].Msg.Seq())
+		}
+		if toC[i].Msg.Type() != StreamType(1) || toC[i].Msg.Seq() != uint32(i) {
+			t.Errorf("stream b msg %d: type %d seq %d", i, toC[i].Msg.Type(), toC[i].Msg.Seq())
+		}
+	}
+	// Split is zero-copy: payload of the derived message aliases the raw.
+	if got := toB[0].Msg.Payload()[0]; got != 0 {
+		t.Errorf("derived payload = %d", got)
+	}
+}
+
+func TestForwarderRole(t *testing.T) {
+	api := algtest.New(nid(2))
+	n := &Node{Forward: map[int][]message.NodeID{0: {nid(4), nid(5)}}}
+	n.Attach(api)
+	m := message.New(StreamType(0), nid(1), 1, 0, []byte("x"))
+	if v := n.Process(m); v != engine.Done {
+		t.Fatalf("verdict = %v", v)
+	}
+	if len(api.SentTo(nid(4))) != 1 || len(api.SentTo(nid(5))) != 1 {
+		t.Error("forwarder did not copy to both downstreams")
+	}
+	// Unrouted stream is consumed silently.
+	m2 := message.New(StreamType(1), nid(1), 1, 0, []byte("y"))
+	n.Process(m2)
+	if len(api.Sends) != 2 {
+		t.Errorf("unrouted stream was sent somewhere: %d sends", len(api.Sends))
+	}
+}
+
+func TestCoderEmitsAPlusB(t *testing.T) {
+	api := algtest.New(nid(4))
+	n := &Node{Code: &CodeSpec{K: 2, Inputs: []int{0, 1}, Dests: []message.NodeID{nid(5)}}}
+	n.Attach(api)
+
+	a := message.New(StreamType(0), nid(2), 1, 7, []byte{10, 20, 30})
+	if v := n.Process(a); v != engine.Hold {
+		t.Fatalf("first input verdict = %v, want Hold", v)
+	}
+	b := message.New(StreamType(1), nid(3), 1, 7, []byte{1, 2, 3})
+	if v := n.Process(b); v != engine.Done {
+		t.Fatalf("second input verdict = %v, want Done", v)
+	}
+	sent := api.SentTo(nid(5))
+	if len(sent) != 1 {
+		t.Fatalf("coded sends = %d, want 1", len(sent))
+	}
+	coded := sent[0].Msg
+	if coded.Type() != CodedType || coded.Seq() != 7 {
+		t.Errorf("coded header: type %d seq %d", coded.Type(), coded.Seq())
+	}
+	payload := coded.Payload()
+	if !bytes.Equal(payload[:2], []byte{1, 1}) {
+		t.Errorf("coefficient vector = %v, want [1 1]", payload[:2])
+	}
+	want := gf256.Combine([]byte{1, 1}, [][]byte{{10, 20, 30}, {1, 2, 3}})
+	if !bytes.Equal(payload[2:], want) {
+		t.Errorf("coded payload = %v, want %v", payload[2:], want)
+	}
+	// The held message was finished by the coder: with a Hold verdict the
+	// engine never releases, so Finish is the last reference.
+	if a.Refs() != 0 {
+		t.Errorf("held input refs = %d after completion, want 0", a.Refs())
+	}
+}
+
+func TestCoderMismatchedSeqsDoNotCombine(t *testing.T) {
+	api := algtest.New(nid(4))
+	n := &Node{Code: &CodeSpec{K: 2, Inputs: []int{0, 1}, Dests: []message.NodeID{nid(5)}}}
+	n.Attach(api)
+	n.Process(message.New(StreamType(0), nid(2), 1, 1, []byte{1}))
+	n.Process(message.New(StreamType(1), nid(3), 1, 2, []byte{2}))
+	if len(api.Sends) != 0 {
+		t.Errorf("coder combined across generations: %d sends", len(api.Sends))
+	}
+}
+
+func TestDecoderFromPlainAndCoded(t *testing.T) {
+	api := algtest.New(nid(6))
+	n := &Node{DecodeK: 2}
+	n.Attach(api)
+
+	aPayload := []byte{9, 8, 7, 6}
+	bPayload := []byte{1, 2, 3, 4}
+	a := message.New(StreamType(0), nid(2), 1, 3, aPayload)
+	if v := n.Process(a); v != engine.Hold {
+		t.Fatalf("plain a verdict = %v, want Hold", v)
+	}
+	codedBody := gf256.Combine([]byte{1, 1}, [][]byte{aPayload, bPayload})
+	coded := message.New(CodedType, nid(5), 1, 3, append([]byte{1, 1}, codedBody...))
+	if v := n.Process(coded); v != engine.Done {
+		t.Fatalf("coded verdict = %v, want Done", v)
+	}
+	if n.DecodedGenerations() != 1 {
+		t.Fatalf("DecodedGenerations = %d, want 1", n.DecodedGenerations())
+	}
+	if got := n.EffectiveBytes(); got != int64(2*len(aPayload)) {
+		t.Errorf("EffectiveBytes = %d, want %d", got, 2*len(aPayload))
+	}
+	// A late duplicate of a finished generation is ignored.
+	dup := message.New(StreamType(1), nid(3), 1, 3, bPayload)
+	if v := n.Process(dup); v != engine.Done {
+		t.Errorf("late duplicate verdict = %v, want Done", v)
+	}
+	if n.DecodedGenerations() != 1 {
+		t.Errorf("duplicate changed generation count")
+	}
+}
+
+func TestDecoderIgnoresDependentVectors(t *testing.T) {
+	api := algtest.New(nid(6))
+	n := &Node{DecodeK: 2}
+	n.Attach(api)
+	a1 := message.New(StreamType(0), nid(2), 1, 0, []byte{5})
+	a2 := message.New(StreamType(0), nid(3), 1, 0, []byte{5}) // same stream again
+	n.Process(a1)
+	n.Process(a2)
+	if n.DecodedGenerations() != 0 {
+		t.Error("decoder decoded from rank-deficient set")
+	}
+}
+
+func TestEvictionBoundsMemory(t *testing.T) {
+	api := algtest.New(nid(6))
+	n := &Node{DecodeK: 2}
+	n.Attach(api)
+	for seq := uint32(0); seq < maxPending+10; seq++ {
+		n.Process(message.New(StreamType(0), nid(2), 1, seq, []byte{1}))
+	}
+	if len(n.pending) > maxPending {
+		t.Errorf("pending grew to %d, want <= %d", len(n.pending), maxPending)
+	}
+}
+
+// TestFig8Butterfly runs the full Fig. 8(b) coding session over real
+// engines: A splits into streams a (via B) and b (via C); D codes a+b and
+// sends to E; E forwards the coded stream to F and G; F also gets a from
+// B, G also gets b from C. F and G must decode both streams.
+func TestFig8Butterfly(t *testing.T) {
+	n := vnet.New()
+	defer n.Close()
+	const app = 1
+	ids := map[string]message.NodeID{
+		"A": nid(1), "B": nid(2), "C": nid(3), "D": nid(4),
+		"E": nid(5), "F": nid(6), "G": nid(7),
+	}
+	algs := map[string]*Node{
+		"A": {SplitDests: [][]message.NodeID{{ids["B"]}, {ids["C"]}}},
+		"B": {Forward: map[int][]message.NodeID{0: {ids["D"], ids["F"]}}},
+		"C": {Forward: map[int][]message.NodeID{1: {ids["D"], ids["G"]}}},
+		"D": {Code: &CodeSpec{K: 2, Inputs: []int{0, 1}, Dests: []message.NodeID{ids["E"]}}, DecodeK: 2},
+		"E": {ForwardCoded: []message.NodeID{ids["F"], ids["G"]}},
+		"F": {DecodeK: 2},
+		"G": {DecodeK: 2},
+	}
+	engines := make(map[string]*engine.Engine)
+	for name, alg := range algs {
+		e, err := engine.New(engine.Config{
+			ID:        ids[name],
+			Transport: engine.VNet{Net: n},
+			Algorithm: alg,
+		})
+		if err != nil {
+			t.Fatalf("engine.New(%s): %v", name, err)
+		}
+		if err := e.Start(); err != nil {
+			t.Fatalf("engine.Start(%s): %v", name, err)
+		}
+		t.Cleanup(e.Stop)
+		engines[name] = e
+	}
+	engines["A"].StartSource(app, 400<<10, 1000)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if algs["F"].DecodedGenerations() > 50 &&
+			algs["G"].DecodedGenerations() > 50 &&
+			algs["D"].DecodedGenerations() > 50 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, name := range []string{"D", "F", "G"} {
+		if got := algs[name].DecodedGenerations(); got <= 50 {
+			t.Errorf("%s decoded %d generations, want > 50", name, got)
+		}
+		if got := algs[name].EffectiveBytes(); got <= 100*1000 {
+			t.Errorf("%s effective bytes = %d, want > 100000", name, got)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package contentnet
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/algtest"
+	"repro/internal/engine"
+	"repro/internal/message"
+	"repro/internal/vnet"
+)
+
+func nid(i int) message.NodeID {
+	return message.MakeID(fmt.Sprintf("10.0.4.%d", i), 7000)
+}
+
+func TestConstraintMatching(t *testing.T) {
+	attrs := Attrs{
+		IntAttr("price", 42),
+		StrAttr("symbol", "GOOG"),
+	}
+	tests := []struct {
+		c    Constraint
+		want bool
+	}{
+		{Constraint{Attr: "price", Op: OpEq, Int: 42}, true},
+		{Constraint{Attr: "price", Op: OpEq, Int: 41}, false},
+		{Constraint{Attr: "price", Op: OpNe, Int: 41}, true},
+		{Constraint{Attr: "price", Op: OpLt, Int: 50}, true},
+		{Constraint{Attr: "price", Op: OpLt, Int: 42}, false},
+		{Constraint{Attr: "price", Op: OpLe, Int: 42}, true},
+		{Constraint{Attr: "price", Op: OpGt, Int: 41}, true},
+		{Constraint{Attr: "price", Op: OpGe, Int: 43}, false},
+		{Constraint{Attr: "symbol", Op: OpEq, IsStr: true, Str: "GOOG"}, true},
+		{Constraint{Attr: "symbol", Op: OpPrefix, IsStr: true, Str: "GO"}, true},
+		{Constraint{Attr: "symbol", Op: OpPrefix, IsStr: true, Str: "AA"}, false},
+		{Constraint{Attr: "symbol", Op: OpNe, IsStr: true, Str: "MSFT"}, true},
+		// Type mismatch and missing attribute never match.
+		{Constraint{Attr: "price", Op: OpEq, IsStr: true, Str: "42"}, false},
+		{Constraint{Attr: "volume", Op: OpGt, Int: 0}, false},
+	}
+	for i, tt := range tests {
+		if got := tt.c.Matches(attrs); got != tt.want {
+			t.Errorf("case %d (%s %s): got %v, want %v", i, tt.c.Attr, tt.c.Op, got, tt.want)
+		}
+	}
+}
+
+func TestPredicateConjunction(t *testing.T) {
+	p := Predicate{Constraints: []Constraint{
+		{Attr: "price", Op: OpGt, Int: 10},
+		{Attr: "symbol", Op: OpEq, IsStr: true, Str: "GOOG"},
+	}}
+	if !p.Matches(Attrs{IntAttr("price", 20), StrAttr("symbol", "GOOG")}) {
+		t.Error("conjunction should match")
+	}
+	if p.Matches(Attrs{IntAttr("price", 5), StrAttr("symbol", "GOOG")}) {
+		t.Error("failed constraint should fail the conjunction")
+	}
+	if !(Predicate{}).Matches(nil) {
+		t.Error("empty predicate must match everything")
+	}
+	if s := p.String(); s == "" || s == "true" {
+		t.Errorf("String() = %q", s)
+	}
+	if (Predicate{}).String() != "true" {
+		t.Error("empty predicate String() != true")
+	}
+}
+
+func TestAttrsEncodeDecodeRoundTrip(t *testing.T) {
+	attrs := Attrs{IntAttr("a", -7), StrAttr("b", "xyz"), IntAttr("c", 1<<40)}
+	body := []byte("payload")
+	got, gotBody, err := DecodeAttrs(EncodeAttrs(attrs, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != attrs[0] || got[1] != attrs[1] || got[2] != attrs[2] {
+		t.Errorf("attrs = %+v", got)
+	}
+	if string(gotBody) != "payload" {
+		t.Errorf("body = %q", gotBody)
+	}
+	// Truncations are rejected.
+	full := EncodeAttrs(attrs, body)
+	for n := 0; n < len(full)-len(body); n++ {
+		if _, _, err := DecodeAttrs(full[:n]); err == nil {
+			t.Fatalf("accepted truncation at %d", n)
+		}
+	}
+}
+
+func TestAttrsRoundTripProperty(t *testing.T) {
+	f := func(names []string, vals []int64, body []byte) bool {
+		var attrs Attrs
+		for i, n := range names {
+			if i >= len(vals) {
+				break
+			}
+			attrs = append(attrs, IntAttr(n, vals[i]))
+		}
+		got, gotBody, err := DecodeAttrs(EncodeAttrs(attrs, body))
+		if err != nil || len(got) != len(attrs) {
+			return false
+		}
+		for i := range attrs {
+			want := attrs[i]
+			if len(want.Name) > 65535 {
+				want.Name = want.Name[:65535]
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		return string(gotBody) == string(body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdvertisementRoundTrip(t *testing.T) {
+	ad := Advertisement{
+		Subscriber: nid(3),
+		SubID:      7,
+		Hops:       2,
+		Pred: Predicate{Constraints: []Constraint{
+			{Attr: "x", Op: OpGe, Int: 5},
+			{Attr: "s", Op: OpPrefix, IsStr: true, Str: "ab"},
+		}},
+	}
+	got, err := DecodeAdvertisement(ad.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Subscriber != ad.Subscriber || got.SubID != 7 || got.Hops != 2 {
+		t.Errorf("header = %+v", got)
+	}
+	if len(got.Pred.Constraints) != 2 || got.Pred.Constraints[1].Str != "ab" {
+		t.Errorf("pred = %+v", got.Pred)
+	}
+}
+
+func newRouter(self message.NodeID) (*Router, *algtest.FakeAPI) {
+	api := algtest.New(self)
+	r := &Router{}
+	r.Attach(api)
+	return r, api
+}
+
+func TestSubscribeFloodsAdvertisement(t *testing.T) {
+	r, api := newRouter(nid(1))
+	r.Known.Add(nid(2))
+	r.Known.Add(nid(3))
+	r.Subscribe(1, Predicate{Constraints: []Constraint{{Attr: "x", Op: OpGt, Int: 0}}})
+	if got := len(api.SentOfType(TypeAdvertise)); got != 2 {
+		t.Errorf("advertise flood = %d, want 2", got)
+	}
+	if r.KnownSubscriptions() != 1 {
+		t.Errorf("routes = %d", r.KnownSubscriptions())
+	}
+}
+
+func TestAdvertiseReverseAndReflood(t *testing.T) {
+	r, api := newRouter(nid(2))
+	r.Known.Add(nid(3))
+	r.Known.Add(nid(4))
+	ad := Advertisement{Subscriber: nid(9), SubID: 1,
+		Pred: Predicate{Constraints: []Constraint{{Attr: "x", Op: OpEq, Int: 1}}}}
+	m := message.New(TypeAdvertise, nid(3), 0, 0, ad.Encode())
+	if v := r.Process(m); v != engine.Done {
+		t.Fatal("verdict")
+	}
+	m.Release()
+	// Reflood excludes the arrival link and subscriber.
+	relays := api.SentOfType(TypeAdvertise)
+	if len(relays) != 1 || relays[0].Dest != nid(4) {
+		t.Fatalf("relays = %+v", relays)
+	}
+	// A duplicate via another path is not re-flooded and does not change
+	// the reverse path.
+	dup := message.New(TypeAdvertise, nid(4), 0, 0, ad.Encode())
+	r.Process(dup)
+	dup.Release()
+	if got := len(api.SentOfType(TypeAdvertise)); got != 1 {
+		t.Errorf("duplicate ad re-flooded: %d", got)
+	}
+	// A matching event arriving from elsewhere forwards to nid(3), the
+	// first-seen reverse path.
+	api.Reset()
+	ev := message.New(EventType, nid(5), 0, 1, EncodeAttrs(Attrs{IntAttr("x", 1)}, nil))
+	r.Process(ev)
+	ev.Release()
+	fwd := api.SentOfType(EventType)
+	if len(fwd) != 1 || fwd[0].Dest != nid(3) {
+		t.Fatalf("event forward = %+v, want via nid(3)", fwd)
+	}
+}
+
+func TestEventLocalDeliveryAndFiltering(t *testing.T) {
+	r, api := newRouter(nid(1))
+	var delivered []Event
+	r.OnDeliver = func(e Event) { delivered = append(delivered, e) }
+	r.Subscribe(1, Predicate{Constraints: []Constraint{{Attr: "x", Op: OpGt, Int: 10}}})
+	api.Reset()
+
+	match := message.New(EventType, nid(5), 0, 1, EncodeAttrs(Attrs{IntAttr("x", 11)}, []byte("hi")))
+	r.Process(match)
+	match.Release()
+	miss := message.New(EventType, nid(5), 0, 2, EncodeAttrs(Attrs{IntAttr("x", 3)}, nil))
+	r.Process(miss)
+	miss.Release()
+
+	if r.Delivered() != 1 || len(delivered) != 1 {
+		t.Fatalf("delivered = %d/%d, want 1", r.Delivered(), len(delivered))
+	}
+	if string(delivered[0].Body) != "hi" || delivered[0].Publisher != nid(5) {
+		t.Errorf("event = %+v", delivered[0])
+	}
+	if len(api.SentOfType(EventType)) != 0 {
+		t.Error("events forwarded with no remote subscribers")
+	}
+}
+
+func TestEventDuplicateSuppression(t *testing.T) {
+	r, _ := newRouter(nid(1))
+	r.Subscribe(1, Predicate{})
+	ev1 := message.New(EventType, nid(5), 0, 7, EncodeAttrs(nil, nil))
+	r.Process(ev1)
+	ev1.Release()
+	ev2 := message.New(EventType, nid(5), 0, 7, EncodeAttrs(nil, nil))
+	r.Process(ev2)
+	ev2.Release()
+	if r.Delivered() != 1 {
+		t.Errorf("duplicate event delivered twice: %d", r.Delivered())
+	}
+}
+
+func TestUnsubscribeRemovesRoute(t *testing.T) {
+	r, api := newRouter(nid(2))
+	r.Known.Add(nid(4))
+	ad := Advertisement{Subscriber: nid(9), SubID: 1, Pred: Predicate{}}
+	m := message.New(TypeAdvertise, nid(3), 0, 0, ad.Encode())
+	r.Process(m)
+	m.Release()
+	if r.KnownSubscriptions() != 1 {
+		t.Fatal("route missing")
+	}
+	un := message.New(TypeUnadvertise, nid(3), 0, 0, ad.Encode())
+	r.Process(un)
+	un.Release()
+	if r.KnownSubscriptions() != 0 {
+		t.Error("route not removed")
+	}
+	if got := len(api.SentOfType(TypeUnadvertise)); got != 1 {
+		t.Errorf("withdrawal not re-flooded: %d", got)
+	}
+}
+
+// TestContentNetworkEndToEnd runs a five-node content-based network over
+// real engines: two subscribers with disjoint predicates, one publisher;
+// each event reaches exactly the matching subscribers.
+func TestContentNetworkEndToEnd(t *testing.T) {
+	net := vnet.New()
+	defer net.Close()
+	const n = 5
+	routers := make([]*Router, n)
+	engines := make([]*engine.Engine, n)
+	for i := n - 1; i >= 0; i-- {
+		routers[i] = &Router{}
+		e, err := engine.New(engine.Config{
+			ID:        nid(i + 1),
+			Transport: engine.VNet{Net: net},
+			Algorithm: routers[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Stop)
+		engines[i] = e
+	}
+	// Line topology membership: node i knows i-1 and i+1 (ads relay
+	// hop by hop; reverse paths span the line). Wait for every engine to
+	// apply its membership before any advertisement floods — a relay
+	// with an empty view would drop the ad.
+	applied := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		i := i
+		engines[i].Do(func(api engine.API) {
+			if i > 0 {
+				routers[i].Known.Add(nid(i))
+			}
+			if i < n-1 {
+				routers[i].Known.Add(nid(i + 2))
+			}
+			applied <- struct{}{}
+		})
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-applied:
+		case <-time.After(5 * time.Second):
+			t.Fatal("membership setup timed out")
+		}
+	}
+	// Node 1 wants cheap events, node 5 wants expensive ones.
+	engines[0].Do(func(engine.API) {
+		routers[0].Subscribe(1, Predicate{Constraints: []Constraint{{Attr: "price", Op: OpLt, Int: 100}}})
+	})
+	engines[4].Do(func(engine.API) {
+		routers[4].Subscribe(1, Predicate{Constraints: []Constraint{{Attr: "price", Op: OpGe, Int: 100}}})
+	})
+	// Wait for the advertisements to traverse the line.
+	waitFor(t, 5*time.Second, "routing tables", func() bool {
+		return routers[2].KnownSubscriptions() == 2
+	})
+	// Publish from the middle.
+	engines[2].Do(func(engine.API) {
+		routers[2].Publish(Attrs{IntAttr("price", 10)}, []byte("cheap"))
+		routers[2].Publish(Attrs{IntAttr("price", 500)}, []byte("expensive"))
+		routers[2].Publish(Attrs{IntAttr("price", 70)}, []byte("cheap2"))
+	})
+	waitFor(t, 5*time.Second, "deliveries", func() bool {
+		return routers[0].Delivered() == 2 && routers[4].Delivered() == 1
+	})
+	// Intermediate pure routers consumed nothing.
+	for _, i := range []int{1, 2, 3} {
+		if got := routers[i].Delivered(); got != 0 {
+			t.Errorf("router %d delivered %d events without a subscription", i, got)
+		}
+	}
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

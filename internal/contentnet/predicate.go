@@ -1,0 +1,268 @@
+// Package contentnet implements content-based networking on iOverlay,
+// the first potential research direction Section 3.1 of the paper calls
+// "a natural fit": messages are not addressed to any specific node;
+// instead a node advertises predicates defining the messages it intends
+// to receive, and the content-based service delivers each published
+// message to every node whose predicates match. The Router algorithm is
+// a derived class of the iAlgorithm base, exactly as the paper suggests:
+// the engine passes messages to the content-based decision-making
+// algorithm, which decides the set of downstreams.
+package contentnet
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/protocol"
+)
+
+// Op is a predicate comparison operator.
+type Op uint8
+
+// Operators over event attributes.
+const (
+	OpEq Op = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpPrefix // string prefix match
+)
+
+// String renders the operator.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpPrefix:
+		return "prefix"
+	default:
+		return "?"
+	}
+}
+
+// Attr is one typed attribute of a published event. Exactly one of Int
+// or Str is meaningful, selected by IsStr.
+type Attr struct {
+	Name  string
+	IsStr bool
+	Int   int64
+	Str   string
+}
+
+// IntAttr builds an integer attribute.
+func IntAttr(name string, v int64) Attr { return Attr{Name: name, Int: v} }
+
+// StrAttr builds a string attribute.
+func StrAttr(name, v string) Attr { return Attr{Name: name, IsStr: true, Str: v} }
+
+// Attrs is an event's attribute list.
+type Attrs []Attr
+
+// Get finds an attribute by name.
+func (a Attrs) Get(name string) (Attr, bool) {
+	for _, at := range a {
+		if at.Name == name {
+			return at, true
+		}
+	}
+	return Attr{}, false
+}
+
+// Constraint is one comparison inside a predicate.
+type Constraint struct {
+	Attr string
+	Op   Op
+	// Value is the right-hand side; IsStr selects which field applies.
+	IsStr bool
+	Int   int64
+	Str   string
+}
+
+// Matches evaluates the constraint against an event.
+func (c Constraint) Matches(attrs Attrs) bool {
+	at, ok := attrs.Get(c.Attr)
+	if !ok || at.IsStr != c.IsStr {
+		return false
+	}
+	if c.IsStr {
+		switch c.Op {
+		case OpEq:
+			return at.Str == c.Str
+		case OpNe:
+			return at.Str != c.Str
+		case OpPrefix:
+			return strings.HasPrefix(at.Str, c.Str)
+		case OpLt:
+			return at.Str < c.Str
+		case OpLe:
+			return at.Str <= c.Str
+		case OpGt:
+			return at.Str > c.Str
+		case OpGe:
+			return at.Str >= c.Str
+		default:
+			return false
+		}
+	}
+	switch c.Op {
+	case OpEq:
+		return at.Int == c.Int
+	case OpNe:
+		return at.Int != c.Int
+	case OpLt:
+		return at.Int < c.Int
+	case OpLe:
+		return at.Int <= c.Int
+	case OpGt:
+		return at.Int > c.Int
+	case OpGe:
+		return at.Int >= c.Int
+	default:
+		return false
+	}
+}
+
+// Predicate is a conjunction of constraints; it matches an event when
+// every constraint does. An empty predicate matches everything.
+type Predicate struct {
+	Constraints []Constraint
+}
+
+// Matches evaluates the predicate.
+func (p Predicate) Matches(attrs Attrs) bool {
+	for _, c := range p.Constraints {
+		if !c.Matches(attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the predicate for traces.
+func (p Predicate) String() string {
+	if len(p.Constraints) == 0 {
+		return "true"
+	}
+	parts := make([]string, 0, len(p.Constraints))
+	for _, c := range p.Constraints {
+		if c.IsStr {
+			parts = append(parts, fmt.Sprintf("%s %s %q", c.Attr, c.Op, c.Str))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s %s %d", c.Attr, c.Op, c.Int))
+		}
+	}
+	return strings.Join(parts, " && ")
+}
+
+// ----- wire encoding -----
+
+func encodeAttr(w *protocol.Writer, name string, isStr bool, i int64, s string) {
+	w.String(name)
+	if isStr {
+		w.U32(1)
+		w.String(s)
+	} else {
+		w.U32(0)
+		w.I64(i)
+	}
+}
+
+func decodeAttrInto(r *protocol.Reader) (name string, isStr bool, i int64, s string) {
+	name = r.String()
+	if r.U32() == 1 {
+		isStr = true
+		s = r.String()
+	} else {
+		i = r.I64()
+	}
+	return name, isStr, i, s
+}
+
+// EncodeAttrs serializes an attribute list followed by an opaque body.
+func EncodeAttrs(attrs Attrs, body []byte) []byte {
+	w := protocol.NewWriter(32 + len(body))
+	w.U32(uint32(len(attrs)))
+	for _, a := range attrs {
+		encodeAttr(w, a.Name, a.IsStr, a.Int, a.Str)
+	}
+	w.U32(uint32(len(body)))
+	out := w.Bytes()
+	return append(out, body...)
+}
+
+// DecodeAttrs parses an event payload into attributes and body.
+func DecodeAttrs(b []byte) (Attrs, []byte, error) {
+	r := protocol.NewReader(b)
+	n := r.U32()
+	if r.Err() != nil || n > uint32(len(b)) {
+		return nil, nil, fmt.Errorf("contentnet: bad attr count: %w", protocol.ErrTruncated)
+	}
+	attrs := make(Attrs, 0, n)
+	for i := uint32(0); i < n; i++ {
+		name, isStr, iv, sv := decodeAttrInto(r)
+		attrs = append(attrs, Attr{Name: name, IsStr: isStr, Int: iv, Str: sv})
+	}
+	bodyLen := r.U32()
+	if r.Err() != nil {
+		return nil, nil, r.Err()
+	}
+	if int(bodyLen) > r.Remaining() {
+		return nil, nil, fmt.Errorf("contentnet: body overruns payload: %w", protocol.ErrTruncated)
+	}
+	body := b[len(b)-r.Remaining():][:bodyLen]
+	return attrs, body, nil
+}
+
+// EncodePredicate serializes a predicate.
+func EncodePredicate(p Predicate) []byte {
+	w := protocol.NewWriter(32)
+	w.U32(uint32(len(p.Constraints)))
+	for _, c := range p.Constraints {
+		w.String(c.Attr)
+		w.U32(uint32(c.Op))
+		if c.IsStr {
+			w.U32(1)
+			w.String(c.Str)
+		} else {
+			w.U32(0)
+			w.I64(c.Int)
+		}
+	}
+	return w.Bytes()
+}
+
+// DecodePredicate parses a predicate; it returns the remaining reader so
+// composite payloads can continue decoding.
+func DecodePredicate(r *protocol.Reader) (Predicate, error) {
+	var p Predicate
+	n := r.U32()
+	if r.Err() != nil {
+		return p, r.Err()
+	}
+	for i := uint32(0); i < n; i++ {
+		c := Constraint{Attr: r.String(), Op: Op(r.U32())}
+		if r.U32() == 1 {
+			c.IsStr = true
+			c.Str = r.String()
+		} else {
+			c.Int = r.I64()
+		}
+		if r.Err() != nil {
+			return p, r.Err()
+		}
+		p.Constraints = append(p.Constraints, c)
+	}
+	return p, nil
+}

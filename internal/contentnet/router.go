@@ -1,0 +1,289 @@
+package contentnet
+
+import (
+	"sync"
+
+	"repro/internal/algorithm"
+	"repro/internal/engine"
+	"repro/internal/message"
+	"repro/internal/protocol"
+)
+
+// Protocol message types of the content-based network.
+const (
+	// TypeAdvertise floods a subscription predicate through the overlay.
+	TypeAdvertise message.Type = 120
+	// TypeUnadvertise withdraws a subscription.
+	TypeUnadvertise message.Type = 121
+	// EventType is the data type of published events.
+	EventType = message.FirstDataType + 20
+)
+
+// adTTL bounds advertisement flooding.
+const adTTL = 16
+
+// maxSeenEvents bounds the duplicate-suppression window.
+const maxSeenEvents = 8192
+
+// subKey identifies one subscription network-wide.
+type subKey struct {
+	Subscriber message.NodeID
+	SubID      uint32
+}
+
+// routeEntry is one known subscription with its reverse-path next hop
+// (zero for local subscriptions).
+type routeEntry struct {
+	pred    Predicate
+	nextHop message.NodeID
+}
+
+// Advertisement is the TypeAdvertise/TypeUnadvertise payload.
+type Advertisement struct {
+	Subscriber message.NodeID
+	SubID      uint32
+	Hops       uint32
+	Pred       Predicate
+}
+
+// Encode serializes the advertisement.
+func (a Advertisement) Encode() []byte {
+	w := protocol.NewWriter(32)
+	w.ID(a.Subscriber).U32(a.SubID).U32(a.Hops)
+	out := w.Bytes()
+	return append(out, EncodePredicate(a.Pred)...)
+}
+
+// DecodeAdvertisement parses an advertisement payload.
+func DecodeAdvertisement(b []byte) (Advertisement, error) {
+	r := protocol.NewReader(b)
+	a := Advertisement{Subscriber: r.ID(), SubID: r.U32(), Hops: r.U32()}
+	if r.Err() != nil {
+		return a, r.Err()
+	}
+	pred, err := DecodePredicate(protocol.NewReader(b[16:]))
+	a.Pred = pred
+	return a, err
+}
+
+// Event is a delivered publication.
+type Event struct {
+	Publisher message.NodeID
+	Seq       uint32
+	Attrs     Attrs
+	Body      []byte
+}
+
+// Router is the content-based networking algorithm: every overlay node
+// runs one, acting as both client (Subscribe/Publish) and router
+// (advertisement flooding with reverse-path setup, content-matched
+// forwarding).
+type Router struct {
+	algorithm.Base
+
+	// OnDeliver, when set, receives locally matching events on the
+	// engine goroutine.
+	OnDeliver func(Event)
+
+	mu        sync.Mutex
+	routes    map[subKey]routeEntry
+	mySubs    map[uint32]Predicate
+	delivered int64
+	published uint32
+	seen      map[eventKey]bool
+}
+
+type eventKey struct {
+	pub message.NodeID
+	seq uint32
+}
+
+var _ engine.Algorithm = (*Router)(nil)
+
+// Attach initializes state.
+func (r *Router) Attach(api engine.API) {
+	r.Base.Attach(api)
+	r.mu.Lock()
+	r.routes = make(map[subKey]routeEntry)
+	r.mySubs = make(map[uint32]Predicate)
+	r.seen = make(map[eventKey]bool)
+	r.mu.Unlock()
+}
+
+// Delivered reports locally delivered events. Safe from any goroutine.
+func (r *Router) Delivered() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.delivered
+}
+
+// KnownSubscriptions reports the routing-table size. Safe from any
+// goroutine.
+func (r *Router) KnownSubscriptions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.routes)
+}
+
+// Subscribe advertises a predicate under the given local subscription
+// id, flooding it through the overlay. Engine goroutine only.
+func (r *Router) Subscribe(subID uint32, pred Predicate) {
+	self := r.API.ID()
+	r.mu.Lock()
+	r.mySubs[subID] = pred
+	r.routes[subKey{self, subID}] = routeEntry{pred: pred}
+	r.mu.Unlock()
+	ad := Advertisement{Subscriber: self, SubID: subID, Pred: pred}
+	m := r.API.NewControl(TypeAdvertise, 0, ad.Encode())
+	r.Disseminate(m, r.Known.All(), 1.0)
+}
+
+// Unsubscribe withdraws a subscription. Engine goroutine only.
+func (r *Router) Unsubscribe(subID uint32) {
+	self := r.API.ID()
+	r.mu.Lock()
+	delete(r.mySubs, subID)
+	delete(r.routes, subKey{self, subID})
+	r.mu.Unlock()
+	ad := Advertisement{Subscriber: self, SubID: subID}
+	m := r.API.NewControl(TypeUnadvertise, 0, ad.Encode())
+	r.Disseminate(m, r.Known.All(), 1.0)
+}
+
+// Publish emits an event into the content-based network. Engine
+// goroutine only.
+func (r *Router) Publish(attrs Attrs, body []byte) {
+	r.mu.Lock()
+	r.published++
+	seq := r.published
+	r.mu.Unlock()
+	payload := EncodeAttrs(attrs, body)
+	m := message.New(EventType, r.API.ID(), 0, seq, payload)
+	r.routeEvent(m, message.NodeID{})
+	m.Release()
+}
+
+// Process implements the algorithm.
+func (r *Router) Process(m *message.Msg) engine.Verdict {
+	switch m.Type() {
+	case TypeAdvertise:
+		r.onAdvertise(m)
+	case TypeUnadvertise:
+		r.onUnadvertise(m)
+	case EventType:
+		r.routeEvent(m, m.Sender())
+	default:
+		return r.Base.Process(m)
+	}
+	return engine.Done
+}
+
+// onAdvertise installs a reverse path for the subscription and refloods
+// the first copy seen.
+func (r *Router) onAdvertise(m *message.Msg) {
+	ad, err := DecodeAdvertisement(m.Payload())
+	if err != nil || ad.Subscriber == r.API.ID() {
+		return
+	}
+	key := subKey{ad.Subscriber, ad.SubID}
+	from := m.Sender()
+	r.mu.Lock()
+	_, dup := r.routes[key]
+	if !dup {
+		// First arrival wins: its sender link is the reverse path.
+		r.routes[key] = routeEntry{pred: ad.Pred, nextHop: from}
+	}
+	r.mu.Unlock()
+	if dup || ad.Hops >= adTTL {
+		return
+	}
+	ad.Hops++
+	var relayTo []message.NodeID
+	for _, h := range r.Known.All() {
+		if h != from && h != ad.Subscriber {
+			relayTo = append(relayTo, h)
+		}
+	}
+	if len(relayTo) > 0 {
+		r.API.SendNew(r.API.NewControl(TypeAdvertise, 0, ad.Encode()), relayTo...)
+	}
+}
+
+// onUnadvertise removes the route and refloods the withdrawal once.
+func (r *Router) onUnadvertise(m *message.Msg) {
+	ad, err := DecodeAdvertisement(m.Payload())
+	if err != nil || ad.Subscriber == r.API.ID() {
+		return
+	}
+	key := subKey{ad.Subscriber, ad.SubID}
+	from := m.Sender()
+	r.mu.Lock()
+	_, had := r.routes[key]
+	delete(r.routes, key)
+	r.mu.Unlock()
+	if !had || ad.Hops >= adTTL {
+		return
+	}
+	ad.Hops++
+	var relayTo []message.NodeID
+	for _, h := range r.Known.All() {
+		if h != from && h != ad.Subscriber {
+			relayTo = append(relayTo, h)
+		}
+	}
+	if len(relayTo) > 0 {
+		r.API.SendNew(r.API.NewControl(TypeUnadvertise, 0, ad.Encode()), relayTo...)
+	}
+}
+
+// routeEvent delivers an event locally when a local predicate matches
+// and forwards it along the reverse paths of every matching remote
+// subscription. arrivedFrom suppresses bouncing the event back.
+func (r *Router) routeEvent(m *message.Msg, arrivedFrom message.NodeID) {
+	attrs, body, err := DecodeAttrs(m.Payload())
+	if err != nil {
+		return
+	}
+	key := eventKey{pub: m.Sender(), seq: m.Seq()}
+	r.mu.Lock()
+	if r.seen[key] {
+		r.mu.Unlock()
+		return // duplicate via another subscriber tree
+	}
+	r.seen[key] = true
+	if len(r.seen) > maxSeenEvents {
+		r.seen = map[eventKey]bool{key: true}
+	}
+	localMatch := false
+	for _, pred := range r.mySubs {
+		if pred.Matches(attrs) {
+			localMatch = true
+			break
+		}
+	}
+	if localMatch {
+		r.delivered++
+	}
+	self := r.API.ID()
+	nextHops := make(map[message.NodeID]bool)
+	for k, entry := range r.routes {
+		if k.Subscriber == self || entry.nextHop.IsZero() {
+			continue
+		}
+		if entry.nextHop == arrivedFrom {
+			continue
+		}
+		if entry.pred.Matches(attrs) {
+			nextHops[entry.nextHop] = true
+		}
+	}
+	onDeliver := r.OnDeliver
+	r.mu.Unlock()
+
+	if localMatch && onDeliver != nil {
+		onDeliver(Event{Publisher: m.Sender(), Seq: m.Seq(), Attrs: attrs, Body: body})
+	}
+	for hop := range nextHops {
+		r.API.Send(m, hop)
+	}
+}

@@ -1,0 +1,381 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/algtest"
+	"repro/internal/engine"
+	"repro/internal/message"
+	"repro/internal/vnet"
+)
+
+func nid(i int) message.NodeID {
+	return message.MakeID(fmt.Sprintf("10.0.5.%d", i), 7000)
+}
+
+func TestBetween(t *testing.T) {
+	tests := []struct {
+		a, k, b uint64
+		want    bool
+	}{
+		{10, 15, 20, true},
+		{10, 10, 20, false},
+		{10, 20, 20, false},
+		{10, 5, 20, false},
+		// Wrapping interval.
+		{20, 25, 10, true},
+		{20, 5, 10, true},
+		{20, 15, 10, false},
+		// Degenerate: whole ring minus a.
+		{10, 11, 10, true},
+		{10, 10, 10, false},
+	}
+	for i, tt := range tests {
+		if got := between(tt.a, tt.k, tt.b); got != tt.want {
+			t.Errorf("case %d: between(%d,%d,%d) = %v", i, tt.a, tt.k, tt.b, got)
+		}
+	}
+	if !betweenIncl(10, 20, 20) {
+		t.Error("betweenIncl excludes the upper bound")
+	}
+}
+
+func TestBetweenProperty(t *testing.T) {
+	// For distinct a != b, any k is either in (a,b) or in (b,a) or equal
+	// to an endpoint — the ring is partitioned.
+	f := func(a, k, b uint64) bool {
+		if a == b {
+			return true
+		}
+		inAB := between(a, k, b)
+		inBA := between(b, k, a)
+		isEnd := k == a || k == b
+		count := 0
+		if inAB {
+			count++
+		}
+		if inBA {
+			count++
+		}
+		if isEnd {
+			count++
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyHashingDeterministicAndSpread(t *testing.T) {
+	if KeyOf([]byte("x")) != KeyOf([]byte("x")) {
+		t.Error("KeyOf not deterministic")
+	}
+	if NodeKey(nid(1)) == NodeKey(nid(2)) {
+		t.Error("distinct nodes hashed to the same key")
+	}
+	if KeyOf([]byte("a")) == KeyOf([]byte("b")) {
+		t.Error("trivial collision")
+	}
+}
+
+func TestLookupCodecRoundTrip(t *testing.T) {
+	l := Lookup{Key: 99, Origin: nid(1), ReqID: 7, Purpose: purposePut,
+		Aux: 3, Hops: 2, Value: []byte("v")}
+	got, err := DecodeLookup(l.Encode())
+	if err != nil || got.Key != 99 || got.Origin != nid(1) ||
+		got.Purpose != purposePut || string(got.Value) != "v" {
+		t.Errorf("lookup round trip = %+v, %v", got, err)
+	}
+	d := LookupDone{ReqID: 7, Purpose: purposeGet, Key: 99, Owner: nid(2),
+		Found: true, Value: []byte("w")}
+	gotD, err := DecodeLookupDone(d.Encode())
+	if err != nil || !gotD.Found || gotD.Owner != nid(2) || string(gotD.Value) != "w" {
+		t.Errorf("done round trip = %+v, %v", gotD, err)
+	}
+	p := PredInfo{Pred: nid(3)}
+	gotP, err := DecodePredInfo(p.Encode())
+	if err != nil || gotP != p {
+		t.Errorf("pred round trip = %+v, %v", gotP, err)
+	}
+}
+
+func newNode(self message.NodeID) (*Node, *algtest.FakeAPI) {
+	api := algtest.New(self)
+	n := &Node{}
+	n.Attach(api)
+	return n, api
+}
+
+func TestLoneNodeOwnsEverythingAndStoresLocally(t *testing.T) {
+	n, _ := newNode(nid(1))
+	if n.Successor() != nid(1) {
+		t.Fatal("lone node's successor is not itself")
+	}
+	n.Put(12345, []byte("hello"))
+	if n.StoredKeys() != 1 {
+		t.Fatalf("StoredKeys = %d", n.StoredKeys())
+	}
+	var got *GetResult
+	n.OnGet = func(r GetResult) { got = &r }
+	n.Get(12345)
+	if got == nil || !got.Found || string(got.Value) != "hello" {
+		t.Errorf("Get = %+v", got)
+	}
+	n.Get(999)
+	if got.Found {
+		t.Error("missing key reported found")
+	}
+}
+
+func TestJoinSendsLookupAndAdoptsSuccessor(t *testing.T) {
+	n, api := newNode(nid(1))
+	n.Join(nid(2))
+	sent := api.SentOfType(TypeLookup)
+	if len(sent) != 1 || sent[0].Dest != nid(2) {
+		t.Fatalf("join lookup = %+v", sent)
+	}
+	l, err := DecodeLookup(sent[0].Msg.Payload())
+	if err != nil || l.Key != n.SelfKey() || l.Purpose != purposeJoin {
+		t.Errorf("lookup = %+v", l)
+	}
+	// The owner's answer installs the successor.
+	done := LookupDone{ReqID: l.ReqID, Purpose: purposeJoin, Owner: nid(3)}
+	m := message.New(TypeLookupDone, nid(3), 0, 0, done.Encode())
+	n.Process(m)
+	m.Release()
+	if n.Successor() != nid(3) || !n.Joined() {
+		t.Errorf("successor = %v joined=%v", n.Successor(), n.Joined())
+	}
+}
+
+func TestNotifyInstallsCloserPredecessor(t *testing.T) {
+	n, _ := newNode(nid(1))
+	m := message.New(TypeNotify, nid(2), 0, 0, nil)
+	n.Process(m)
+	m.Release()
+	p, ok := n.Predecessor()
+	if !ok || p != nid(2) {
+		t.Fatalf("predecessor = %v, %v", p, ok)
+	}
+	// A notify from a node NOT between pred and self is ignored; find one
+	// by scanning a few candidates.
+	predKey := NodeKey(nid(2))
+	for i := 3; i < 40; i++ {
+		k := NodeKey(nid(i))
+		if !between(predKey, k, n.SelfKey()) {
+			m := message.New(TypeNotify, nid(i), 0, 0, nil)
+			n.Process(m)
+			m.Release()
+			if got, _ := n.Predecessor(); got != nid(2) {
+				t.Fatalf("worse notify from %v replaced predecessor", nid(i))
+			}
+			return
+		}
+	}
+	t.Skip("no non-between candidate found")
+}
+
+func TestGetPredAnswered(t *testing.T) {
+	n, api := newNode(nid(1))
+	m := message.New(TypeNotify, nid(2), 0, 0, nil)
+	n.Process(m)
+	m.Release()
+	q := message.New(TypeGetPred, nid(5), 0, 0, nil)
+	n.Process(q)
+	q.Release()
+	replies := api.SentOfType(TypePredInfo)
+	if len(replies) != 1 || replies[0].Dest != nid(5) {
+		t.Fatalf("replies = %+v", replies)
+	}
+	p, _ := DecodePredInfo(replies[0].Msg.Payload())
+	if p.Pred != nid(2) {
+		t.Errorf("pred info = %v", p.Pred)
+	}
+}
+
+// TestRingConvergesAndServesLookups boots an 8-node ring over real
+// engines, waits for stabilization to produce a consistent ring, stores
+// 24 keys from one node and retrieves them from another.
+func TestRingConvergesAndServesLookups(t *testing.T) {
+	net := vnet.New()
+	defer net.Close()
+	const size = 8
+	nodes := make([]*Node, size)
+	engines := make([]*engine.Engine, size)
+	for i := size - 1; i >= 0; i-- {
+		nodes[i] = &Node{}
+		e, err := engine.New(engine.Config{
+			ID:        nid(i + 1),
+			Transport: engine.VNet{Net: net},
+			Algorithm: nodes[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Stop)
+		engines[i] = e
+	}
+	// Sequential joins through node 1.
+	for i := 1; i < size; i++ {
+		i := i
+		engines[i].Do(func(engine.API) { nodes[i].Join(nid(1)) })
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Wait for ring consistency: following successors from node 0 visits
+	// every node exactly once and returns home, and every node's
+	// predecessor agrees with the cycle (ownership is predecessor-based,
+	// so gets would otherwise race stale views).
+	byID := make(map[message.NodeID]*Node)
+	for j := range nodes {
+		byID[nid(j+1)] = nodes[j]
+	}
+	waitFor(t, 20*time.Second, "ring convergence", func() bool {
+		seen := make(map[message.NodeID]bool)
+		cur := nid(1)
+		for i := 0; i < size; i++ {
+			if seen[cur] {
+				return false
+			}
+			seen[cur] = true
+			succ := byID[cur].Successor()
+			pred, ok := byID[succ].Predecessor()
+			if !ok || pred != cur {
+				return false
+			}
+			cur = succ
+		}
+		return cur == nid(1) && len(seen) == size
+	})
+
+	// Store keys from node 3.
+	const keys = 24
+	for k := 0; k < keys; k++ {
+		key := KeyOf([]byte(fmt.Sprintf("key-%d", k)))
+		val := []byte(fmt.Sprintf("value-%d", k))
+		engines[2].Do(func(engine.API) { nodes[2].Put(key, val) })
+	}
+	waitFor(t, 10*time.Second, "all keys stored", func() bool {
+		total := 0
+		for _, n := range nodes {
+			total += n.StoredKeys()
+		}
+		return total == keys
+	})
+	// Keys spread across more than one node.
+	holders := 0
+	for _, n := range nodes {
+		if n.StoredKeys() > 0 {
+			holders++
+		}
+	}
+	if holders < 2 {
+		t.Errorf("all keys on %d node(s); ring routing suspect", holders)
+	}
+
+	// Retrieve every key from node 6.
+	results := make(chan GetResult, keys)
+	nodes[5].OnGet = func(r GetResult) { results <- r }
+	for k := 0; k < keys; k++ {
+		key := KeyOf([]byte(fmt.Sprintf("key-%d", k)))
+		engines[5].Do(func(engine.API) { nodes[5].Get(key) })
+	}
+	got := make(map[uint64][]byte)
+	deadline := time.After(10 * time.Second)
+	for len(got) < keys {
+		select {
+		case r := <-results:
+			if !r.Found {
+				t.Fatalf("key %d not found", r.Key)
+			}
+			got[r.Key] = r.Value
+		case <-deadline:
+			t.Fatalf("retrieved %d/%d keys", len(got), keys)
+		}
+	}
+	for k := 0; k < keys; k++ {
+		key := KeyOf([]byte(fmt.Sprintf("key-%d", k)))
+		if string(got[key]) != fmt.Sprintf("value-%d", k) {
+			t.Errorf("key %d: wrong value %q", k, got[key])
+		}
+	}
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRingRepairsAfterNodeFailure kills a ring member and verifies that
+// stabilization routes around it.
+func TestRingRepairsAfterNodeFailure(t *testing.T) {
+	net := vnet.New()
+	defer net.Close()
+	const size = 6
+	nodes := make([]*Node, size)
+	engines := make([]*engine.Engine, size)
+	for i := size - 1; i >= 0; i-- {
+		nodes[i] = &Node{}
+		e, err := engine.New(engine.Config{
+			ID:        nid(i + 1),
+			Transport: engine.VNet{Net: net},
+			Algorithm: nodes[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Stop)
+		engines[i] = e
+	}
+	for i := 1; i < size; i++ {
+		i := i
+		engines[i].Do(func(engine.API) { nodes[i].Join(nid(1)) })
+		time.Sleep(50 * time.Millisecond)
+	}
+	ringOK := func(members []int) bool {
+		byID := make(map[message.NodeID]*Node)
+		for _, j := range members {
+			byID[nid(j+1)] = nodes[j]
+		}
+		seen := make(map[message.NodeID]bool)
+		cur := nid(members[0] + 1)
+		for range members {
+			if seen[cur] {
+				return false
+			}
+			seen[cur] = true
+			n, ok := byID[cur]
+			if !ok {
+				return false
+			}
+			cur = n.Successor()
+		}
+		return cur == nid(members[0]+1) && len(seen) == len(members)
+	}
+	all := []int{0, 1, 2, 3, 4, 5}
+	waitFor(t, 20*time.Second, "initial ring", func() bool { return ringOK(all) })
+
+	// Kill node 4 (index 3) abruptly.
+	engines[3].Stop()
+	net.SeverNode(nid(4).Addr())
+	survivors := []int{0, 1, 2, 4, 5}
+	waitFor(t, 20*time.Second, "ring repaired around dead node", func() bool {
+		return ringOK(survivors)
+	})
+}

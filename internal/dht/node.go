@@ -1,0 +1,545 @@
+package dht
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/algorithm"
+	"repro/internal/engine"
+	"repro/internal/message"
+	"repro/internal/protocol"
+)
+
+// Protocol message types of the DHT.
+const (
+	// TypeLookup routes a request toward the owner of a key.
+	TypeLookup message.Type = 130
+	// TypeLookupDone carries the owner's answer back to the origin.
+	TypeLookupDone message.Type = 131
+	// TypeGetPred asks a node for its predecessor (stabilization).
+	TypeGetPred message.Type = 132
+	// TypePredInfo answers TypeGetPred.
+	TypePredInfo message.Type = 133
+	// TypeNotify proposes the sender as a predecessor.
+	TypeNotify message.Type = 134
+)
+
+// Lookup purposes.
+const (
+	purposeJoin uint32 = iota + 1
+	purposeFinger
+	purposePut
+	purposeGet
+)
+
+// lookupTTL bounds routing hops; at 64 ring bits greedy routing needs at
+// most ~64 hops, so expiry indicates an inconsistent ring and the
+// current node answers as a best effort.
+const lookupTTL = 80
+
+// Tick kinds.
+const (
+	tickStabilize = 1
+	tickFixFinger = 2
+)
+
+// Default maintenance cadence.
+const (
+	DefaultStabilizeInterval = 60 * time.Millisecond
+	DefaultFingerInterval    = 40 * time.Millisecond
+)
+
+// Lookup is the TypeLookup payload.
+type Lookup struct {
+	Key     uint64
+	Origin  message.NodeID
+	ReqID   uint32
+	Purpose uint32
+	Aux     uint32 // finger index for purposeFinger
+	Hops    uint32
+	Value   []byte // payload for purposePut
+}
+
+// Encode serializes the lookup.
+func (l Lookup) Encode() []byte {
+	w := protocol.NewWriter(40 + len(l.Value))
+	w.U64(l.Key).ID(l.Origin).U32(l.ReqID).U32(l.Purpose).U32(l.Aux).U32(l.Hops)
+	w.U32(uint32(len(l.Value)))
+	out := w.Bytes()
+	return append(out, l.Value...)
+}
+
+// DecodeLookup parses a lookup payload.
+func DecodeLookup(b []byte) (Lookup, error) {
+	r := protocol.NewReader(b)
+	l := Lookup{
+		Key: r.U64(), Origin: r.ID(), ReqID: r.U32(),
+		Purpose: r.U32(), Aux: r.U32(), Hops: r.U32(),
+	}
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return l, err
+	}
+	if int(n) > r.Remaining() {
+		return l, protocol.ErrTruncated
+	}
+	l.Value = b[len(b)-r.Remaining():][:n]
+	return l, nil
+}
+
+// LookupDone is the TypeLookupDone payload: the owner answers the origin.
+type LookupDone struct {
+	ReqID   uint32
+	Purpose uint32
+	Aux     uint32
+	Key     uint64
+	Owner   message.NodeID
+	Found   bool
+	Value   []byte
+}
+
+// Encode serializes the answer.
+func (d LookupDone) Encode() []byte {
+	w := protocol.NewWriter(40 + len(d.Value))
+	found := uint32(0)
+	if d.Found {
+		found = 1
+	}
+	w.U32(d.ReqID).U32(d.Purpose).U32(d.Aux).U64(d.Key).ID(d.Owner).U32(found)
+	w.U32(uint32(len(d.Value)))
+	out := w.Bytes()
+	return append(out, d.Value...)
+}
+
+// DecodeLookupDone parses an answer payload.
+func DecodeLookupDone(b []byte) (LookupDone, error) {
+	r := protocol.NewReader(b)
+	d := LookupDone{
+		ReqID: r.U32(), Purpose: r.U32(), Aux: r.U32(), Key: r.U64(),
+		Owner: r.ID(), Found: r.U32() == 1,
+	}
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return d, err
+	}
+	if int(n) > r.Remaining() {
+		return d, protocol.ErrTruncated
+	}
+	d.Value = b[len(b)-r.Remaining():][:n]
+	return d, nil
+}
+
+// PredInfo is the TypePredInfo payload.
+type PredInfo struct {
+	Pred message.NodeID // zero when unknown
+}
+
+// Encode serializes the reply.
+func (p PredInfo) Encode() []byte {
+	return protocol.NewWriter(8).ID(p.Pred).Bytes()
+}
+
+// DecodePredInfo parses the reply.
+func DecodePredInfo(b []byte) (PredInfo, error) {
+	r := protocol.NewReader(b)
+	p := PredInfo{Pred: r.ID()}
+	return p, r.Err()
+}
+
+// GetResult is delivered to the Get caller.
+type GetResult struct {
+	Key   uint64
+	Found bool
+	Value []byte
+	Owner message.NodeID
+}
+
+// Node is the Chord-style DHT algorithm.
+type Node struct {
+	algorithm.Base
+
+	// StabilizeInterval and FingerInterval override the maintenance
+	// cadence.
+	StabilizeInterval time.Duration
+	FingerInterval    time.Duration
+	// OnGet, when set, receives Get results on the engine goroutine.
+	OnGet func(GetResult)
+
+	selfKey uint64
+
+	mu        sync.Mutex
+	succ      message.NodeID
+	succKey   uint64
+	pred      message.NodeID
+	predKey   uint64
+	hasPred   bool
+	joined    bool
+	fingers   []message.NodeID
+	fingerKey []uint64
+	nextFix   int
+	store     map[uint64][]byte
+	nextReq   uint32
+	puts      int64
+	gets      int64
+}
+
+var _ engine.Algorithm = (*Node)(nil)
+
+// Attach initializes ring state: a lone node is its own successor.
+func (n *Node) Attach(api engine.API) {
+	n.Base.Attach(api)
+	if n.StabilizeInterval <= 0 {
+		n.StabilizeInterval = DefaultStabilizeInterval
+	}
+	if n.FingerInterval <= 0 {
+		n.FingerInterval = DefaultFingerInterval
+	}
+	n.selfKey = NodeKey(api.ID())
+	n.mu.Lock()
+	n.succ = api.ID()
+	n.succKey = n.selfKey
+	n.fingers = make([]message.NodeID, ringBits)
+	n.fingerKey = make([]uint64, ringBits)
+	n.store = make(map[uint64][]byte)
+	n.mu.Unlock()
+	api.After(n.StabilizeInterval, tickStabilize)
+	api.After(n.FingerInterval, tickFixFinger)
+}
+
+// ----- observability (safe from any goroutine) -----
+
+// SelfKey reports this node's ring position.
+func (n *Node) SelfKey() uint64 { return n.selfKey }
+
+// Successor reports the current successor.
+func (n *Node) Successor() message.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.succ
+}
+
+// Predecessor reports the current predecessor, if known.
+func (n *Node) Predecessor() (message.NodeID, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pred, n.hasPred
+}
+
+// StoredKeys reports how many keys this node holds.
+func (n *Node) StoredKeys() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.store)
+}
+
+// Joined reports whether the node has entered a ring.
+func (n *Node) Joined() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.joined
+}
+
+// ----- client operations (engine goroutine only) -----
+
+// Join enters the ring known to contact.
+func (n *Node) Join(contact message.NodeID) {
+	l := Lookup{Key: n.selfKey, Origin: n.API.ID(), Purpose: purposeJoin, ReqID: n.reqID()}
+	n.API.SendNew(n.API.NewControl(TypeLookup, 0, l.Encode()), contact)
+}
+
+// Put stores value under key, routed to the key's owner.
+func (n *Node) Put(key uint64, value []byte) {
+	l := Lookup{Key: key, Origin: n.API.ID(), Purpose: purposePut,
+		ReqID: n.reqID(), Value: value}
+	n.route(l, message.NodeID{})
+}
+
+// Get retrieves the value for key; the result arrives at OnGet.
+func (n *Node) Get(key uint64) {
+	l := Lookup{Key: key, Origin: n.API.ID(), Purpose: purposeGet, ReqID: n.reqID()}
+	n.route(l, message.NodeID{})
+}
+
+func (n *Node) reqID() uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextReq++
+	return n.nextReq
+}
+
+// ----- message handling -----
+
+// Process implements the algorithm.
+func (n *Node) Process(m *message.Msg) engine.Verdict {
+	switch m.Type() {
+	case protocol.TypeJoin:
+		if j, err := protocol.DecodeJoin(m.Payload()); err == nil && !j.Contact.IsZero() {
+			n.Join(j.Contact)
+		}
+	case TypeLookup:
+		if l, err := DecodeLookup(m.Payload()); err == nil {
+			l.Value = append([]byte(nil), l.Value...) // outlive the message
+			n.route(l, m.Sender())
+		}
+	case TypeLookupDone:
+		if d, err := DecodeLookupDone(m.Payload()); err == nil {
+			n.onDone(d)
+		}
+	case TypeGetPred:
+		n.mu.Lock()
+		p := PredInfo{}
+		if n.hasPred {
+			p.Pred = n.pred
+		}
+		n.mu.Unlock()
+		n.API.SendNew(n.API.NewControl(TypePredInfo, 0, p.Encode()), m.Sender())
+	case TypePredInfo:
+		if p, err := DecodePredInfo(m.Payload()); err == nil {
+			n.onPredInfo(p)
+		}
+	case TypeNotify:
+		n.onNotify(m.Sender())
+	case protocol.TypeTick:
+		n.onTick(m)
+	case protocol.TypeLinkDown:
+		n.onLinkDown(m)
+	default:
+		return n.Base.Process(m)
+	}
+	return engine.Done
+}
+
+// route forwards a lookup toward the key's owner, executing it when this
+// node owns the key.
+func (n *Node) route(l Lookup, from message.NodeID) {
+	self := n.API.ID()
+	n.mu.Lock()
+	succ, succKey := n.succ, n.succKey
+	owner := succ == self || // lone node owns everything
+		(n.hasPred && betweenIncl(n.predKey, l.Key, n.selfKey))
+	n.mu.Unlock()
+
+	if owner || l.Hops >= lookupTTL {
+		n.execute(l)
+		return
+	}
+	if betweenIncl(n.selfKey, l.Key, succKey) {
+		// The successor owns it.
+		if succ == self {
+			n.execute(l)
+			return
+		}
+		l.Hops++
+		n.API.SendNew(n.API.NewControl(TypeLookup, 0, l.Encode()), succ)
+		return
+	}
+	next := n.closestPreceding(l.Key, from)
+	if next.IsZero() || next == self {
+		next = succ
+	}
+	if next == self || next.IsZero() {
+		n.execute(l)
+		return
+	}
+	l.Hops++
+	n.API.SendNew(n.API.NewControl(TypeLookup, 0, l.Encode()), next)
+}
+
+// closestPreceding scans the finger table for the closest node preceding
+// key, skipping the link the lookup arrived on.
+func (n *Node) closestPreceding(key uint64, exclude message.NodeID) message.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := ringBits - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if f.IsZero() || f == exclude {
+			continue
+		}
+		if between(n.selfKey, n.fingerKey[i], key) {
+			return f
+		}
+	}
+	if !n.succ.IsZero() && between(n.selfKey, n.succKey, key) {
+		return n.succ
+	}
+	return message.NodeID{}
+}
+
+// execute performs a lookup's purpose at the owning node.
+func (n *Node) execute(l Lookup) {
+	self := n.API.ID()
+	done := LookupDone{
+		ReqID: l.ReqID, Purpose: l.Purpose, Aux: l.Aux,
+		Key: l.Key, Owner: self,
+	}
+	switch l.Purpose {
+	case purposePut:
+		n.mu.Lock()
+		n.store[l.Key] = append([]byte(nil), l.Value...)
+		n.puts++
+		n.mu.Unlock()
+	case purposeGet:
+		n.mu.Lock()
+		v, ok := n.store[l.Key]
+		n.gets++
+		n.mu.Unlock()
+		done.Found = ok
+		done.Value = v
+	case purposeJoin, purposeFinger:
+		// The answer is simply the owner identity.
+	}
+	if l.Origin == self {
+		n.onDone(done)
+		return
+	}
+	n.API.SendNew(n.API.NewControl(TypeLookupDone, 0, done.Encode()), l.Origin)
+}
+
+// onDone consumes a lookup answer at the origin.
+func (n *Node) onDone(d LookupDone) {
+	switch d.Purpose {
+	case purposeJoin:
+		n.mu.Lock()
+		n.succ = d.Owner
+		n.succKey = NodeKey(d.Owner)
+		n.joined = true
+		n.mu.Unlock()
+	case purposeFinger:
+		idx := int(d.Aux)
+		if idx >= 0 && idx < ringBits {
+			n.mu.Lock()
+			n.fingers[idx] = d.Owner
+			n.fingerKey[idx] = NodeKey(d.Owner)
+			n.mu.Unlock()
+		}
+	case purposeGet:
+		if n.OnGet != nil {
+			n.OnGet(GetResult{Key: d.Key, Found: d.Found, Value: d.Value, Owner: d.Owner})
+		}
+	case purposePut:
+		// Fire-and-forget.
+	}
+}
+
+// ----- ring maintenance -----
+
+func (n *Node) onTick(m *message.Msg) {
+	tk, err := protocol.DecodeTick(m.Payload())
+	if err != nil {
+		return
+	}
+	switch tk.Kind {
+	case tickStabilize:
+		n.stabilize()
+		n.API.After(n.StabilizeInterval, tickStabilize)
+	case tickFixFinger:
+		n.fixNextFinger()
+		n.API.After(n.FingerInterval, tickFixFinger)
+	}
+}
+
+// stabilize runs Chord's periodic successor verification: ask the
+// successor for its predecessor and adopt it when closer, then notify.
+func (n *Node) stabilize() {
+	self := n.API.ID()
+	n.mu.Lock()
+	succ := n.succ
+	n.mu.Unlock()
+	if succ == self {
+		// Self-successor: the bootstrap node of a ring. Once a joiner has
+		// notified us, it is our predecessor — and on a degenerate
+		// one-known-node ring, also our successor (the classic Chord
+		// bootstrap step). Without a predecessor, try joining any known
+		// host to merge rings.
+		n.mu.Lock()
+		if n.hasPred {
+			n.succ = n.pred
+			n.succKey = n.predKey
+		}
+		lone := n.succ == self
+		n.mu.Unlock()
+		if lone && n.Known.Len() > 0 {
+			n.Join(n.Known.Random(1, n.Rng)[0])
+		}
+		return
+	}
+	n.API.SendNew(n.API.NewControl(TypeGetPred, 0, nil), succ)
+	n.API.SendNew(n.API.NewControl(TypeNotify, 0, nil), succ)
+}
+
+func (n *Node) onPredInfo(p PredInfo) {
+	if p.Pred.IsZero() || p.Pred == n.API.ID() {
+		return
+	}
+	k := NodeKey(p.Pred)
+	n.mu.Lock()
+	if between(n.selfKey, k, n.succKey) {
+		n.succ = p.Pred
+		n.succKey = k
+	}
+	n.mu.Unlock()
+}
+
+func (n *Node) onNotify(candidate message.NodeID) {
+	if candidate == n.API.ID() {
+		return
+	}
+	k := NodeKey(candidate)
+	n.mu.Lock()
+	if !n.hasPred || between(n.predKey, k, n.selfKey) {
+		n.pred = candidate
+		n.predKey = k
+		n.hasPred = true
+	}
+	n.mu.Unlock()
+}
+
+// fixNextFinger refreshes one finger per tick via a routed lookup.
+func (n *Node) fixNextFinger() {
+	n.mu.Lock()
+	if n.succ == n.API.ID() {
+		n.mu.Unlock()
+		return
+	}
+	i := n.nextFix
+	n.nextFix = (n.nextFix + 1) % ringBits
+	n.mu.Unlock()
+	l := Lookup{
+		Key: fingerStart(n.selfKey, i), Origin: n.API.ID(),
+		Purpose: purposeFinger, Aux: uint32(i), ReqID: n.reqID(),
+	}
+	n.route(l, message.NodeID{})
+}
+
+// onLinkDown clears failed neighbors so stabilization can repair the
+// ring around them.
+func (n *Node) onLinkDown(m *message.Msg) {
+	le, err := protocol.DecodeLinkEvent(m.Payload())
+	if err != nil {
+		return
+	}
+	self := n.API.ID()
+	n.Known.Remove(le.Peer)
+	n.mu.Lock()
+	if n.succ == le.Peer {
+		// Fall back to the first live finger, or ourselves.
+		n.succ = self
+		n.succKey = n.selfKey
+		for i := 0; i < ringBits; i++ {
+			if !n.fingers[i].IsZero() && n.fingers[i] != le.Peer {
+				n.succ = n.fingers[i]
+				n.succKey = n.fingerKey[i]
+				break
+			}
+		}
+	}
+	if n.hasPred && n.pred == le.Peer {
+		n.hasPred = false
+	}
+	for i := 0; i < ringBits; i++ {
+		if n.fingers[i] == le.Peer {
+			n.fingers[i] = message.NodeID{}
+		}
+	}
+	n.mu.Unlock()
+}

@@ -1,0 +1,61 @@
+// Package dht implements a Chord-style distributed hash table as an
+// iOverlay prefabricated algorithm. Structured search protocols (Pastry,
+// Chord) are the first application family the paper's introduction
+// motivates; this package shows the engine's reactive, single-threaded
+// algorithm model carrying a full structured overlay: ring maintenance
+// by periodic stabilization, finger tables fixed by background lookups,
+// and key-value puts/gets routed greedily through the identifier space.
+package dht
+
+import (
+	"hash/fnv"
+
+	"repro/internal/message"
+)
+
+// ringBits is the identifier-space width.
+const ringBits = 64
+
+// KeyOf hashes arbitrary bytes onto the identifier ring.
+func KeyOf(b []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64()
+}
+
+// NodeKey hashes a node identity onto the ring.
+func NodeKey(id message.NodeID) uint64 {
+	var b [8]byte
+	b[0] = byte(id.IP >> 24)
+	b[1] = byte(id.IP >> 16)
+	b[2] = byte(id.IP >> 8)
+	b[3] = byte(id.IP)
+	b[4] = byte(id.Port >> 24)
+	b[5] = byte(id.Port >> 16)
+	b[6] = byte(id.Port >> 8)
+	b[7] = byte(id.Port)
+	return KeyOf(b[:])
+}
+
+// between reports whether k lies in the open interval (a, b) on the
+// ring; when a == b the interval is the whole ring minus a.
+func between(a, k, b uint64) bool {
+	switch {
+	case a < b:
+		return k > a && k < b
+	case a > b:
+		return k > a || k < b
+	default:
+		return k != a
+	}
+}
+
+// betweenIncl reports whether k lies in the half-open interval (a, b].
+func betweenIncl(a, k, b uint64) bool {
+	return k == b || between(a, k, b)
+}
+
+// fingerStart computes the i-th finger's target: self + 2^i mod 2^64.
+func fingerStart(self uint64, i int) uint64 {
+	return self + 1<<uint(i)
+}

@@ -1,0 +1,339 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+)
+
+// process implements the engine-side control-message handling of the
+// paper's Table 1: engine-related messages are consumed here; everything
+// else (including algorithm-specific protocol types) is passed to
+// Algorithm.Process.
+func (e *Engine) process(cm ctrlMsg) {
+	m := cm.m
+	switch m.Type() {
+	case protocol.TypeRequest:
+		e.reply(e.buildReport())
+		e.deliverToAlg(m)
+		return
+	case protocol.TypeTerminateNode:
+		m.Release()
+		go e.Stop() // Stop waits for the engine goroutine; run it aside
+		return
+	case protocol.TypeSetBandwidth:
+		e.applyBandwidth(m)
+		m.Release()
+		return
+	case protocol.TypePing:
+		e.replyPing(cm)
+		return
+	case protocol.TypePong:
+		e.completePing(cm)
+		return
+	case protocol.TypeProbe:
+		e.receiveProbe(cm)
+		return
+	case protocol.TypeProbeAck:
+		e.completeProbe(cm)
+		return
+	case protocol.TypeBrokenSource:
+		e.handleBrokenSource(cm)
+		return
+	default:
+		e.deliverToAlg(m)
+	}
+}
+
+func (e *Engine) deliverToAlg(m *message.Msg) {
+	if e.alg.Process(m) == Done {
+		m.Release()
+	}
+}
+
+// reply pushes a message to the observer link.
+func (e *Engine) reply(m *message.Msg) {
+	m.Retain()
+	e.sendToObserver(m)
+	m.Release()
+}
+
+// buildReport snapshots buffer lengths, QoS measurements and the link
+// lists — the periodic status update the observer displays.
+func (e *Engine) buildReport() *message.Msg {
+	rp := e.Snapshot()
+	return message.New(protocol.TypeReport, e.id, 0, 0, rp.Encode())
+}
+
+// Snapshot assembles the node's current status report. Safe to call from
+// any goroutine.
+func (e *Engine) Snapshot() protocol.Report {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rp := protocol.Report{Node: e.id}
+	for peer, r := range e.receivers {
+		rp.Upstreams = append(rp.Upstreams, protocol.LinkStatus{
+			Peer:       peer,
+			Rate:       r.meter.Rate(),
+			BufLen:     uint32(r.ring.Len()),
+			BufCap:     uint32(r.ring.Cap()),
+			BytesTotal: r.meter.Total(),
+		})
+	}
+	for peer, s := range e.senders {
+		rp.Downstream = append(rp.Downstream, protocol.LinkStatus{
+			Peer:       peer,
+			Rate:       s.meter.Rate(),
+			BufLen:     uint32(s.ring.Len()),
+			BufCap:     uint32(s.ring.Cap()),
+			BytesTotal: s.meter.Total(),
+		})
+	}
+	for app := range e.localApps {
+		rp.Apps = append(rp.Apps, app)
+	}
+	snap := e.counters.Snapshot()
+	rp.MsgsIn, rp.MsgsOut, rp.Dropped = snap.MsgsIn, snap.MsgsOut, snap.MsgsDropped
+	return rp
+}
+
+// Counters snapshots the engine's loss/volume counters for experiments.
+func (e *Engine) Counters() metrics.CountersSnapshot { return e.counters.Snapshot() }
+
+// applyBandwidth retunes the emulated bandwidth at runtime, honoring the
+// paper's three categories.
+func (e *Engine) applyBandwidth(m *message.Msg) {
+	cmd, err := protocol.DecodeSetBandwidth(m.Payload())
+	if err != nil {
+		e.logf("bad SetBandwidth: %v", err)
+		return
+	}
+	switch cmd.Class {
+	case protocol.BandwidthTotal:
+		e.budget.Total.SetRate(cmd.Rate)
+	case protocol.BandwidthUp:
+		e.budget.Up.SetRate(cmd.Rate)
+	case protocol.BandwidthDown:
+		e.budget.Down.SetRate(cmd.Rate)
+	case protocol.BandwidthLink:
+		e.mu.Lock()
+		e.linkRates[cmd.Peer] = cmd.Rate
+		s := e.senders[cmd.Peer]
+		e.mu.Unlock()
+		if s != nil {
+			s.linkLimit.SetRate(cmd.Rate)
+		}
+	default:
+		e.logf("unknown bandwidth class %d", cmd.Class)
+	}
+}
+
+// SetBandwidthLocal applies a bandwidth emulation change directly; the
+// programmatic equivalent of the observer's runtime control, used by
+// tests and experiment harnesses. Safe from any goroutine.
+func (e *Engine) SetBandwidthLocal(cmd protocol.SetBandwidth) {
+	m := message.New(protocol.TypeSetBandwidth, e.id, 0, 0, cmd.Encode())
+	defer m.Release()
+	e.applyBandwidth(m)
+}
+
+func (e *Engine) replyPing(cm ctrlMsg) {
+	pong := message.New(protocol.TypePong, e.id, cm.m.App(), cm.m.Seq(),
+		append([]byte(nil), cm.m.Payload()...))
+	cm.m.Release()
+	e.SendNew(pong, cm.from)
+}
+
+func (e *Engine) completePing(cm ctrlMsg) {
+	defer cm.m.Release()
+	p, err := protocol.DecodePing(cm.m.Payload())
+	if err != nil {
+		return
+	}
+	sent, ok := e.pingSent[p.Token]
+	if !ok {
+		return
+	}
+	delete(e.pingSent, p.Token)
+	rtt := time.Since(sent)
+	payload := protocol.Throughput{Peer: cm.from, Rate: float64(rtt.Nanoseconds())}.Encode()
+	e.notifyAlg(protocol.TypeLatency, 0, payload)
+}
+
+func (e *Engine) handleBrokenSource(cm ctrlMsg) {
+	bs, err := protocol.DecodeBrokenSource(cm.m.Payload())
+	cm.m.Release()
+	if err != nil {
+		return
+	}
+	e.mu.Lock()
+	if r, ok := e.receivers[cm.from]; ok {
+		delete(r.apps, bs.App)
+	}
+	e.mu.Unlock()
+	if !e.appStillSupplied(bs.App, cm.from) {
+		e.brokenSource(bs.App, cm.from)
+	}
+}
+
+// periodic runs at the status interval: deliver throughput measurements
+// to the algorithm and enforce the inactivity failure detector.
+func (e *Engine) periodic() {
+	e.mu.Lock()
+	type linkInfo struct {
+		peer message.NodeID
+		rate float64
+	}
+	ups := make([]linkInfo, 0, len(e.receivers))
+	var inactive []*receiver
+	for peer, r := range e.receivers {
+		ups = append(ups, linkInfo{peer, r.meter.Rate()})
+		if e.cfg.InactivityTimeout > 0 && len(r.apps) > 0 &&
+			r.meter.Idle() > e.cfg.InactivityTimeout {
+			inactive = append(inactive, r)
+		}
+	}
+	downs := make([]linkInfo, 0, len(e.senders))
+	for peer, s := range e.senders {
+		downs = append(downs, linkInfo{peer, s.meter.Rate()})
+	}
+	e.mu.Unlock()
+
+	for _, u := range ups {
+		e.notifyAlg(protocol.TypeUpThroughput, 0,
+			protocol.Throughput{Peer: u.peer, Rate: u.rate}.Encode())
+	}
+	for _, d := range downs {
+		e.notifyAlg(protocol.TypeDownThroughput, 0,
+			protocol.Throughput{Peer: d.peer, Rate: d.rate}.Encode())
+	}
+	// Inactivity-detected failures: close the socket; the receiver
+	// goroutine then reports the failure through the normal path.
+	for _, r := range inactive {
+		e.logf("inactivity timeout on upstream %s", r.peer)
+		_ = r.conn.Close()
+	}
+	// Liveness kick: re-arm the switch unconditionally so that a missed
+	// work signal (however it was lost) stalls progress for at most one
+	// status interval instead of forever.
+	e.signalWork()
+}
+
+// ----- remaining API surface -----
+
+// NewMsg allocates a pooled data message stamped with this node as the
+// original sender. Part of the API interface.
+func (e *Engine) NewMsg(typ message.Type, app, seq uint32, payloadLen int) *message.Msg {
+	return e.pool.Get(typ, e.id, app, seq, payloadLen)
+}
+
+// NewControl builds a control/protocol message. Part of the API
+// interface.
+func (e *Engine) NewControl(typ message.Type, app uint32, payload []byte) *message.Msg {
+	return message.New(typ, e.id, app, 0, payload)
+}
+
+// After schedules a Tick delivery. Part of the API interface.
+func (e *Engine) After(d time.Duration, kind uint32) {
+	time.AfterFunc(d, func() {
+		e.postEvent(func() {
+			e.notifyAlg(protocol.TypeTick, 0, protocol.Tick{Kind: kind}.Encode())
+		})
+	})
+}
+
+// Ping launches a latency probe to dest. Part of the API interface.
+func (e *Engine) Ping(dest message.NodeID) {
+	e.nextToken++
+	token := e.nextToken
+	e.pingSent[token] = time.Now()
+	payload := protocol.Ping{UnixNano: time.Now().UnixNano(), Token: token}.Encode()
+	e.SendNew(message.New(protocol.TypePing, e.id, 0, 0, payload), dest)
+}
+
+// Upstreams lists active incoming links. Part of the API interface; safe
+// from any goroutine.
+func (e *Engine) Upstreams() []message.NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]message.NodeID, 0, len(e.receivers))
+	for peer := range e.receivers {
+		ids = append(ids, peer)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+// Downstreams lists active outgoing links. Part of the API interface;
+// safe from any goroutine.
+func (e *Engine) Downstreams() []message.NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]message.NodeID, 0, len(e.senders))
+	for peer := range e.senders {
+		ids = append(ids, peer)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+// LinkRate reports measured link throughput. Part of the API interface;
+// safe from any goroutine.
+func (e *Engine) LinkRate(peer message.NodeID, down bool) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if down {
+		if s, ok := e.senders[peer]; ok {
+			return s.meter.Rate()
+		}
+		return 0
+	}
+	if r, ok := e.receivers[peer]; ok {
+		return r.meter.Rate()
+	}
+	return 0
+}
+
+// SetReceiverWeight tunes the switch's weighted round-robin. Part of the
+// API interface; must run on the engine goroutine.
+func (e *Engine) SetReceiverWeight(peer message.NodeID, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r, ok := e.receivers[peer]; ok {
+		r.weight = weight
+	}
+}
+
+// Trace ships a formatted trace record to the observer's central log
+// and, when configured, to the node's local trace writer. Part of the
+// API interface.
+func (e *Engine) Trace(format string, args ...any) {
+	body := fmt.Sprintf(format, args...)
+	if w := e.cfg.LocalTrace; w != nil {
+		fmt.Fprintf(w, "%s %s %s\n", time.Now().Format(time.RFC3339Nano), e.id, body)
+	}
+	e.mu.Lock()
+	o := e.obs
+	e.mu.Unlock()
+	if o == nil {
+		return
+	}
+	m := message.New(protocol.TypeTrace, e.id, 0, 0, []byte(body))
+	if !o.ring.TryPush(m) {
+		m.Release()
+	}
+}
+
+func sortIDs(ids []message.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j].Less(ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,783 @@
+// Package engine implements the iOverlay message switching engine — the
+// paper's primary contribution. Each overlay node runs one Engine: an
+// application-layer message switch with a goroutine per incoming and per
+// outgoing connection, plus a single engine goroutine that multiplexes
+// control messages and switches data messages through the
+// application-specific Algorithm in weighted fair order (stride
+// scheduling over the dynamically tunable per-receiver weights).
+//
+// The design mirrors the paper's Table 1 skeleton: the engine goroutine
+// waits for control messages on the publicized port (here: a channel fed
+// by connection readers), consults Engine.process or Algorithm.Process,
+// then switches data messages from receiver buffers to sender buffers.
+// Algorithms run entirely in the engine goroutine and never need
+// thread-safe data structures.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bandwidth"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/queue"
+)
+
+// Defaults applied by New when Config leaves fields zero.
+const (
+	DefaultRecvBuf        = 64
+	DefaultSendBuf        = 64
+	DefaultMaxPayload     = 1 << 20
+	DefaultStatusInterval = 500 * time.Millisecond
+	DefaultMaxParked      = 256
+)
+
+// switchBudget bounds messages processed per switch invocation so control
+// messages stay responsive under heavy data load.
+const switchBudget = 512
+
+// Config parameterizes an Engine.
+type Config struct {
+	// ID is the node's identity; its Addr is the publicized listen
+	// address.
+	ID message.NodeID
+	// Transport supplies connectivity (TCP or vnet).
+	Transport Transport
+	// Algorithm is the application-specific protocol; required.
+	Algorithm Algorithm
+	// Observer, when nonzero, is dialed at start-up for bootstrap and
+	// monitoring.
+	Observer message.NodeID
+	// RecvBuf and SendBuf size the circular buffers in messages — the
+	// paper's per-node buffer capacity (5 for the back-pressure
+	// experiments, 10000 for the large-buffer ones).
+	RecvBuf int
+	SendBuf int
+	// MaxPayload bounds accepted message payloads.
+	MaxPayload int
+	// TotalBW, UpBW, DownBW set the emulated per-node bandwidth in bytes
+	// per second (0 = unlimited), adjustable later via SetBandwidth.
+	TotalBW, UpBW, DownBW int64
+	// LinkBW presets per-link emulated bandwidth toward specific peers.
+	LinkBW map[message.NodeID]int64
+	// StatusInterval paces periodic QoS reports to the algorithm.
+	StatusInterval time.Duration
+	// InactivityTimeout, when nonzero, declares an upstream link failed
+	// after that long without traffic (the paper's passive inactivity
+	// detection; no heartbeats are ever sent).
+	InactivityTimeout time.Duration
+	// MaxParked bounds the engine's parked-message backlog before the
+	// switch stops draining receivers (back-pressure).
+	MaxParked int
+	// LocalTrace, when set, receives every Trace record as a text line in
+	// addition to the observer — the paper's alternative of logging
+	// traces locally at each node when the volume is large. The writer
+	// must be safe for concurrent use or used by one engine only.
+	LocalTrace io.Writer
+	// Logf, when set, receives debug logging.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) applyDefaults() {
+	if c.RecvBuf <= 0 {
+		c.RecvBuf = DefaultRecvBuf
+	}
+	if c.SendBuf <= 0 {
+		c.SendBuf = DefaultSendBuf
+	}
+	if c.MaxPayload <= 0 {
+		c.MaxPayload = DefaultMaxPayload
+	}
+	if c.StatusInterval <= 0 {
+		c.StatusInterval = DefaultStatusInterval
+	}
+	if c.MaxParked <= 0 {
+		c.MaxParked = DefaultMaxParked
+	}
+}
+
+// ctrlMsg pairs a control message with the link peer it arrived from
+// (which may differ from the original sender for relayed messages).
+type ctrlMsg struct {
+	m    *message.Msg
+	from message.NodeID
+}
+
+// parkedMsg is a message that could not be pushed to a full sender buffer
+// and is labeled with its remaining destination for the next round.
+type parkedMsg struct {
+	m    *message.Msg
+	dest message.NodeID
+}
+
+// Engine is one iOverlay node.
+type Engine struct {
+	cfg      Config
+	id       message.NodeID
+	alg      Algorithm
+	pool     *message.Pool
+	budget   *bandwidth.NodeBudget
+	counters metrics.Counters
+
+	listener net.Listener
+
+	mu        sync.Mutex
+	receivers map[message.NodeID]*receiver
+	senders   map[message.NodeID]*sender
+	linkRates map[message.NodeID]int64 // pending per-link caps
+	stopping  bool
+
+	localRing *queue.Ring // source-injected data, drained like a receiver
+	localApps map[uint32]*source
+	obs       *observerLink
+
+	// Engine-goroutine-only state.
+	parked       []parkedMsg
+	parkedByDest map[message.NodeID]int
+	pingSent     map[uint32]time.Time
+	probeRecv    map[probeKey]*probeAgg
+	nextToken    uint32
+	localPass    float64 // stride virtual time of the local source ring
+
+	control chan ctrlMsg
+	events  chan func()
+	work    chan struct{}
+	done    chan struct{}
+	started bool
+	wg      sync.WaitGroup
+	stopMu  sync.Mutex
+}
+
+var _ API = (*Engine)(nil)
+
+// New constructs an engine; Start must be called to run it.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Algorithm == nil {
+		return nil, errors.New("engine: Config.Algorithm is required")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("engine: Config.Transport is required")
+	}
+	if cfg.ID.IsZero() {
+		return nil, errors.New("engine: Config.ID is required")
+	}
+	cfg.applyDefaults()
+	e := &Engine{
+		cfg:          cfg,
+		id:           cfg.ID,
+		alg:          cfg.Algorithm,
+		pool:         message.NewPool(),
+		budget:       bandwidth.NewNodeBudget(cfg.TotalBW, cfg.UpBW, cfg.DownBW),
+		receivers:    make(map[message.NodeID]*receiver),
+		senders:      make(map[message.NodeID]*sender),
+		linkRates:    make(map[message.NodeID]int64),
+		localRing:    queue.New(cfg.RecvBuf),
+		localApps:    make(map[uint32]*source),
+		parkedByDest: make(map[message.NodeID]int),
+		pingSent:     make(map[uint32]time.Time),
+		control:      make(chan ctrlMsg, 1024),
+		events:       make(chan func(), 4096),
+		work:         make(chan struct{}, 1),
+		done:         make(chan struct{}),
+	}
+	for peer, rate := range cfg.LinkBW {
+		e.linkRates[peer] = rate
+	}
+	return e, nil
+}
+
+// ID reports the node identity.
+func (e *Engine) ID() message.NodeID { return e.id }
+
+// Observer reports the configured observer identity.
+func (e *Engine) Observer() message.NodeID { return e.cfg.Observer }
+
+// Start binds the publicized port, attaches the algorithm, launches the
+// engine goroutine and bootstraps from the observer when configured.
+func (e *Engine) Start() error {
+	l, err := e.cfg.Transport.Listen(e.id.Addr())
+	if err != nil {
+		return fmt.Errorf("engine: listen %s: %w", e.id.Addr(), err)
+	}
+	e.listener = l
+	e.alg.Attach(e)
+
+	e.wg.Add(2)
+	go e.acceptLoop(l)
+	go e.run()
+	e.started = true
+
+	if !e.cfg.Observer.IsZero() {
+		if err := e.connectObserver(); err != nil {
+			e.logf("observer connect: %v", err)
+			e.scheduleObserverReconnect()
+		}
+	}
+	return nil
+}
+
+// observerRetryInterval paces reconnection attempts to a lost observer.
+const observerRetryInterval = 500 * time.Millisecond
+
+// scheduleObserverReconnect keeps trying to restore the observer link in
+// the background until it succeeds or the engine stops.
+func (e *Engine) scheduleObserverReconnect() {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		for {
+			select {
+			case <-e.done:
+				return
+			case <-time.After(observerRetryInterval):
+			}
+			if err := e.connectObserver(); err == nil {
+				return
+			}
+		}
+	}()
+}
+
+func (e *Engine) connectObserver() error {
+	e.mu.Lock()
+	if e.obs != nil || e.stopping {
+		e.mu.Unlock()
+		return nil
+	}
+	e.mu.Unlock()
+	conn, err := e.cfg.Transport.DialFrom(e.id.Addr(), e.cfg.Observer.Addr())
+	if err != nil {
+		return err
+	}
+	hello := message.New(protocol.TypeHello, e.id, 0, 0, nil)
+	if _, err := hello.WriteTo(conn); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	o := &observerLink{ring: queue.New(256), conn: conn}
+	e.mu.Lock()
+	e.obs = o
+	e.mu.Unlock()
+	e.wg.Add(2)
+	go e.runObserverWriter(o)
+	go e.runObserverReader(o)
+
+	boot := message.New(protocol.TypeBoot, e.id, 0, 0, nil)
+	if !o.ring.TryPush(boot) {
+		boot.Release()
+	}
+	return nil
+}
+
+// Stop terminates the node gracefully: sources stop, buffers close, all
+// goroutines drain and exit, and every connection is shut down — the
+// observer-initiated termination the paper describes. Stop is idempotent
+// and safe to call from any goroutine.
+func (e *Engine) Stop() {
+	e.stopMu.Lock()
+	defer e.stopMu.Unlock()
+	if !e.started {
+		return
+	}
+	e.mu.Lock()
+	if e.stopping {
+		e.mu.Unlock()
+		return
+	}
+	e.stopping = true
+	receivers := make([]*receiver, 0, len(e.receivers))
+	for _, r := range e.receivers {
+		receivers = append(receivers, r)
+	}
+	senders := make([]*sender, 0, len(e.senders))
+	for _, s := range e.senders {
+		senders = append(senders, s)
+	}
+	obs := e.obs
+	sources := make([]*source, 0, len(e.localApps))
+	for _, s := range e.localApps {
+		sources = append(sources, s)
+	}
+	e.mu.Unlock()
+
+	close(e.done)
+	_ = e.listener.Close()
+	for _, s := range sources {
+		s.halt()
+	}
+	e.localRing.Close()
+	e.localRing.Drain()
+	for _, r := range receivers {
+		_ = r.conn.Close()
+		r.ring.Close()
+		r.ring.Drain()
+	}
+	for _, s := range senders {
+		s.ring.Close() // sender goroutine flushes and closes the conn
+		s.linkLimit.Close()
+		// A sender blocked mid-Write toward a congested peer would hold
+		// shutdown hostage; close the connection so the write returns.
+		// Bytes already written remain deliverable (graceful close).
+		select {
+		case <-s.connReady:
+			if s.conn != nil {
+				_ = s.conn.Close()
+			}
+		default:
+			// Still dialing; the dial result is checked against stopping.
+		}
+	}
+	if obs != nil {
+		obs.ring.Close()
+		_ = obs.conn.Close()
+	}
+	e.budget.Close()
+	e.wg.Wait()
+	// Release anything still parked or queued.
+	for _, p := range e.parked {
+		p.m.Release()
+	}
+	e.parked = nil
+	for _, s := range senders {
+		s.ring.Drain()
+	}
+}
+
+// run is the engine goroutine: the Go analogue of the paper's engine
+// thread, multiplexing control messages, internal events, switch work and
+// periodic measurement.
+func (e *Engine) run() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.StatusInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case cm := <-e.control:
+			e.process(cm)
+		case fn := <-e.events:
+			fn()
+		case <-e.work:
+			e.switchOnce()
+		case <-ticker.C:
+			e.periodic()
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// Do schedules fn on the engine goroutine with the engine's API — the
+// programmatic equivalent of an observer command, used by tests and
+// experiment harnesses to drive algorithms without a live observer. Safe
+// from any goroutine; fn is dropped if the engine is stopping.
+func (e *Engine) Do(fn func(api API)) {
+	e.postEvent(func() { fn(e) })
+}
+
+// signalWork nudges the engine goroutine to run the switch.
+func (e *Engine) signalWork() {
+	select {
+	case e.work <- struct{}{}:
+	default:
+	}
+}
+
+// postEvent schedules fn on the engine goroutine; events are dropped only
+// during shutdown.
+func (e *Engine) postEvent(fn func()) {
+	select {
+	case e.events <- fn:
+	case <-e.done:
+	}
+}
+
+// deliverControl routes a wire control message to the engine goroutine.
+func (e *Engine) deliverControl(m *message.Msg, from message.NodeID) {
+	select {
+	case e.control <- ctrlMsg{m: m, from: from}:
+	case <-e.done:
+		m.Release()
+	}
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+// notifyAlg delivers an engine-produced notification to the algorithm.
+func (e *Engine) notifyAlg(typ message.Type, app uint32, payload []byte) {
+	m := message.New(typ, e.id, app, 0, payload)
+	if e.alg.Process(m) == Done {
+		m.Release()
+	}
+}
+
+// ----- the switch -----
+
+// switchOnce retries parked messages, then switches data messages from
+// receiver buffers through the algorithm. Service order is stride
+// scheduling on the dynamically tunable per-receiver weights: each pop
+// advances the buffer's virtual time by 1/weight and the
+// smallest-virtual-time nonempty buffer is served next, which yields
+// weighted fair sharing even when back-pressure admits only a trickle.
+func (e *Engine) switchOnce() {
+	e.retryParked()
+	budget := switchBudget
+	rs := e.receiverSnapshot()
+	// Admit newcomers at the current minimum virtual time so they
+	// neither monopolize nor starve.
+	minPass := e.localPass
+	for _, r := range rs {
+		if r.pass >= 0 && r.pass < minPass {
+			minPass = r.pass
+		}
+	}
+	for _, r := range rs {
+		if r.pass < 0 {
+			r.pass = minPass
+		}
+	}
+	for budget > 0 && len(e.parked) < e.cfg.MaxParked {
+		var best *receiver
+		bestLocal := false
+		bestPass := 0.0
+		if e.localRing.Len() > 0 {
+			bestLocal = true
+			bestPass = e.localPass
+		}
+		for _, r := range rs {
+			if r.ring.Len() == 0 {
+				continue
+			}
+			if (!bestLocal && best == nil) || r.pass < bestPass {
+				best, bestLocal, bestPass = r, false, r.pass
+			}
+		}
+		var m *message.Msg
+		var ok bool
+		switch {
+		case best != nil:
+			m, ok = best.ring.TryPop()
+			if ok {
+				w := best.weight
+				if w < 1 {
+					w = 1
+				}
+				best.pass += 1 / float64(w)
+				best.apps[m.App()] = struct{}{}
+			}
+		case bestLocal:
+			m, ok = e.localRing.TryPop()
+			if ok {
+				e.localPass++
+			}
+		default:
+			return // nothing to switch
+		}
+		if !ok {
+			continue
+		}
+		budget--
+		if e.alg.Process(m) == Done {
+			m.Release()
+		}
+	}
+	// Re-arm only when the budget stopped us with work still queued.
+	// When back-pressure (the parked limit) stopped us, spinning would
+	// burn the CPU: the sender goroutines signal work as buffer space
+	// frees, which is the event that can make progress.
+	if budget > 0 {
+		return
+	}
+	if e.localRing.Len() > 0 {
+		e.signalWork()
+		return
+	}
+	for _, r := range rs {
+		if r.ring.Len() > 0 {
+			e.signalWork()
+			return
+		}
+	}
+}
+
+// retryParked re-attempts delivery of messages labeled with remaining
+// senders, preserving per-destination FIFO order.
+func (e *Engine) retryParked() {
+	if len(e.parked) == 0 {
+		return
+	}
+	stillFull := make(map[message.NodeID]bool)
+	kept := e.parked[:0]
+	for _, p := range e.parked {
+		if stillFull[p.dest] {
+			kept = append(kept, p)
+			continue
+		}
+		s := e.senderLocked(p.dest)
+		if s == nil {
+			e.counters.AddDropped(int64(p.m.WireLen()))
+			p.m.Release()
+			e.parkedByDest[p.dest]--
+			continue
+		}
+		if s.ring.TryPush(p.m) {
+			e.parkedByDest[p.dest]--
+		} else {
+			stillFull[p.dest] = true
+			kept = append(kept, p)
+		}
+	}
+	for i := len(kept); i < len(e.parked); i++ {
+		e.parked[i] = parkedMsg{}
+	}
+	e.parked = kept
+}
+
+func (e *Engine) receiverSnapshot() []*receiver {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rs := make([]*receiver, 0, len(e.receivers))
+	for _, r := range e.receivers {
+		rs = append(rs, r)
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].peer.Less(rs[j].peer) })
+	return rs
+}
+
+func (e *Engine) senderLocked(peer message.NodeID) *sender {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.senders[peer]
+}
+
+// ----- sending -----
+
+// Send forwards m to dest, retaining a reference for the transfer. Part
+// of the API interface; must be called from the engine goroutine.
+func (e *Engine) Send(m *message.Msg, dest message.NodeID) {
+	if dest == e.id {
+		return // self-sends are meaningless in the overlay
+	}
+	m.Retain()
+	if !e.cfg.Observer.IsZero() && dest == e.cfg.Observer {
+		e.sendToObserver(m)
+		return
+	}
+	s := e.ensureSender(dest)
+	if s == nil {
+		e.counters.AddDropped(int64(m.WireLen()))
+		m.Release()
+		return
+	}
+	if m.IsData() {
+		s.apps[m.App()] = struct{}{}
+	}
+	// Preserve per-destination order: anything already parked for dest
+	// must go first.
+	if e.parkedByDest[dest] > 0 || !s.ring.TryPush(m) {
+		e.parked = append(e.parked, parkedMsg{m: m, dest: dest})
+		e.parkedByDest[dest]++
+	}
+}
+
+// SendNew sends an algorithm-constructed message to each destination and
+// releases the construction reference. Part of the API interface.
+func (e *Engine) SendNew(m *message.Msg, dests ...message.NodeID) {
+	for _, d := range dests {
+		e.Send(m, d)
+	}
+	m.Release()
+}
+
+// Finish releases a message previously held by the algorithm. Part of the
+// API interface.
+func (e *Engine) Finish(m *message.Msg) { m.Release() }
+
+func (e *Engine) sendToObserver(m *message.Msg) {
+	e.mu.Lock()
+	o := e.obs
+	e.mu.Unlock()
+	if o == nil || !o.ring.TryPush(m) {
+		e.counters.AddDropped(int64(m.WireLen()))
+		m.Release()
+	}
+}
+
+// ensureSender finds or creates the persistent outgoing link to peer.
+func (e *Engine) ensureSender(peer message.NodeID) *sender {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopping {
+		return nil
+	}
+	if s, ok := e.senders[peer]; ok {
+		return s
+	}
+	rate := e.linkRates[peer]
+	s := newSender(peer, e.cfg.SendBuf, rate)
+	e.senders[peer] = s
+	e.wg.Add(1)
+	go e.runSender(s)
+	return s
+}
+
+// ----- link failure and teardown -----
+
+// receiverGone handles an incoming-link failure on the engine goroutine:
+// clear data structures, notify the algorithm, and propagate broken
+// sources downstream (the domino effect), all transparent to algorithms.
+func (e *Engine) receiverGone(r *receiver) {
+	e.mu.Lock()
+	if e.receivers[r.peer] != r {
+		e.mu.Unlock()
+		return // already replaced or removed
+	}
+	delete(e.receivers, r.peer)
+	e.mu.Unlock()
+
+	_ = r.conn.Close()
+	r.ring.Close()
+	for {
+		m, ok := r.ring.TryPop()
+		if !ok {
+			break
+		}
+		e.counters.AddDropped(int64(m.WireLen()))
+		m.Release()
+	}
+	e.notifyAlg(protocol.TypeLinkDown, 0,
+		protocol.LinkEvent{Peer: r.peer, Upstream: true}.Encode())
+	for app := range r.apps {
+		if !e.appStillSupplied(app, r.peer) {
+			e.brokenSource(app, r.peer)
+		}
+	}
+}
+
+// appStillSupplied reports whether data for app still arrives from another
+// upstream or a local source.
+func (e *Engine) appStillSupplied(app uint32, except message.NodeID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.localApps[app]; ok {
+		return true
+	}
+	for peer, r := range e.receivers {
+		if peer == except {
+			continue
+		}
+		if _, ok := r.apps[app]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// brokenSource notifies the local algorithm that app's upstream failed and
+// cascades a BrokenSource control message to every downstream this node
+// forwarded the app to.
+func (e *Engine) brokenSource(app uint32, upstream message.NodeID) {
+	payload := protocol.BrokenSource{App: app, Upstream: upstream}.Encode()
+	e.notifyAlg(protocol.TypeBrokenSource, app, payload)
+
+	e.mu.Lock()
+	var dests []message.NodeID
+	for peer, s := range e.senders {
+		if _, ok := s.apps[app]; ok {
+			dests = append(dests, peer)
+			delete(s.apps, app)
+		}
+	}
+	e.mu.Unlock()
+	for _, d := range dests {
+		fwd := protocol.BrokenSource{App: app, Upstream: e.id}.Encode()
+		e.SendNew(message.New(protocol.TypeBrokenSource, e.id, app, 0, fwd), d)
+	}
+}
+
+// senderGone handles an outgoing-link failure on the engine goroutine.
+func (e *Engine) senderGone(s *sender) {
+	e.mu.Lock()
+	if e.senders[s.peer] != s {
+		e.mu.Unlock()
+		return
+	}
+	delete(e.senders, s.peer)
+	e.mu.Unlock()
+
+	s.ring.Close()
+	e.dropQueued(s)
+	s.linkLimit.Close()
+	// Drop parked messages for the dead destination.
+	kept := e.parked[:0]
+	for _, p := range e.parked {
+		if p.dest == s.peer {
+			e.counters.AddDropped(int64(p.m.WireLen()))
+			p.m.Release()
+			e.parkedByDest[p.dest]--
+			continue
+		}
+		kept = append(kept, p)
+	}
+	for i := len(kept); i < len(e.parked); i++ {
+		e.parked[i] = parkedMsg{}
+	}
+	e.parked = kept
+	e.notifyAlg(protocol.TypeLinkDown, 0,
+		protocol.LinkEvent{Peer: s.peer, Upstream: false}.Encode())
+}
+
+// observerGone clears the observer link after a failure and begins
+// reconnecting.
+func (e *Engine) observerGone(o *observerLink) {
+	e.mu.Lock()
+	if e.obs != o {
+		e.mu.Unlock()
+		return
+	}
+	e.obs = nil
+	stopping := e.stopping
+	e.mu.Unlock()
+	o.ring.Close()
+	o.ring.Drain()
+	_ = o.conn.Close()
+	if !stopping {
+		e.scheduleObserverReconnect()
+	}
+}
+
+// CloseLink gracefully tears down the outgoing link to peer. Part of the
+// API interface.
+func (e *Engine) CloseLink(peer message.NodeID) {
+	e.mu.Lock()
+	s := e.senders[peer]
+	if s != nil {
+		delete(e.senders, peer)
+	}
+	e.mu.Unlock()
+	if s == nil {
+		return
+	}
+	s.ring.Close() // sender goroutine flushes remaining messages and exits
+	s.linkLimit.Close()
+	kept := e.parked[:0]
+	for _, p := range e.parked {
+		if p.dest == peer {
+			p.m.Release()
+			e.parkedByDest[p.dest]--
+			continue
+		}
+		kept = append(kept, p)
+	}
+	e.parked = kept
+}

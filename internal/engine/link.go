@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"bufio"
+	"net"
+	"time"
+
+	"repro/internal/bandwidth"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/queue"
+)
+
+// receiver owns one incoming persistent connection: a dedicated goroutine
+// reads messages from the socket, routes control messages to the engine
+// loop and pushes data messages into its circular buffer, blocking when
+// the buffer is full so that back-pressure propagates to the upstream TCP
+// connection — the paper's thread-per-receiver design.
+type receiver struct {
+	peer   message.NodeID
+	conn   net.Conn
+	ring   *queue.Ring
+	meter  *metrics.Meter
+	weight int                 // weighted share; engine goroutine only
+	pass   float64             // stride-scheduling virtual time
+	apps   map[uint32]struct{} // data apps seen on this link; engine goroutine only
+}
+
+func newReceiver(peer message.NodeID, conn net.Conn, bufMsgs int) *receiver {
+	return &receiver{
+		peer:   peer,
+		conn:   conn,
+		ring:   queue.New(bufMsgs),
+		meter:  metrics.NewMeter(0),
+		weight: 1,
+		pass:   -1, // joins the stride scheduler at the current minimum
+		apps:   make(map[uint32]struct{}),
+	}
+}
+
+// runReceiver is the receiver thread body.
+func (e *Engine) runReceiver(r *receiver) {
+	defer e.wg.Done()
+	shaped := bandwidth.NewReader(r.conn, e.budget.DownShaper(nil))
+	br := bufio.NewReaderSize(shaped, 32<<10)
+	for {
+		m, err := message.Read(br, e.pool, e.cfg.MaxPayload)
+		if err != nil {
+			e.postEvent(func() { e.receiverGone(r) })
+			return
+		}
+		r.meter.Add(int64(m.WireLen()))
+		e.counters.AddIn(int64(m.WireLen()))
+		if m.IsData() {
+			if err := r.ring.Push(m); err != nil {
+				// Ring closed: the engine tore this link down.
+				m.Release()
+				e.postEvent(func() { e.receiverGone(r) })
+				return
+			}
+			e.signalWork()
+		} else {
+			e.deliverControl(m, r.peer)
+		}
+	}
+}
+
+// sender owns one outgoing persistent connection: the engine switch pushes
+// message references into its circular buffer; a dedicated goroutine dials
+// the peer, then drains the buffer to the (bandwidth-shaped) socket — the
+// paper's thread-per-sender design with the sender suspended on an empty
+// buffer.
+type sender struct {
+	peer      message.NodeID
+	conn      net.Conn // set by the sender goroutine after dialing
+	connReady chan struct{}
+	ring      *queue.Ring
+	meter     *metrics.Meter
+	linkLimit *bandwidth.Limiter  // per-link emulated bandwidth
+	apps      map[uint32]struct{} // data apps forwarded; engine goroutine only
+}
+
+func newSender(peer message.NodeID, bufMsgs int, linkRate int64) *sender {
+	return &sender{
+		peer:      peer,
+		connReady: make(chan struct{}),
+		ring:      queue.New(bufMsgs),
+		meter:     metrics.NewMeter(0),
+		linkLimit: bandwidth.NewLimiter(linkRate),
+		apps:      make(map[uint32]struct{}),
+	}
+}
+
+// runSender is the sender thread body. It dials lazily: messages queued
+// while the connection is being established are delivered once it is up.
+func (e *Engine) runSender(s *sender) {
+	defer e.wg.Done()
+	conn, err := e.cfg.Transport.DialFrom(e.id.Addr(), s.peer.Addr())
+	if err != nil {
+		e.logf("dial %s: %v", s.peer, err)
+		close(s.connReady)
+		e.dropQueued(s)
+		e.postEvent(func() { e.senderGone(s) })
+		return
+	}
+	s.conn = conn
+	close(s.connReady)
+
+	hello := message.New(protocol.TypeHello, e.id, 0, 0, nil)
+	if _, err := hello.WriteTo(conn); err != nil {
+		e.dropQueued(s)
+		e.postEvent(func() { e.senderGone(s) })
+		return
+	}
+
+	bufw := bufio.NewWriterSize(conn, 32<<10)
+	shaped := bandwidth.NewWriter(bufw, e.budget.UpShaper(s.linkLimit))
+	for {
+		m, err := s.ring.Pop()
+		if err != nil {
+			// Ring closed: graceful teardown; flush what was written.
+			_ = bufw.Flush()
+			_ = conn.Close()
+			return
+		}
+		wire := int64(m.WireLen())
+		_, werr := m.WriteTo(shaped)
+		m.Release()
+		if werr != nil {
+			e.counters.AddDropped(wire)
+			e.dropQueued(s)
+			e.postEvent(func() { e.senderGone(s) })
+			return
+		}
+		s.meter.Add(wire)
+		e.counters.AddOut(wire)
+		// Batch writes only on unshaped links: when bandwidth emulation
+		// paces this sender, holding messages in the write buffer would
+		// turn a smooth emulated rate into large bursts downstream.
+		if s.ring.Len() == 0 || e.senderShaped(s) {
+			if err := bufw.Flush(); err != nil {
+				e.dropQueued(s)
+				e.postEvent(func() { e.senderGone(s) })
+				return
+			}
+		}
+		// Wake the engine so parked messages destined to this (now less
+		// full) buffer can be retried promptly.
+		e.signalWork()
+	}
+}
+
+// senderShaped reports whether any emulated bandwidth cap paces this
+// sender's writes.
+func (e *Engine) senderShaped(s *sender) bool {
+	return s.linkLimit.Rate() > 0 || e.budget.Up.Rate() > 0 || e.budget.Total.Rate() > 0
+}
+
+// dropQueued counts and releases everything still queued on a failed
+// sender — the paper's "bytes (or messages) lost due to failures".
+func (e *Engine) dropQueued(s *sender) {
+	for {
+		m, ok := s.ring.TryPop()
+		if !ok {
+			return
+		}
+		e.counters.AddDropped(int64(m.WireLen()))
+		m.Release()
+	}
+}
+
+// acceptLoop admits incoming connections on the publicized port.
+func (e *Engine) acceptLoop(l net.Listener) {
+	defer e.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		e.wg.Add(1)
+		go e.handshake(conn)
+	}
+}
+
+// handshakeTimeout bounds how long a new connection may take to identify
+// itself.
+const handshakeTimeout = 10 * time.Second
+
+// handshake reads the mandatory hello message that carries the dialing
+// node's identity, then registers the connection as a receiver link.
+func (e *Engine) handshake(conn net.Conn) {
+	defer e.wg.Done()
+	_ = conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	m, err := message.Read(conn, nil, 256)
+	if err != nil || m.Type() != protocol.TypeHello {
+		_ = conn.Close()
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	peer := m.Sender()
+	m.Release()
+
+	r := newReceiver(peer, conn, e.cfg.RecvBuf)
+	e.mu.Lock()
+	if e.stopping {
+		e.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	old := e.receivers[peer]
+	e.receivers[peer] = r
+	e.mu.Unlock()
+	if old != nil {
+		// A reconnect replaces the stale link.
+		_ = old.conn.Close()
+		old.ring.Close()
+	}
+	e.wg.Add(1)
+	go e.runReceiver(r)
+	e.postEvent(func() {
+		e.notifyAlg(protocol.TypeLinkUp, 0,
+			protocol.LinkEvent{Peer: peer, Upstream: true}.Encode())
+	})
+}
+
+// observerLink is the node's persistent connection to the observer (or its
+// proxy): status reports and traces flow out, bootstrap replies and
+// control commands flow in, all on one connection so the observer never
+// has to dial through a firewall.
+type observerLink struct {
+	ring *queue.Ring
+	conn net.Conn
+}
+
+// runObserverWriter drains the observer ring to the wire.
+func (e *Engine) runObserverWriter(o *observerLink) {
+	defer e.wg.Done()
+	bufw := bufio.NewWriterSize(o.conn, 32<<10)
+	for {
+		m, err := o.ring.Pop()
+		if err != nil {
+			_ = bufw.Flush()
+			_ = o.conn.Close()
+			return
+		}
+		_, werr := m.WriteTo(bufw)
+		m.Release()
+		if werr != nil {
+			return
+		}
+		if o.ring.Len() == 0 {
+			if err := bufw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// runObserverReader feeds observer commands into the engine loop.
+func (e *Engine) runObserverReader(o *observerLink) {
+	defer e.wg.Done()
+	br := bufio.NewReaderSize(o.conn, 8<<10)
+	for {
+		m, err := message.Read(br, nil, e.cfg.MaxPayload)
+		if err != nil {
+			e.postEvent(func() { e.observerGone(o) })
+			return
+		}
+		e.deliverControl(m, e.cfg.Observer)
+	}
+}

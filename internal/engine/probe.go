@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/protocol"
+)
+
+// Bandwidth probing: the paper's QoS measurement facility lets the
+// algorithm measure the available bandwidth to any overlay node on
+// demand. The engine sends a short back-to-back burst of probe messages
+// (paced by the real emulated bandwidth like any other traffic); the peer
+// times the burst's arrival and replies with the observed rate, which is
+// delivered to the algorithm as a TypeBandwidthEst message.
+
+// Probe burst shape: enough volume to exercise the path for a measurable
+// interval without disturbing it for long.
+const (
+	probeCount   = 8
+	probePadSize = 4 << 10
+)
+
+// probeAgg accumulates one inbound burst.
+type probeAgg struct {
+	first   time.Time
+	bytes   int64
+	seen    uint32
+	expect  uint32
+	started bool
+}
+
+type probeKey struct {
+	peer  message.NodeID
+	token uint32
+}
+
+// MeasureBandwidth launches an available-bandwidth probe toward dest; the
+// result arrives at the algorithm as a TypeBandwidthEst message whose
+// Throughput payload carries the estimated bytes/sec. Must be called from
+// the engine goroutine (i.e. from within Process).
+func (e *Engine) MeasureBandwidth(dest message.NodeID) {
+	e.nextToken++
+	token := e.nextToken
+	for i := uint32(0); i < probeCount; i++ {
+		p := protocol.Probe{
+			Token: token,
+			Index: i,
+			Count: probeCount,
+			Pad:   make([]byte, probePadSize),
+		}
+		e.SendNew(message.New(protocol.TypeProbe, e.id, 0, 0, p.Encode()), dest)
+	}
+}
+
+// receiveProbe times the inbound burst and acknowledges once complete.
+func (e *Engine) receiveProbe(cm ctrlMsg) {
+	defer cm.m.Release()
+	p, err := protocol.DecodeProbe(cm.m.Payload())
+	if err != nil || p.Count == 0 {
+		return
+	}
+	if e.probeRecv == nil {
+		e.probeRecv = make(map[probeKey]*probeAgg)
+	}
+	key := probeKey{peer: cm.from, token: p.Token}
+	agg := e.probeRecv[key]
+	if agg == nil {
+		agg = &probeAgg{expect: p.Count}
+		e.probeRecv[key] = agg
+	}
+	now := time.Now()
+	if !agg.started {
+		// The first message only starts the clock; its bytes landed
+		// before the measured interval.
+		agg.started = true
+		agg.first = now
+	} else {
+		agg.bytes += int64(cm.m.WireLen())
+	}
+	agg.seen++
+	if agg.seen < agg.expect {
+		return
+	}
+	delete(e.probeRecv, key)
+	elapsed := now.Sub(agg.first).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-6
+	}
+	rate := float64(agg.bytes) / elapsed
+	ack := protocol.ProbeAck{Token: p.Token, Rate: rate}
+	e.SendNew(message.New(protocol.TypeProbeAck, e.id, 0, 0, ack.Encode()), cm.from)
+}
+
+// completeProbe forwards the peer's estimate to the algorithm.
+func (e *Engine) completeProbe(cm ctrlMsg) {
+	defer cm.m.Release()
+	ack, err := protocol.DecodeProbeAck(cm.m.Payload())
+	if err != nil {
+		return
+	}
+	payload := protocol.Throughput{Peer: cm.from, Rate: ack.Rate}.Encode()
+	e.notifyAlg(protocol.TypeBandwidthEst, 0, payload)
+}

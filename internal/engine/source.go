@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/bandwidth"
+	"repro/internal/message"
+)
+
+// source is a locally deployed application data generator: it produces
+// data messages of a fixed size at a configured rate (or back-to-back when
+// unlimited) and injects them into the switch through the local ring, so
+// that the algorithm decides their downstreams exactly like any other
+// message. This models the paper's "application" layer producing the data
+// portion of messages.
+type source struct {
+	app     uint32
+	limiter *bandwidth.Limiter
+	stop    chan struct{}
+	once    sync.Once
+}
+
+func (s *source) halt() {
+	s.once.Do(func() { close(s.stop) })
+}
+
+// StartSource deploys a data source for app. Part of the API interface;
+// safe from any goroutine (the observer's sDeploy handler and tests both
+// use it).
+func (e *Engine) StartSource(app uint32, rate int64, msgSize int) {
+	if msgSize <= 0 {
+		msgSize = 1024
+	}
+	s := &source{
+		app:     app,
+		limiter: bandwidth.NewLimiter(rate),
+		stop:    make(chan struct{}),
+	}
+	e.mu.Lock()
+	if e.stopping {
+		e.mu.Unlock()
+		return
+	}
+	if old, ok := e.localApps[app]; ok {
+		old.halt()
+	}
+	e.localApps[app] = s
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go e.runSource(s, msgSize)
+}
+
+// StopSource terminates a locally deployed source. Part of the API
+// interface.
+func (e *Engine) StopSource(app uint32) {
+	e.mu.Lock()
+	s, ok := e.localApps[app]
+	if ok {
+		delete(e.localApps, app)
+	}
+	e.mu.Unlock()
+	if ok {
+		s.halt()
+	}
+}
+
+func (e *Engine) runSource(s *source, msgSize int) {
+	defer e.wg.Done()
+	defer s.limiter.Close()
+	seq := uint32(0)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-e.done:
+			return
+		default:
+		}
+		m := e.pool.Get(message.FirstDataType, e.id, s.app, seq, msgSize)
+		s.limiter.Wait(m.WireLen())
+		if err := e.localRing.Push(m); err != nil {
+			m.Release()
+			return
+		}
+		e.signalWork()
+		seq++
+	}
+}

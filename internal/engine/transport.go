@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"net"
+
+	"repro/internal/vnet"
+)
+
+// Transport abstracts the substrate the engine runs on: real TCP for
+// wide-area deployments, or the in-process virtual network for virtualized
+// nodes (the paper deploys "from one to up to dozens of iOverlay nodes"
+// per physical machine; vnet takes that to its limit).
+type Transport interface {
+	// Listen binds the node's publicized address.
+	Listen(addr string) (net.Listener, error)
+	// DialFrom opens a connection to addr. local is the dialing node's
+	// publicized address; transports that cannot bind it (TCP) ignore it,
+	// since the hello handshake carries the identity in-band.
+	DialFrom(local, addr string) (net.Conn, error)
+}
+
+// TCP is the real-network transport.
+type TCP struct{}
+
+var _ Transport = TCP{}
+
+// Listen binds a TCP listener.
+func (TCP) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// DialFrom dials over TCP; the local address hint is ignored.
+func (TCP) DialFrom(_, addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}
+
+// VNet adapts a virtual network to the Transport interface.
+type VNet struct {
+	Net *vnet.Network
+}
+
+var _ Transport = VNet{}
+
+// Listen binds a virtual listener.
+func (v VNet) Listen(addr string) (net.Listener, error) {
+	return v.Net.Listen(addr)
+}
+
+// DialFrom dials through the virtual network, preserving the local
+// address so traffic is attributable in tests.
+func (v VNet) DialFrom(local, addr string) (net.Conn, error) {
+	return v.Net.DialFrom(local, addr)
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tree"
+)
+
+// TestFig11NsAwareLiveness is a regression net for a teardown hang seen
+// under heavy load: a deep ns-aware tree over latency-modeled links must
+// build, measure and stop within a bounded time.
+func TestFig11NsAwareLiveness(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		_, err := Fig11(Fig11Config{
+			N: 20, Seed: 7, Window: 2 * time.Second,
+			Variants: []tree.Variant{tree.StressAware},
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("fig11 ns-aware N=20 hung (liveness regression)")
+	}
+}

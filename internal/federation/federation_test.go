@@ -1,0 +1,443 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/algtest"
+	"repro/internal/engine"
+	"repro/internal/message"
+	"repro/internal/protocol"
+	"repro/internal/vnet"
+)
+
+func nid(i int) message.NodeID {
+	return message.MakeID(fmt.Sprintf("10.0.3.%d", i), 7000)
+}
+
+func newNode(policy Selection, self message.NodeID) (*Node, *algtest.FakeAPI) {
+	api := algtest.New(self)
+	n := &Node{Policy: policy}
+	n.Attach(api)
+	return n, api
+}
+
+func deliver(t *testing.T, n *Node, m *message.Msg) {
+	t.Helper()
+	if v := n.Process(m); v != engine.Done {
+		t.Fatalf("verdict = %v, want Done", v)
+	}
+	m.Release()
+}
+
+func TestRequirementValidateAndChain(t *testing.T) {
+	r := Chain(100<<10, 1, 2, 3)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate(chain): %v", err)
+	}
+	if len(r.Edges) != 2 || r.Edges[0] != [2]int{0, 1} || r.Edges[1] != [2]int{1, 2} {
+		t.Errorf("Chain edges = %v", r.Edges)
+	}
+	if err := (Requirement{}).Validate(); err == nil {
+		t.Error("empty requirement validated")
+	}
+	bad := Requirement{Types: []uint32{1, 2}, Edges: [][2]int{{1, 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("backward edge validated")
+	}
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	a := Assign{ServiceType: 5, Capacity: 99}
+	if got, err := DecodeAssign(a.Encode()); err != nil || got != a {
+		t.Errorf("assign = %+v, %v", got, err)
+	}
+	aw := Aware{Node: nid(1), ServiceType: 5, Capacity: 99, Hops: 2}
+	if got, err := DecodeAware(aw.Encode()); err != nil || got != aw {
+		t.Errorf("aware = %+v, %v", got, err)
+	}
+	f := Federate{
+		SessionID: 7,
+		Req:       Chain(50, 1, 2, 3),
+		Assigned:  []message.NodeID{nid(1), {}, {}},
+		Next:      1,
+	}
+	got, err := DecodeFederate(f.Encode())
+	if err != nil {
+		t.Fatalf("federate decode: %v", err)
+	}
+	if got.SessionID != 7 || got.Next != 1 || len(got.Assigned) != 3 ||
+		got.Assigned[0] != nid(1) || len(got.Req.Types) != 3 ||
+		got.Req.Bandwidth != 50 || len(got.Req.Edges) != 2 {
+		t.Errorf("federate = %+v", got)
+	}
+	p := LoadProbe{SessionID: 7, Token: 3}
+	if got, err := DecodeLoadProbe(p.Encode()); err != nil || got != p {
+		t.Errorf("probe = %+v, %v", got, err)
+	}
+	lr := LoadReply{SessionID: 7, Token: 3, Residual: -5}
+	if got, err := DecodeLoadReply(lr.Encode()); err != nil || got != lr {
+		t.Errorf("reply = %+v, %v", got, err)
+	}
+}
+
+func TestSelectionString(t *testing.T) {
+	if SFlow.String() != "sFlow" || Fixed.String() != "fixed" ||
+		RandomSel.String() != "random" || Selection(0).String() != "unknown" {
+		t.Error("Selection.String mismatch")
+	}
+}
+
+func TestAssignHostsServiceAndFloodsAware(t *testing.T) {
+	n, api := newNode(SFlow, nid(1))
+	n.Known.Add(nid(2))
+	n.Known.Add(nid(3))
+	deliver(t, n, message.New(TypeAssign, nid(0), 0, 0,
+		Assign{ServiceType: 4, Capacity: 100 << 10}.Encode()))
+	if got := n.Hosted(); got[4] != 100<<10 {
+		t.Errorf("Hosted = %v", got)
+	}
+	if got := len(api.SentOfType(TypeAware)); got != 2 {
+		t.Errorf("aware flood = %d, want 2", got)
+	}
+	if n.KnownInstances(4) != 1 {
+		t.Error("own instance not in registry")
+	}
+	sent := n.OverheadSent()
+	if sent[TypeAware] == 0 {
+		t.Error("aware overhead not counted")
+	}
+}
+
+func TestAwareRecordedAndRelayedOnce(t *testing.T) {
+	n, api := newNode(SFlow, nid(1))
+	n.Known.Add(nid(3))
+	n.Known.Add(nid(4))
+	aw := Aware{Node: nid(9), ServiceType: 2, Capacity: 50}
+	deliver(t, n, message.New(TypeAware, nid(2), 0, 0, aw.Encode()))
+	if n.KnownInstances(2) != 1 {
+		t.Error("instance not recorded")
+	}
+	relays := api.SentOfType(TypeAware)
+	if len(relays) != 2 {
+		t.Fatalf("relays = %d, want 2", len(relays))
+	}
+	got, _ := DecodeAware(relays[0].Msg.Payload())
+	if got.Hops != 1 {
+		t.Errorf("relay hops = %d", got.Hops)
+	}
+	// Duplicate is suppressed.
+	deliver(t, n, message.New(TypeAware, nid(3), 0, 0, aw.Encode()))
+	if len(api.SentOfType(TypeAware)) != 2 {
+		t.Error("duplicate aware relayed")
+	}
+	// TTL-expired is suppressed.
+	aw2 := Aware{Node: nid(10), ServiceType: 2, Capacity: 50, Hops: awareTTL}
+	deliver(t, n, message.New(TypeAware, nid(2), 0, 0, aw2.Encode()))
+	if len(api.SentOfType(TypeAware)) != 2 {
+		t.Error("TTL-expired aware relayed")
+	}
+}
+
+// learn injects an instance into the registry via an aware message.
+func learn(t *testing.T, n *Node, inst message.NodeID, typ uint32, capacity int64) {
+	t.Helper()
+	deliver(t, n, message.New(TypeAware, inst, 0, 0,
+		Aware{Node: inst, ServiceType: typ, Capacity: capacity, Hops: awareTTL}.Encode()))
+}
+
+func TestFixedSelectsHighestCapacity(t *testing.T) {
+	n, api := newNode(Fixed, nid(1))
+	deliver(t, n, message.New(TypeAssign, nid(0), 0, 0, Assign{ServiceType: 1, Capacity: 100}.Encode()))
+	api.Reset()
+	learn(t, n, nid(2), 2, 50)
+	learn(t, n, nid(3), 2, 200)
+	learn(t, n, nid(4), 2, 120)
+
+	f := Federate{SessionID: 1, Req: Chain(10, 1, 2)}
+	deliver(t, n, message.New(TypeFederate, nid(0), 0, 0, f.Encode()))
+	fwd := api.SentOfType(TypeFederate)
+	if len(fwd) != 1 || fwd[0].Dest != nid(3) {
+		t.Fatalf("fixed forward = %+v, want highest-capacity nid(3)", fwd)
+	}
+	got, _ := DecodeFederate(fwd[0].Msg.Payload())
+	if got.Next != 2 || got.Assigned[0] != nid(1) || got.Assigned[1] != nid(3) {
+		t.Errorf("federate state = %+v", got)
+	}
+}
+
+func TestSFlowProbesAndPicksHighestResidual(t *testing.T) {
+	n, api := newNode(SFlow, nid(1))
+	deliver(t, n, message.New(TypeAssign, nid(0), 0, 0, Assign{ServiceType: 1, Capacity: 100}.Encode()))
+	api.Reset()
+	learn(t, n, nid(2), 2, 200) // high capacity...
+	learn(t, n, nid(3), 2, 150)
+
+	f := Federate{SessionID: 1, Req: Chain(10, 1, 2)}
+	deliver(t, n, message.New(TypeFederate, nid(0), 0, 0, f.Encode()))
+	probes := api.SentOfType(TypeLoadProbe)
+	if len(probes) != 2 {
+		t.Fatalf("probes = %d, want 2", len(probes))
+	}
+	if len(api.Timers) == 0 {
+		t.Error("no probe timeout scheduled")
+	}
+	p, _ := DecodeLoadProbe(probes[0].Msg.Payload())
+	// ...but nid(2) is loaded: its residual is lower than nid(3)'s.
+	deliver(t, n, message.New(TypeLoadReply, nid(2), 0, 0,
+		LoadReply{SessionID: 1, Token: p.Token, Residual: 20}.Encode()))
+	deliver(t, n, message.New(TypeLoadReply, nid(3), 0, 0,
+		LoadReply{SessionID: 1, Token: p.Token, Residual: 140}.Encode()))
+	fwd := api.SentOfType(TypeFederate)
+	if len(fwd) != 1 || fwd[0].Dest != nid(3) {
+		t.Fatalf("sFlow forward = %+v, want highest-residual nid(3)", fwd)
+	}
+}
+
+func TestSFlowTimeoutFallsBackToBestSeen(t *testing.T) {
+	n, api := newNode(SFlow, nid(1))
+	deliver(t, n, message.New(TypeAssign, nid(0), 0, 0, Assign{ServiceType: 1, Capacity: 100}.Encode()))
+	learn(t, n, nid(2), 2, 200)
+	learn(t, n, nid(3), 2, 150)
+	f := Federate{SessionID: 1, Req: Chain(10, 1, 2)}
+	deliver(t, n, message.New(TypeFederate, nid(0), 0, 0, f.Encode()))
+	probes := api.SentOfType(TypeLoadProbe)
+	p, _ := DecodeLoadProbe(probes[0].Msg.Payload())
+	// Only one reply arrives; then the timeout fires.
+	deliver(t, n, message.New(TypeLoadReply, nid(3), 0, 0,
+		LoadReply{SessionID: 1, Token: p.Token, Residual: 5}.Encode()))
+	deliver(t, n, message.New(protocol.TypeTick, nid(1), 0, 0,
+		protocol.Tick{Kind: probeTokenBase + p.Token}.Encode()))
+	fwd := api.SentOfType(TypeFederate)
+	if len(fwd) != 1 || fwd[0].Dest != nid(3) {
+		t.Fatalf("timeout fallback = %+v, want nid(3)", fwd)
+	}
+	// A late tick for the same token must not double-forward.
+	deliver(t, n, message.New(protocol.TypeTick, nid(1), 0, 0,
+		protocol.Tick{Kind: probeTokenBase + p.Token}.Encode()))
+	if got := len(api.SentOfType(TypeFederate)); got != 1 {
+		t.Errorf("late tick re-forwarded: %d sends", got)
+	}
+}
+
+func TestLoadProbeRepliesResidual(t *testing.T) {
+	n, api := newNode(SFlow, nid(2))
+	deliver(t, n, message.New(TypeAssign, nid(0), 0, 0, Assign{ServiceType: 2, Capacity: 100}.Encode()))
+	// Commit 30 via a completed session through this node.
+	f := Federate{
+		SessionID: 9, Req: Chain(30, 1, 2),
+		Assigned: []message.NodeID{nid(1), nid(2)}, Next: 2,
+	}
+	deliver(t, n, message.New(TypeFederateAck, nid(1), 0, 0, f.Encode()))
+	if n.Committed() != 30 {
+		t.Fatalf("Committed = %d, want 30", n.Committed())
+	}
+	api.Reset()
+	deliver(t, n, message.New(TypeLoadProbe, nid(1), 0, 0,
+		LoadProbe{SessionID: 1, Token: 5}.Encode()))
+	replies := api.SentOfType(TypeLoadReply)
+	if len(replies) != 1 || replies[0].Dest != nid(1) {
+		t.Fatalf("replies = %+v", replies)
+	}
+	lr, _ := DecodeLoadReply(replies[0].Msg.Payload())
+	if lr.Residual != 70 || lr.Token != 5 {
+		t.Errorf("reply = %+v, want residual 70", lr)
+	}
+}
+
+func TestCompletionDistributesAckAndInstallsRouting(t *testing.T) {
+	// Sink node completes a chain 1 -> 2 and acks the other participant.
+	n, api := newNode(Fixed, nid(2))
+	deliver(t, n, message.New(TypeAssign, nid(0), 0, 0, Assign{ServiceType: 2, Capacity: 100}.Encode()))
+	f := Federate{
+		SessionID: 4, Req: Chain(25, 1, 2),
+		Assigned: []message.NodeID{nid(1), nid(2)}, Next: 2,
+	}
+	deliver(t, n, message.New(TypeFederate, nid(1), 0, 0, f.Encode()))
+	acks := api.SentOfType(TypeFederateAck)
+	if len(acks) != 1 || acks[0].Dest != nid(1) {
+		t.Fatalf("acks = %+v", acks)
+	}
+	if assigned, ok := n.Completed(4); !ok || assigned[1] != nid(2) {
+		t.Errorf("Completed = %v, %v", assigned, ok)
+	}
+	if n.SessionCount() != 1 || n.Committed() != 25 {
+		t.Errorf("load: %d sessions, %d committed", n.SessionCount(), n.Committed())
+	}
+	// Sink consumes data (no successors).
+	m := message.New(message.FirstDataType, nid(1), 4, 0, make([]byte, 100))
+	deliver(t, n, m)
+	if n.ReceivedBytes(4) != 100 {
+		t.Errorf("ReceivedBytes = %d", n.ReceivedBytes(4))
+	}
+}
+
+func TestDataForwardedAlongDAGEdges(t *testing.T) {
+	// Requirement DAG: 0 -> 1, 0 -> 2 (a fan-out). Node nid(1) hosts
+	// vertex 0 and must forward session data to both successors.
+	n, api := newNode(Fixed, nid(1))
+	req := Requirement{
+		Types:     []uint32{1, 2, 3},
+		Edges:     [][2]int{{0, 1}, {0, 2}},
+		Bandwidth: 10,
+	}
+	f := Federate{
+		SessionID: 6, Req: req,
+		Assigned: []message.NodeID{nid(1), nid(2), nid(3)}, Next: 3,
+	}
+	deliver(t, n, message.New(TypeFederateAck, nid(3), 0, 0, f.Encode()))
+	api.Reset()
+	m := message.New(message.FirstDataType, nid(0), 6, 0, make([]byte, 64))
+	deliver(t, n, m)
+	if len(api.SentTo(nid(2))) != 1 || len(api.SentTo(nid(3))) != 1 {
+		t.Errorf("data fan-out wrong: %d/%d", len(api.SentTo(nid(2))), len(api.SentTo(nid(3))))
+	}
+	if n.ReceivedBytes(6) != 0 {
+		t.Error("forwarding node counted data as consumed")
+	}
+}
+
+func TestFederateFailsWithoutInstances(t *testing.T) {
+	n, _ := newNode(Fixed, nid(1))
+	deliver(t, n, message.New(TypeAssign, nid(0), 0, 0, Assign{ServiceType: 1, Capacity: 100}.Encode()))
+	f := Federate{SessionID: 1, Req: Chain(10, 1, 99)}
+	deliver(t, n, message.New(TypeFederate, nid(0), 0, 0, f.Encode()))
+	if n.FailedSessions() != 1 {
+		t.Errorf("FailedSessions = %d, want 1", n.FailedSessions())
+	}
+}
+
+func TestNonHostForwardsToSourceInstance(t *testing.T) {
+	n, api := newNode(Fixed, nid(5))
+	learn(t, n, nid(1), 1, 100)
+	f := Federate{SessionID: 1, Req: Chain(10, 1, 2)}
+	deliver(t, n, message.New(TypeFederate, nid(0), 0, 0, f.Encode()))
+	fwd := api.SentOfType(TypeFederate)
+	if len(fwd) != 1 || fwd[0].Dest != nid(1) {
+		t.Fatalf("forward to hosting node = %+v", fwd)
+	}
+	got, _ := DecodeFederate(fwd[0].Msg.Payload())
+	if got.Next != 0 {
+		t.Errorf("forwarded Next = %d, want 0 (restart at host)", got.Next)
+	}
+}
+
+// TestFederationEndToEndOverEngines drives a three-service chain over
+// real engines with sFlow, then deploys data through the federated path.
+func TestFederationEndToEndOverEngines(t *testing.T) {
+	net := vnet.New()
+	defer net.Close()
+	const session = 77
+	// Topology: nid(1) hosts type 1; nid(2) and nid(3) host type 2;
+	// nid(4) hosts type 3.
+	specs := map[int]uint32{1: 1, 2: 2, 3: 2, 4: 3}
+	nodes := make(map[int]*Node)
+	engines := make(map[int]*engine.Engine)
+	var all []message.NodeID
+	for i := range specs {
+		all = append(all, nid(i))
+	}
+	for i, typ := range specs {
+		alg := &Node{Policy: SFlow}
+		e, err := engine.New(engine.Config{
+			ID:        nid(i),
+			Transport: engine.VNet{Net: net},
+			Algorithm: alg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Stop)
+		nodes[i] = alg
+		engines[i] = e
+		_ = typ
+	}
+	// Assign each node its service (normally an observer command; here
+	// wired from a peer engine).
+	for i := range specs {
+		var helper int
+		for j := range specs {
+			if j != i {
+				helper = j
+				break
+			}
+		}
+		sendCtl(t, engines[helper], nid(i), TypeAssign,
+			Assign{ServiceType: specs[i], Capacity: capOf(i)}.Encode())
+	}
+	waitFor(t, 5*time.Second, "services hosted", func() bool {
+		for i, typ := range specs {
+			if nodes[i].Hosted()[typ] == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	// Seed each node's registry directly via sAware wire messages (this
+	// test has no observer; TTL-expired announcements avoid re-flooding).
+	for i := range specs {
+		for j := range specs {
+			if i == j {
+				continue
+			}
+			aw := Aware{Node: nid(i), ServiceType: specs[i], Capacity: capOf(i), Hops: awareTTL}
+			sendCtl(t, engines[i], nid(j), TypeAware, aw.Encode())
+		}
+	}
+	waitFor(t, 5*time.Second, "registries populated", func() bool {
+		for i := range specs {
+			if nodes[i].KnownInstances(2) < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	// Launch the federation at the source host.
+	req := Chain(10<<10, 1, 2, 3)
+	f := Federate{SessionID: session, Req: req}
+	sendCtl(t, engines[2], nid(1), TypeFederate, f.Encode())
+
+	waitFor(t, 5*time.Second, "session completed at source", func() bool {
+		_, ok := nodes[1].Completed(session)
+		return ok
+	})
+	assigned, _ := nodes[1].Completed(session)
+	if assigned[0] != nid(1) || assigned[2] != nid(4) {
+		t.Fatalf("assignment = %v", assigned)
+	}
+	if assigned[1] != nid(2) && assigned[1] != nid(3) {
+		t.Fatalf("middle instance = %v", assigned[1])
+	}
+	// Deploy data through the path.
+	engines[1].StartSource(session, 200<<10, 1024)
+	waitFor(t, 5*time.Second, "sink receives data", func() bool {
+		return nodes[4].ReceivedBytes(session) > 50<<10
+	})
+}
+
+func capOf(i int) int64 { return int64(50+10*i) << 10 }
+
+// sendCtl injects a control message from one engine to a destination via
+// the engine goroutine.
+func sendCtl(t *testing.T, e *engine.Engine, dest message.NodeID, typ message.Type, payload []byte) {
+	t.Helper()
+	e.Do(func(api engine.API) {
+		api.SendNew(api.NewControl(typ, 0, payload), dest)
+	})
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,597 @@
+package federation
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/algorithm"
+	"repro/internal/engine"
+	"repro/internal/message"
+	"repro/internal/protocol"
+)
+
+// awareTTL bounds sAware relaying.
+const awareTTL = 8
+
+// maxProbes bounds how many candidates sFlow probes per selection.
+const maxProbes = 4
+
+// probeTimeout bounds how long a selection waits for probe replies.
+const probeTimeout = 250 * time.Millisecond
+
+// probeTokenBase offsets probe tick kinds away from other algorithms'.
+const probeTokenBase = 1 << 16
+
+type awareKey struct {
+	node message.NodeID
+	typ  uint32
+}
+
+type probeState struct {
+	fed      Federate
+	waiting  int
+	best     int64
+	bestNode message.NodeID
+	done     bool
+}
+
+// Node is the service-federation algorithm deployed on every node of the
+// service overlay network.
+type Node struct {
+	algorithm.Base
+
+	// Policy selects the instance-selection algorithm; required.
+	Policy Selection
+
+	mu        sync.Mutex
+	services  map[uint32]int64                    // hosted type -> capacity
+	registry  map[uint32]map[message.NodeID]int64 // type -> instance -> capacity
+	seenAware map[awareKey]bool
+	committed int64
+	sessions  map[uint32][]message.NodeID // session -> data successors
+	loadSeen  map[uint32]bool             // sessions already counted in committed
+	completed map[uint32][]message.NodeID // session -> full assignment
+	failed    int64
+
+	pending   map[uint32]*probeState
+	nextToken uint32
+
+	sentBytes map[message.Type]int64
+	recvBytes map[message.Type]int64
+	received  map[uint32]int64 // session -> data bytes consumed
+}
+
+var _ engine.Algorithm = (*Node)(nil)
+
+// Attach initializes state.
+func (n *Node) Attach(api engine.API) {
+	n.Base.Attach(api)
+	n.mu.Lock()
+	n.services = make(map[uint32]int64)
+	n.registry = make(map[uint32]map[message.NodeID]int64)
+	n.seenAware = make(map[awareKey]bool)
+	n.sessions = make(map[uint32][]message.NodeID)
+	n.loadSeen = make(map[uint32]bool)
+	n.completed = make(map[uint32][]message.NodeID)
+	n.pending = make(map[uint32]*probeState)
+	n.sentBytes = make(map[message.Type]int64)
+	n.recvBytes = make(map[message.Type]int64)
+	n.received = make(map[uint32]int64)
+	n.mu.Unlock()
+}
+
+// ----- observability (safe from any goroutine) -----
+
+// OverheadSent reports control bytes sent per message type.
+func (n *Node) OverheadSent() map[message.Type]int64 { return n.copyCounts(true) }
+
+// OverheadRecv reports control bytes received per message type.
+func (n *Node) OverheadRecv() map[message.Type]int64 { return n.copyCounts(false) }
+
+func (n *Node) copyCounts(sent bool) map[message.Type]int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	src := n.recvBytes
+	if sent {
+		src = n.sentBytes
+	}
+	out := make(map[message.Type]int64, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// Committed reports the bandwidth committed to sessions through this
+// node.
+func (n *Node) Committed() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.committed
+}
+
+// SessionCount reports the number of sessions routed through this node.
+func (n *Node) SessionCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.loadSeen)
+}
+
+// Hosted reports the capacities of services hosted here.
+func (n *Node) Hosted() map[uint32]int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[uint32]int64, len(n.services))
+	for k, v := range n.services {
+		out[k] = v
+	}
+	return out
+}
+
+// KnownInstances reports how many instances of a service type this node
+// has learned of.
+func (n *Node) KnownInstances(typ uint32) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.registry[typ])
+}
+
+// Completed returns the assignment of a completed session, if known here.
+func (n *Node) Completed(session uint32) ([]message.NodeID, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a, ok := n.completed[session]
+	if !ok {
+		return nil, false
+	}
+	out := make([]message.NodeID, len(a))
+	copy(out, a)
+	return out, true
+}
+
+// FailedSessions reports federations that could not find an instance.
+func (n *Node) FailedSessions() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.failed
+}
+
+// ReceivedBytes reports data bytes consumed here for a session.
+func (n *Node) ReceivedBytes(session uint32) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.received[session]
+}
+
+// ----- messaging with overhead accounting -----
+
+func (n *Node) send(typ message.Type, payload []byte, dests ...message.NodeID) {
+	if len(dests) == 0 {
+		return
+	}
+	n.mu.Lock()
+	n.sentBytes[typ] += int64(len(dests)) * int64(message.HeaderSize+len(payload))
+	n.mu.Unlock()
+	n.API.SendNew(n.API.NewControl(typ, 0, payload), dests...)
+}
+
+func (n *Node) countRecv(m *message.Msg) {
+	n.mu.Lock()
+	n.recvBytes[m.Type()] += int64(m.WireLen())
+	n.mu.Unlock()
+}
+
+// ----- message handling -----
+
+// Process implements the algorithm.
+func (n *Node) Process(m *message.Msg) engine.Verdict {
+	switch m.Type() {
+	case TypeAssign:
+		n.countRecv(m)
+		n.onAssign(m)
+	case TypeAware:
+		n.countRecv(m)
+		n.onAware(m)
+	case TypeFederate:
+		n.countRecv(m)
+		n.onFederate(m)
+	case TypeFederateAck:
+		n.countRecv(m)
+		n.onFederateAck(m)
+	case TypeLoadProbe:
+		n.countRecv(m)
+		n.onLoadProbe(m)
+	case TypeLoadReply:
+		n.countRecv(m)
+		n.onLoadReply(m)
+	case protocol.TypeTick:
+		n.onTick(m)
+	default:
+		if m.IsData() {
+			n.onData(m)
+			return engine.Done
+		}
+		return n.Base.Process(m)
+	}
+	return engine.Done
+}
+
+// onAssign establishes a new service instance and disseminates its
+// existence.
+func (n *Node) onAssign(m *message.Msg) {
+	a, err := DecodeAssign(m.Payload())
+	if err != nil {
+		return
+	}
+	self := n.API.ID()
+	n.mu.Lock()
+	n.services[a.ServiceType] = a.Capacity
+	n.recordInstance(a.ServiceType, self, a.Capacity)
+	n.seenAware[awareKey{self, a.ServiceType}] = true
+	n.mu.Unlock()
+	aw := Aware{Node: self, ServiceType: a.ServiceType, Capacity: a.Capacity}
+	n.send(TypeAware, aw.Encode(), n.Known.All()...)
+}
+
+// recordInstance requires n.mu held.
+func (n *Node) recordInstance(typ uint32, node message.NodeID, capacity int64) {
+	insts, ok := n.registry[typ]
+	if !ok {
+		insts = make(map[message.NodeID]int64)
+		n.registry[typ] = insts
+	}
+	insts[node] = capacity
+}
+
+// onAware records a new instance in the local service graph and relays
+// the announcement once.
+func (n *Node) onAware(m *message.Msg) {
+	a, err := DecodeAware(m.Payload())
+	if err != nil || a.Node.IsZero() {
+		return
+	}
+	key := awareKey{a.Node, a.ServiceType}
+	n.mu.Lock()
+	dup := n.seenAware[key]
+	n.seenAware[key] = true
+	n.recordInstance(a.ServiceType, a.Node, a.Capacity)
+	n.mu.Unlock()
+	if dup || a.Hops >= awareTTL {
+		return
+	}
+	a.Hops++
+	var relayTo []message.NodeID
+	for _, h := range n.Known.All() {
+		if h != a.Node && h != m.Sender() {
+			relayTo = append(relayTo, h)
+		}
+	}
+	n.send(TypeAware, a.Encode(), relayTo...)
+}
+
+// onFederate advances the federation: assign the next requirement vertex
+// and pass the message on.
+func (n *Node) onFederate(m *message.Msg) {
+	f, err := DecodeFederate(m.Payload())
+	if err != nil || f.Req.Validate() != nil {
+		return
+	}
+	if f.Next == 0 {
+		// We are the designated source service node.
+		self := n.API.ID()
+		n.mu.Lock()
+		_, hosts := n.services[f.Req.Types[0]]
+		n.mu.Unlock()
+		if !hosts {
+			// Forward to a known instance of the source type instead.
+			if inst, ok := n.pickAny(f.Req.Types[0]); ok {
+				n.send(TypeFederate, f.Encode(), inst)
+			} else {
+				n.recordFailure()
+			}
+			return
+		}
+		f.Assigned = make([]message.NodeID, len(f.Req.Types))
+		f.Assigned[0] = self
+		f.Next = 1
+	}
+	n.advance(f)
+}
+
+// advance assigns requirement vertices until the assignment either
+// completes, fails, or must wait for probe replies.
+func (n *Node) advance(f Federate) {
+	for int(f.Next) < len(f.Req.Types) {
+		idx := int(f.Next)
+		typ := f.Req.Types[idx]
+		candidates := n.candidatesFor(typ, f.Assigned)
+		if len(candidates) == 0 {
+			n.recordFailure()
+			return
+		}
+		var chosen message.NodeID
+		switch n.Policy {
+		case RandomSel:
+			chosen = candidates[n.Rng.Intn(len(candidates))].node
+		case Fixed:
+			chosen = maxBy(candidates, func(c candidate) int64 { return c.capacity })
+		case SFlow:
+			if len(candidates) == 1 {
+				chosen = candidates[0].node
+				break
+			}
+			n.launchProbes(f, candidates)
+			return // resume in onLoadReply / onTick
+		default:
+			chosen = candidates[0].node
+		}
+		fw := n.assignAndForward(f, chosen)
+		if !fw.local {
+			return
+		}
+		f = fw.Federate
+	}
+	n.complete(f)
+}
+
+type candidate struct {
+	node     message.NodeID
+	capacity int64
+}
+
+func maxBy(cs []candidate, key func(candidate) int64) message.NodeID {
+	best := cs[0]
+	bestKey := key(best)
+	for _, c := range cs[1:] {
+		if k := key(c); k > bestKey {
+			best, bestKey = c, k
+		}
+	}
+	return best.node
+}
+
+// candidatesFor lists known instances of a type, preferring nodes not yet
+// assigned in this session.
+func (n *Node) candidatesFor(typ uint32, assigned []message.NodeID) []candidate {
+	used := make(map[message.NodeID]bool, len(assigned))
+	for _, a := range assigned {
+		used[a] = true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var fresh, reused []candidate
+	for node, capacity := range n.registry[typ] {
+		c := candidate{node: node, capacity: capacity}
+		if used[node] {
+			reused = append(reused, c)
+		} else {
+			fresh = append(fresh, c)
+		}
+	}
+	if len(fresh) > 0 {
+		return fresh
+	}
+	return reused
+}
+
+func (n *Node) pickAny(typ uint32) (message.NodeID, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for node := range n.registry[typ] {
+		return node, true
+	}
+	return message.NodeID{}, false
+}
+
+func (n *Node) recordFailure() {
+	n.mu.Lock()
+	n.failed++
+	n.mu.Unlock()
+}
+
+// launchProbes starts an sFlow selection round: probe up to maxProbes
+// candidates for residual bandwidth.
+func (n *Node) launchProbes(f Federate, candidates []candidate) {
+	if len(candidates) > maxProbes {
+		// Probe the highest-capacity subset.
+		for i := 0; i < maxProbes; i++ {
+			maxI := i
+			for j := i + 1; j < len(candidates); j++ {
+				if candidates[j].capacity > candidates[maxI].capacity {
+					maxI = j
+				}
+			}
+			candidates[i], candidates[maxI] = candidates[maxI], candidates[i]
+		}
+		candidates = candidates[:maxProbes]
+	}
+	n.mu.Lock()
+	n.nextToken++
+	token := n.nextToken
+	n.pending[token] = &probeState{
+		fed:      f,
+		waiting:  len(candidates),
+		best:     -1,
+		bestNode: candidates[0].node, // fallback
+	}
+	n.mu.Unlock()
+	payload := LoadProbe{SessionID: f.SessionID, Token: token}.Encode()
+	for _, c := range candidates {
+		n.send(TypeLoadProbe, payload, c.node)
+	}
+	n.API.After(probeTimeout, probeTokenBase+token)
+}
+
+func (n *Node) onLoadProbe(m *message.Msg) {
+	p, err := DecodeLoadProbe(m.Payload())
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	var capacity int64
+	for _, c := range n.services {
+		if c > capacity {
+			capacity = c
+		}
+	}
+	residual := capacity - n.committed
+	n.mu.Unlock()
+	reply := LoadReply{SessionID: p.SessionID, Token: p.Token, Residual: residual}
+	n.send(TypeLoadReply, reply.Encode(), m.Sender())
+}
+
+func (n *Node) onLoadReply(m *message.Msg) {
+	p, err := DecodeLoadReply(m.Payload())
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	st := n.pending[p.Token]
+	if st == nil || st.done {
+		n.mu.Unlock()
+		return
+	}
+	if p.Residual > st.best {
+		st.best = p.Residual
+		st.bestNode = m.Sender()
+	}
+	st.waiting--
+	ready := st.waiting <= 0
+	if ready {
+		st.done = true
+		delete(n.pending, p.Token)
+	}
+	n.mu.Unlock()
+	if ready {
+		n.resumeSelection(st)
+	}
+}
+
+func (n *Node) onTick(m *message.Msg) {
+	tk, err := protocol.DecodeTick(m.Payload())
+	if err != nil || tk.Kind < probeTokenBase {
+		return
+	}
+	token := tk.Kind - probeTokenBase
+	n.mu.Lock()
+	st := n.pending[token]
+	if st == nil || st.done {
+		n.mu.Unlock()
+		return
+	}
+	st.done = true
+	delete(n.pending, token)
+	n.mu.Unlock()
+	n.resumeSelection(st) // timeout: go with the best reply seen (or fallback)
+}
+
+func (n *Node) resumeSelection(st *probeState) {
+	fw := n.assignAndForward(st.fed, st.bestNode)
+	if fw.local {
+		n.advance(fw.Federate)
+	}
+}
+
+// forwarded wraps a Federate with whether processing stays local.
+type forwarded struct {
+	Federate
+	local bool
+}
+
+// assignAndForward writes the chosen instance into the assignment and
+// either forwards the message to it or, when the chosen instance is this
+// node, continues locally.
+func (n *Node) assignAndForward(f Federate, chosen message.NodeID) forwarded {
+	f.Assigned[f.Next] = chosen
+	f.Next++
+	if chosen == n.API.ID() {
+		if int(f.Next) >= len(f.Req.Types) {
+			n.complete(f)
+			return forwarded{Federate: f, local: false}
+		}
+		return forwarded{Federate: f, local: true}
+	}
+	if int(f.Next) >= len(f.Req.Types) {
+		// The chosen node is the sink; it will complete the federation.
+		n.send(TypeFederate, f.Encode(), chosen)
+		return forwarded{Federate: f, local: false}
+	}
+	n.send(TypeFederate, f.Encode(), chosen)
+	return forwarded{Federate: f, local: false}
+}
+
+// complete concludes a federation: distribute the final assignment to
+// every participant.
+func (n *Node) complete(f Federate) {
+	seen := make(map[message.NodeID]bool)
+	var participants []message.NodeID
+	for _, a := range f.Assigned {
+		if !a.IsZero() && !seen[a] {
+			seen[a] = true
+			participants = append(participants, a)
+		}
+	}
+	payload := f.Encode()
+	self := n.API.ID()
+	for _, p := range participants {
+		if p == self {
+			continue
+		}
+		n.send(TypeFederateAck, payload, p)
+	}
+	if seen[self] {
+		n.applyAssignment(f)
+	}
+}
+
+// onFederateAck installs the session routing at a participant.
+func (n *Node) onFederateAck(m *message.Msg) {
+	f, err := DecodeFederate(m.Payload())
+	if err != nil || f.Req.Validate() != nil {
+		return
+	}
+	n.applyAssignment(f)
+}
+
+// applyAssignment records session routing and load for this node.
+func (n *Node) applyAssignment(f Federate) {
+	self := n.API.ID()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.loadSeen[f.SessionID] {
+		return
+	}
+	n.loadSeen[f.SessionID] = true
+	n.committed += f.Req.Bandwidth
+	n.completed[f.SessionID] = append([]message.NodeID(nil), f.Assigned...)
+	var succs []message.NodeID
+	for _, e := range f.Req.Edges {
+		if f.Assigned[e[0]] == self {
+			dst := f.Assigned[e[1]]
+			dup := false
+			for _, s := range succs {
+				if s == dst {
+					dup = true
+					break
+				}
+			}
+			if !dup && dst != self {
+				succs = append(succs, dst)
+			}
+		}
+	}
+	n.sessions[f.SessionID] = succs
+}
+
+// onData forwards session data along the federated topology.
+func (n *Node) onData(m *message.Msg) {
+	n.mu.Lock()
+	succs := n.sessions[m.App()]
+	if len(succs) == 0 {
+		n.received[m.App()] += int64(m.Len())
+	}
+	n.mu.Unlock()
+	for _, s := range succs {
+		n.API.Send(m, s)
+	}
+}

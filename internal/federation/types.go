@@ -1,0 +1,237 @@
+// Package federation implements the paper's third case study
+// (Section 3.4): service federation in service overlay networks. Data
+// messages are transformed by a series of third-party services before
+// reaching their destination; provisioning a complex service by
+// constructing a topology of selected primitive-service instances is
+// service federation. The sFlow algorithm federates requirements given as
+// directed acyclic graphs of service types, selecting the most
+// bandwidth-efficient instance for each required service; random and
+// fixed selection are implemented as the paper's control algorithms.
+package federation
+
+import (
+	"fmt"
+
+	"repro/internal/message"
+	"repro/internal/protocol"
+)
+
+// Algorithm-specific control message types.
+const (
+	// TypeAssign is the observer's sAssign: host a service instance.
+	TypeAssign message.Type = 110
+	// TypeAware is sAware: a (new) service disseminates its existence.
+	TypeAware message.Type = 111
+	// TypeFederate is sFederate: the requirement traveling hop by hop.
+	TypeFederate message.Type = 112
+	// TypeFederateAck distributes the completed assignment.
+	TypeFederateAck message.Type = 113
+	// TypeLoadProbe asks a candidate instance for its residual bandwidth.
+	TypeLoadProbe message.Type = 114
+	// TypeLoadReply answers a load probe.
+	TypeLoadReply message.Type = 115
+)
+
+// Selection picks how the next service instance is chosen.
+type Selection int
+
+// The three selection policies evaluated in Fig. 19.
+const (
+	// SFlow selects the most bandwidth-efficient instance: the highest
+	// measured residual (available) bandwidth, obtained by probing.
+	SFlow Selection = iota + 1
+	// Fixed always selects the instance with the highest nominal
+	// bandwidth, ignoring current load.
+	Fixed
+	// RandomSel selects uniformly at random.
+	RandomSel
+)
+
+// String renders the policy as the paper names it.
+func (s Selection) String() string {
+	switch s {
+	case SFlow:
+		return "sFlow"
+	case Fixed:
+		return "fixed"
+	case RandomSel:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// Requirement is a complex-service requirement: a DAG whose vertices are
+// primitive service types in topological order (index 0 is the source
+// service, the last index the sink) and whose edges are producer-consumer
+// data flows. Bandwidth is the session's nominal demand, used for load
+// accounting on selected instances.
+type Requirement struct {
+	Types     []uint32
+	Edges     [][2]int
+	Bandwidth int64
+}
+
+// Validate checks shape: nonempty, edges in range and forward-directed
+// (topological indices).
+func (r Requirement) Validate() error {
+	if len(r.Types) == 0 {
+		return fmt.Errorf("federation: empty requirement")
+	}
+	for _, e := range r.Edges {
+		if e[0] < 0 || e[1] >= len(r.Types) || e[0] >= e[1] {
+			return fmt.Errorf("federation: bad edge %v", e)
+		}
+	}
+	return nil
+}
+
+// Chain builds the common linear requirement t0 -> t1 -> ... -> tk.
+func Chain(bandwidth int64, types ...uint32) Requirement {
+	r := Requirement{Types: types, Bandwidth: bandwidth}
+	for i := 0; i+1 < len(types); i++ {
+		r.Edges = append(r.Edges, [2]int{i, i + 1})
+	}
+	return r
+}
+
+func (r Requirement) encode(w *protocol.Writer) {
+	w.U32(uint32(len(r.Types)))
+	for _, t := range r.Types {
+		w.U32(t)
+	}
+	w.U32(uint32(len(r.Edges)))
+	for _, e := range r.Edges {
+		w.U32(uint32(e[0])).U32(uint32(e[1]))
+	}
+	w.I64(r.Bandwidth)
+}
+
+func decodeRequirement(rd *protocol.Reader) Requirement {
+	var r Requirement
+	nt := rd.U32()
+	if rd.Err() != nil || nt > uint32(rd.Remaining()/4) {
+		return r
+	}
+	r.Types = make([]uint32, 0, nt)
+	for i := uint32(0); i < nt; i++ {
+		r.Types = append(r.Types, rd.U32())
+	}
+	ne := rd.U32()
+	if rd.Err() != nil || ne > uint32(rd.Remaining()/8) {
+		return r
+	}
+	r.Edges = make([][2]int, 0, ne)
+	for i := uint32(0); i < ne; i++ {
+		a, b := rd.U32(), rd.U32()
+		r.Edges = append(r.Edges, [2]int{int(a), int(b)})
+	}
+	r.Bandwidth = rd.I64()
+	return r
+}
+
+// Assign is the sAssign payload: host an instance of ServiceType with the
+// given nominal bandwidth capacity.
+type Assign struct {
+	ServiceType uint32
+	Capacity    int64
+}
+
+// Encode serializes the command.
+func (a Assign) Encode() []byte {
+	return protocol.NewWriter(12).U32(a.ServiceType).I64(a.Capacity).Bytes()
+}
+
+// DecodeAssign parses an sAssign payload.
+func DecodeAssign(b []byte) (Assign, error) {
+	r := protocol.NewReader(b)
+	a := Assign{ServiceType: r.U32(), Capacity: r.I64()}
+	return a, r.Err()
+}
+
+// Aware is the sAware payload: a service instance's existence
+// announcement, relayed through the membership.
+type Aware struct {
+	Node        message.NodeID
+	ServiceType uint32
+	Capacity    int64
+	Hops        uint32
+}
+
+// Encode serializes the announcement.
+func (a Aware) Encode() []byte {
+	return protocol.NewWriter(24).ID(a.Node).U32(a.ServiceType).I64(a.Capacity).U32(a.Hops).Bytes()
+}
+
+// DecodeAware parses an sAware payload.
+func DecodeAware(b []byte) (Aware, error) {
+	r := protocol.NewReader(b)
+	a := Aware{Node: r.ID(), ServiceType: r.U32(), Capacity: r.I64(), Hops: r.U32()}
+	return a, r.Err()
+}
+
+// Federate is the sFederate payload: the requirement plus the assignment
+// built so far; Next is the requirement index to assign next.
+type Federate struct {
+	SessionID uint32
+	Req       Requirement
+	Assigned  []message.NodeID // indexed by requirement vertex; zero = open
+	Next      uint32
+}
+
+// Encode serializes the federation message.
+func (f Federate) Encode() []byte {
+	w := protocol.NewWriter(64)
+	w.U32(f.SessionID)
+	f.Req.encode(w)
+	w.IDs(f.Assigned)
+	w.U32(f.Next)
+	return w.Bytes()
+}
+
+// DecodeFederate parses an sFederate payload.
+func DecodeFederate(b []byte) (Federate, error) {
+	r := protocol.NewReader(b)
+	f := Federate{SessionID: r.U32()}
+	f.Req = decodeRequirement(r)
+	f.Assigned = r.IDs()
+	f.Next = r.U32()
+	return f, r.Err()
+}
+
+// LoadProbe is the residual-bandwidth probe payload.
+type LoadProbe struct {
+	SessionID uint32
+	Token     uint32
+}
+
+// Encode serializes the probe.
+func (p LoadProbe) Encode() []byte {
+	return protocol.NewWriter(8).U32(p.SessionID).U32(p.Token).Bytes()
+}
+
+// DecodeLoadProbe parses a probe payload.
+func DecodeLoadProbe(b []byte) (LoadProbe, error) {
+	r := protocol.NewReader(b)
+	p := LoadProbe{SessionID: r.U32(), Token: r.U32()}
+	return p, r.Err()
+}
+
+// LoadReply answers a probe with the instance's residual bandwidth.
+type LoadReply struct {
+	SessionID uint32
+	Token     uint32
+	Residual  int64
+}
+
+// Encode serializes the reply.
+func (p LoadReply) Encode() []byte {
+	return protocol.NewWriter(16).U32(p.SessionID).U32(p.Token).I64(p.Residual).Bytes()
+}
+
+// DecodeLoadReply parses a reply payload.
+func DecodeLoadReply(b []byte) (LoadReply, error) {
+	r := protocol.NewReader(b)
+	p := LoadReply{SessionID: r.U32(), Token: r.U32(), Residual: r.I64()}
+	return p, r.Err()
+}

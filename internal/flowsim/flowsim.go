@@ -1,0 +1,546 @@
+// Package flowsim is a flow-level steady-state throughput solver for
+// overlay dissemination topologies under iOverlay-style bandwidth
+// emulation. It models the two buffer regimes the paper evaluates:
+//
+//   - BackPressure (small per-node buffers): a multicast session's entire
+//     replication tree converges to a single per-copy rate — the paper's
+//     "back pressure" effect where a bottleneck throttles the whole
+//     session (Fig. 6). Multiple sessions share constraints max-min
+//     fairly via progressive filling.
+//
+//   - Buffered (very large buffers): upstream links are not throttled by
+//     downstream bottlenecks within the measurement horizon; each node
+//     forwards at the minimum of its inflow and its local fair share
+//     (Fig. 7).
+//
+// The solver is used to cross-validate the live engine measurements of
+// Figs. 6–8 and to predict the shapes of the large-scale experiments.
+package flowsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Unlimited disables a cap.
+const Unlimited float64 = 0
+
+// NodeCaps is a node's emulated bandwidth availability, in bytes/sec.
+type NodeCaps struct {
+	Total float64
+	Up    float64
+	Down  float64
+}
+
+// Session is one dissemination session: a source plus the directed edges
+// its data flows along (a connected DAG rooted at Source). Copies are
+// made at every node with multiple out-edges; parallel in-edges carry
+// independent copies (no merging), as in the paper's test engine
+// configuration. Rate caps the per-copy source rate (Unlimited =
+// back-to-back).
+type Session struct {
+	Source string
+	Edges  [][2]string
+	Rate   float64
+}
+
+// Mode selects the buffer regime.
+type Mode int
+
+// The two buffer regimes.
+const (
+	BackPressure Mode = iota + 1
+	Buffered
+)
+
+// Net is a topology under construction.
+type Net struct {
+	caps     map[string]NodeCaps
+	linkCaps map[[2]string]float64
+	sessions []Session
+}
+
+// New returns an empty network.
+func New() *Net {
+	return &Net{
+		caps:     make(map[string]NodeCaps),
+		linkCaps: make(map[[2]string]float64),
+	}
+}
+
+// AddNode declares a node with its emulated caps (zero fields mean
+// unlimited).
+func (n *Net) AddNode(name string, caps NodeCaps) {
+	n.caps[name] = caps
+}
+
+// SetLinkCap declares an emulated per-link bandwidth cap.
+func (n *Net) SetLinkCap(from, to string, cap float64) {
+	n.linkCaps[[2]string{from, to}] = cap
+}
+
+// AddSession registers a dissemination session and returns its index.
+func (n *Net) AddSession(s Session) int {
+	n.sessions = append(n.sessions, s)
+	return len(n.sessions) - 1
+}
+
+// Result reports solved steady-state rates.
+type Result struct {
+	// EdgeRates maps (from, to) to total bytes/sec on that overlay link,
+	// summed over sessions and copies.
+	EdgeRates map[[2]string]float64
+	// SessionRates maps session index to the per-copy rate (BackPressure
+	// mode) or the source's per-copy emission rate (Buffered mode).
+	SessionRates []float64
+	// NodeInRates maps node to total incoming bytes/sec.
+	NodeInRates map[string]float64
+}
+
+// EdgeRate is a convenience accessor.
+func (r *Result) EdgeRate(from, to string) float64 {
+	return r.EdgeRates[[2]string{from, to}]
+}
+
+// units computes, for one session, how many independent copies traverse
+// each edge: copies into a node fan out to every out-edge.
+func unitsOn(s Session) (map[[2]string]float64, error) {
+	out := make(map[string][][2]string)
+	indeg := make(map[string]int)
+	nodes := map[string]bool{s.Source: true}
+	for _, e := range s.Edges {
+		out[e[0]] = append(out[e[0]], e)
+		indeg[e[1]]++
+		nodes[e[0]] = true
+		nodes[e[1]] = true
+	}
+	// Kahn topological order.
+	var queue []string
+	for v := range nodes {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	sort.Strings(queue)
+	unitsIn := map[string]float64{s.Source: 1}
+	units := make(map[[2]string]float64)
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, e := range out[v] {
+			units[e] += unitsIn[v]
+			unitsIn[e[1]] += unitsIn[v]
+			indeg[e[1]]--
+			if indeg[e[1]] == 0 {
+				queue = append(queue, e[1])
+			}
+		}
+	}
+	if seen != len(nodes) {
+		return nil, fmt.Errorf("flowsim: session rooted at %s has a cycle", s.Source)
+	}
+	return units, nil
+}
+
+// constraint is one shared capacity: cap and per-session unit loads.
+type constraint struct {
+	cap   float64
+	loads []float64 // per session
+}
+
+// Solve computes the steady state in the given mode.
+func (n *Net) Solve(mode Mode) (*Result, error) {
+	switch mode {
+	case BackPressure:
+		return n.solveBackPressure()
+	case Buffered:
+		return n.solveBuffered()
+	default:
+		return nil, fmt.Errorf("flowsim: unknown mode %d", mode)
+	}
+}
+
+// solveBackPressure runs progressive filling: every session's per-copy
+// rate grows in lockstep; a session freezes when any constraint it loads
+// saturates.
+func (n *Net) solveBackPressure() (*Result, error) {
+	S := len(n.sessions)
+	unitMaps := make([]map[[2]string]float64, S)
+	for i, s := range n.sessions {
+		u, err := unitsOn(s)
+		if err != nil {
+			return nil, err
+		}
+		unitMaps[i] = u
+	}
+	var cons []*constraint
+	addCon := func(cap float64, load func(i int) float64) {
+		if cap <= 0 {
+			return
+		}
+		c := &constraint{cap: cap, loads: make([]float64, S)}
+		any := false
+		for i := 0; i < S; i++ {
+			c.loads[i] = load(i)
+			if c.loads[i] > 0 {
+				any = true
+			}
+		}
+		if any {
+			cons = append(cons, c)
+		}
+	}
+	// Per-link caps.
+	for link, cap := range n.linkCaps {
+		addCon(cap, func(i int) float64 { return unitMaps[i][link] })
+	}
+	// Per-node caps.
+	for node, caps := range n.caps {
+		upLoad := func(i int) float64 {
+			var sum float64
+			for e, u := range unitMaps[i] {
+				if e[0] == node {
+					sum += u
+				}
+			}
+			return sum
+		}
+		downLoad := func(i int) float64 {
+			var sum float64
+			for e, u := range unitMaps[i] {
+				if e[1] == node {
+					sum += u
+				}
+			}
+			return sum
+		}
+		addCon(caps.Up, upLoad)
+		addCon(caps.Down, downLoad)
+		addCon(caps.Total, func(i int) float64 { return upLoad(i) + downLoad(i) })
+	}
+	// Source rate caps become single-session constraints.
+	for i, s := range n.sessions {
+		if s.Rate > 0 {
+			idx := i
+			addCon(s.Rate, func(j int) float64 {
+				if j == idx {
+					return 1
+				}
+				return 0
+			})
+		}
+	}
+
+	rates := make([]float64, S)
+	active := make([]bool, S)
+	for i := range active {
+		active[i] = true
+	}
+	for anyActive(active) {
+		// How much can every active session still grow, uniformly?
+		step := math.Inf(1)
+		for _, c := range cons {
+			used, growth := 0.0, 0.0
+			for i := 0; i < S; i++ {
+				used += c.loads[i] * rates[i]
+				if active[i] {
+					growth += c.loads[i]
+				}
+			}
+			if growth == 0 {
+				continue
+			}
+			if s := (c.cap - used) / growth; s < step {
+				step = s
+			}
+		}
+		if math.IsInf(step, 1) {
+			// No constraint limits the remaining sessions; they are
+			// genuinely unlimited. Cap for a finite answer.
+			step = math.MaxFloat64 / 4
+			for i := range rates {
+				if active[i] {
+					rates[i] = math.Inf(1)
+					active[i] = false
+				}
+			}
+			break
+		}
+		if step > 0 {
+			for i := range rates {
+				if active[i] {
+					rates[i] += step
+				}
+			}
+		}
+		// Freeze sessions loading any saturated constraint.
+		const eps = 1e-9
+		for _, c := range cons {
+			used := 0.0
+			for i := 0; i < S; i++ {
+				used += c.loads[i] * rates[i]
+			}
+			if used+eps >= c.cap {
+				for i := 0; i < S; i++ {
+					if c.loads[i] > 0 {
+						active[i] = false
+					}
+				}
+			}
+		}
+		if step <= 0 {
+			break
+		}
+	}
+
+	res := &Result{
+		EdgeRates:    make(map[[2]string]float64),
+		SessionRates: rates,
+		NodeInRates:  make(map[string]float64),
+	}
+	for i := range n.sessions {
+		for e, u := range unitMaps[i] {
+			r := u * rates[i]
+			res.EdgeRates[e] += r
+			res.NodeInRates[e[1]] += r
+		}
+	}
+	return res, nil
+}
+
+func anyActive(active []bool) bool {
+	for _, a := range active {
+		if a {
+			return true
+		}
+	}
+	return false
+}
+
+// flow is one (session, edge) stream bundle in buffered mode.
+type flow struct {
+	session int
+	edge    [2]string
+	units   float64
+	demand  float64 // per-unit inflow rate at the sender
+	rate    float64 // solved per-unit rate
+}
+
+// solveBuffered processes nodes in topological order of the union DAG,
+// waterfilling each node's out-flows within its local sender-side caps,
+// then clamping by receiver-side caps.
+func (n *Net) solveBuffered() (*Result, error) {
+	type edgeKey = [2]string
+	unitMaps := make([]map[edgeKey]float64, len(n.sessions))
+	outEdges := make(map[string]map[int][]edgeKey) // node -> session -> edges
+	indeg := make(map[string]int)
+	nodes := make(map[string]bool)
+	for i, s := range n.sessions {
+		u, err := unitsOn(s)
+		if err != nil {
+			return nil, err
+		}
+		unitMaps[i] = u
+		nodes[s.Source] = true
+		for _, e := range s.Edges {
+			nodes[e[0]], nodes[e[1]] = true, true
+			if outEdges[e[0]] == nil {
+				outEdges[e[0]] = make(map[int][]edgeKey)
+			}
+			outEdges[e[0]][i] = append(outEdges[e[0]][i], e)
+			indeg[e[1]]++
+		}
+	}
+	var order []string
+	var queue []string
+	for v := range nodes {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	sort.Strings(queue)
+	deg := make(map[string]int, len(indeg))
+	for k, v := range indeg {
+		deg[k] = v
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for sess := range outEdges[v] {
+			for _, e := range outEdges[v][sess] {
+				deg[e[1]]--
+				if deg[e[1]] == 0 {
+					queue = append(queue, e[1])
+				}
+			}
+		}
+	}
+	if len(order) != len(nodes) {
+		return nil, fmt.Errorf("flowsim: union topology has a cycle")
+	}
+
+	// Per-session per-node inflow per unit (the replication source rate).
+	inRate := make([]map[string]float64, len(n.sessions))
+	for i, s := range n.sessions {
+		inRate[i] = make(map[string]float64)
+		src := s.Rate
+		if src <= 0 {
+			src = math.MaxFloat64 / 8
+		}
+		inRate[i][s.Source] = src
+	}
+
+	res := &Result{
+		EdgeRates:    make(map[edgeKey]float64),
+		SessionRates: make([]float64, len(n.sessions)),
+		NodeInRates:  make(map[string]float64),
+	}
+
+	for _, v := range order {
+		// Collect this node's out-flows with demands.
+		var flows []*flow
+		for sess, edges := range outEdges[v] {
+			for _, e := range edges {
+				d := inRate[sess][v]
+				flows = append(flows, &flow{
+					session: sess, edge: e,
+					units:  unitMaps[sess][e],
+					demand: d,
+				})
+			}
+		}
+		if len(flows) == 0 {
+			continue
+		}
+		sort.Slice(flows, func(i, j int) bool {
+			if flows[i].edge != flows[j].edge {
+				return flows[i].edge[0] < flows[j].edge[0] ||
+					(flows[i].edge[0] == flows[j].edge[0] && flows[i].edge[1] < flows[j].edge[1])
+			}
+			return flows[i].session < flows[j].session
+		})
+		for _, f := range flows {
+			f.rate = f.demand
+		}
+		// Per-link caps first.
+		byEdge := make(map[edgeKey][]*flow)
+		for _, f := range flows {
+			byEdge[f.edge] = append(byEdge[f.edge], f)
+		}
+		for e, fs := range byEdge {
+			if cap, ok := n.linkCaps[e]; ok && cap > 0 {
+				waterfill(fs, cap)
+			}
+		}
+		// Sender-side node caps: up, and total minus inflow usage.
+		caps := n.caps[v]
+		if caps.Up > 0 {
+			waterfill(flows, caps.Up)
+		}
+		if caps.Total > 0 {
+			inUsed := res.NodeInRates[v]
+			budget := caps.Total - inUsed
+			if budget < 0 {
+				budget = 0
+			}
+			waterfill(flows, budget)
+		}
+		// Receiver-side down/total clamp, proportional per receiver.
+		byRecv := make(map[string][]*flow)
+		for _, f := range flows {
+			byRecv[f.edge[1]] = append(byRecv[f.edge[1]], f)
+		}
+		for recv, fs := range byRecv {
+			rc := n.caps[recv]
+			limit := math.Inf(1)
+			if rc.Down > 0 {
+				limit = rc.Down - res.NodeInRates[recv]
+			}
+			if rc.Total > 0 {
+				if t := rc.Total - res.NodeInRates[recv]; t < limit {
+					limit = t
+				}
+			}
+			if !math.IsInf(limit, 1) {
+				if limit < 0 {
+					limit = 0
+				}
+				waterfill(fs, limit)
+			}
+		}
+		// Commit: record edge rates and propagate inflow downstream.
+		for _, f := range flows {
+			total := f.rate * f.units
+			res.EdgeRates[f.edge] += total
+			res.NodeInRates[f.edge[1]] += total
+			if cur, ok := inRate[f.session][f.edge[1]]; !ok || f.rate < cur {
+				// A downstream node replicates at the per-copy rate it
+				// receives; with multiple in-edges the copies are
+				// independent, so track the per-unit rate of this edge
+				// (approximate multiple in-edges by their mean).
+				inRate[f.session][f.edge[1]] = f.rate
+			}
+		}
+	}
+	for i, s := range n.sessions {
+		res.SessionRates[i] = inRate[i][s.Source]
+		if res.SessionRates[i] >= math.MaxFloat64/16 {
+			res.SessionRates[i] = math.Inf(1)
+		}
+	}
+	return res, nil
+}
+
+// waterfill allocates cap across flows max-min fairly, each flow bounded
+// by its current rate (demand); flow rates are reduced in place. Loads
+// are weighted by units (a flow carrying u copies consumes u × rate).
+func waterfill(flows []*flow, cap float64) {
+	if cap <= 0 {
+		for _, f := range flows {
+			f.rate = 0
+		}
+		return
+	}
+	// Progressive filling on per-unit rates.
+	remaining := cap
+	unfrozen := append([]*flow(nil), flows...)
+	level := 0.0
+	for len(unfrozen) > 0 {
+		weight := 0.0
+		for _, f := range unfrozen {
+			weight += f.units
+		}
+		if weight == 0 {
+			break
+		}
+		// Next event: either a flow hits its demand, or cap exhausts.
+		minDemand := math.Inf(1)
+		for _, f := range unfrozen {
+			if f.rate < minDemand {
+				minDemand = f.rate
+			}
+		}
+		capLevel := level + remaining/weight
+		if capLevel <= minDemand {
+			for _, f := range unfrozen {
+				f.rate = capLevel
+			}
+			return
+		}
+		// Freeze all flows at the minimum demand.
+		delta := minDemand - level
+		remaining -= delta * weight
+		level = minDemand
+		next := unfrozen[:0]
+		for _, f := range unfrozen {
+			if f.rate > level {
+				next = append(next, f)
+			}
+		}
+		unfrozen = next
+	}
+}

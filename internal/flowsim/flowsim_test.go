@@ -1,0 +1,326 @@
+package flowsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const kb = 1024.0
+
+// fig6Net builds the seven-node topology of Fig. 6: A->{B,C}, B->{D,F},
+// C->{D,G}, D->E, E->{F,G}, with A's per-node total bandwidth at 400 KBps.
+func fig6Net(removeB, removeG bool) (*Net, int) {
+	n := New()
+	n.AddNode("A", NodeCaps{Total: 400 * kb})
+	for _, v := range []string{"B", "C", "D", "E", "F", "G"} {
+		n.AddNode(v, NodeCaps{})
+	}
+	edges := [][2]string{
+		{"A", "B"}, {"A", "C"}, {"B", "D"}, {"B", "F"},
+		{"C", "D"}, {"C", "G"}, {"D", "E"}, {"E", "F"}, {"E", "G"},
+	}
+	var kept [][2]string
+	for _, e := range edges {
+		if removeB && (e[0] == "B" || e[1] == "B") {
+			continue
+		}
+		if removeG && (e[0] == "G" || e[1] == "G") {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	sess := n.AddSession(Session{Source: "A", Edges: kept})
+	return n, sess
+}
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 0.01*math.Max(want, 1) {
+		t.Errorf("%s = %.1f, want %.1f", name, got/kb, want/kb)
+	}
+}
+
+func TestFig6aConvergence(t *testing.T) {
+	n, sess := fig6Net(false, false)
+	res, err := n.Solve(BackPressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-copy rate 200 KBps: A's total 400 split across two copies.
+	approx(t, "session rate", res.SessionRates[sess], 200*kb)
+	for _, e := range [][2]string{{"A", "B"}, {"A", "C"}, {"B", "D"}, {"B", "F"}, {"C", "D"}, {"C", "G"}} {
+		approx(t, e[0]+e[1], res.EdgeRate(e[0], e[1]), 200*kb)
+	}
+	// DE, EF, EG carry two copies each.
+	for _, e := range [][2]string{{"D", "E"}, {"E", "F"}, {"E", "G"}} {
+		approx(t, e[0]+e[1], res.EdgeRate(e[0], e[1]), 400*kb)
+	}
+}
+
+func TestFig6bBackPressureFromUplink(t *testing.T) {
+	n, sess := fig6Net(false, false)
+	n.AddNode("D", NodeCaps{Up: 30 * kb})
+	res, err := n.Solve(BackPressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D's 30 KBps uplink carries two copies: 15 each; back pressure
+	// throttles the entire tree to 15 per copy.
+	approx(t, "session rate", res.SessionRates[sess], 15*kb)
+	for _, e := range [][2]string{{"A", "B"}, {"A", "C"}, {"B", "D"}, {"B", "F"}, {"C", "D"}, {"C", "G"}} {
+		approx(t, e[0]+e[1], res.EdgeRate(e[0], e[1]), 15*kb)
+	}
+	for _, e := range [][2]string{{"D", "E"}, {"E", "F"}, {"E", "G"}} {
+		approx(t, e[0]+e[1], res.EdgeRate(e[0], e[1]), 30*kb)
+	}
+}
+
+func TestFig6cTerminateB(t *testing.T) {
+	n, sess := fig6Net(true, false)
+	n.AddNode("D", NodeCaps{Up: 30 * kb})
+	res, err := n.Solve(BackPressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "session rate", res.SessionRates[sess], 30*kb)
+	for _, e := range [][2]string{{"A", "C"}, {"C", "D"}, {"C", "G"}, {"D", "E"}, {"E", "F"}, {"E", "G"}} {
+		approx(t, e[0]+e[1], res.EdgeRate(e[0], e[1]), 30*kb)
+	}
+}
+
+func TestFig6dTerminateG(t *testing.T) {
+	n, _ := fig6Net(true, true)
+	n.AddNode("D", NodeCaps{Up: 30 * kb})
+	res, err := n.Solve(BackPressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F is still served via C, D, E at 30 KBps.
+	approx(t, "F inflow", res.NodeInRates["F"], 30*kb)
+}
+
+func TestFig7aLargeBuffersLocalizeBottleneck(t *testing.T) {
+	n, _ := fig6Net(false, false)
+	n.AddNode("D", NodeCaps{Up: 30 * kb})
+	res, err := n.Solve(Buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upstream of D is unaffected; only DE, EF, EG see the bottleneck.
+	for _, e := range [][2]string{{"A", "B"}, {"A", "C"}, {"B", "D"}, {"B", "F"}, {"C", "D"}, {"C", "G"}} {
+		approx(t, e[0]+e[1], res.EdgeRate(e[0], e[1]), 200*kb)
+	}
+	for _, e := range [][2]string{{"D", "E"}, {"E", "F"}, {"E", "G"}} {
+		approx(t, e[0]+e[1], res.EdgeRate(e[0], e[1]), 30*kb)
+	}
+}
+
+func TestFig7bPerLinkCapIsolated(t *testing.T) {
+	n, _ := fig6Net(false, false)
+	n.AddNode("D", NodeCaps{Up: 30 * kb})
+	n.SetLinkCap("E", "F", 15*kb)
+	res, err := n.Solve(Buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "EF", res.EdgeRate("E", "F"), 15*kb)
+	approx(t, "EG", res.EdgeRate("E", "G"), 30*kb) // unaffected
+	approx(t, "AB", res.EdgeRate("A", "B"), 200*kb)
+}
+
+func TestFig8aSplitStreamsBuffered(t *testing.T) {
+	// Fig. 8(a): A splits streams a and b; D's 200 KBps uplink halves
+	// both; F and G end up with 300 KBps effective.
+	n := New()
+	n.AddNode("A", NodeCaps{Total: 400 * kb})
+	n.AddNode("D", NodeCaps{Up: 200 * kb})
+	for _, v := range []string{"B", "C", "E", "F", "G"} {
+		n.AddNode(v, NodeCaps{})
+	}
+	n.AddSession(Session{Source: "A", Edges: [][2]string{
+		{"A", "B"}, {"B", "D"}, {"B", "F"}, {"D", "E"}, {"E", "G"},
+	}})
+	n.AddSession(Session{Source: "A", Edges: [][2]string{
+		{"A", "C"}, {"C", "D"}, {"C", "G"}, {"D", "E"}, {"E", "F"},
+	}})
+	res, err := n.Solve(Buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "AB", res.EdgeRate("A", "B"), 200*kb)
+	approx(t, "AC", res.EdgeRate("A", "C"), 200*kb)
+	approx(t, "DE", res.EdgeRate("D", "E"), 200*kb) // both streams, halved
+	approx(t, "EF", res.EdgeRate("E", "F"), 100*kb)
+	approx(t, "EG", res.EdgeRate("E", "G"), 100*kb)
+	approx(t, "F effective", res.NodeInRates["F"], 300*kb)
+	approx(t, "G effective", res.NodeInRates["G"], 300*kb)
+}
+
+func TestTwoSessionsShareLinkMaxMin(t *testing.T) {
+	n := New()
+	for _, v := range []string{"S1", "S2", "M", "R"} {
+		n.AddNode(v, NodeCaps{})
+	}
+	n.SetLinkCap("M", "R", 100*kb)
+	a := n.AddSession(Session{Source: "S1", Edges: [][2]string{{"S1", "M"}, {"M", "R"}}})
+	b := n.AddSession(Session{Source: "S2", Edges: [][2]string{{"S2", "M"}, {"M", "R"}}})
+	res, err := n.Solve(BackPressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "session a", res.SessionRates[a], 50*kb)
+	approx(t, "session b", res.SessionRates[b], 50*kb)
+	approx(t, "MR", res.EdgeRate("M", "R"), 100*kb)
+}
+
+func TestSourceRateCap(t *testing.T) {
+	n := New()
+	n.AddNode("S", NodeCaps{})
+	n.AddNode("R", NodeCaps{})
+	sess := n.AddSession(Session{Source: "S", Edges: [][2]string{{"S", "R"}}, Rate: 42 * kb})
+	for _, mode := range []Mode{BackPressure, Buffered} {
+		res, err := n.Solve(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, "capped rate", res.SessionRates[sess], 42*kb)
+		approx(t, "SR", res.EdgeRate("S", "R"), 42*kb)
+	}
+}
+
+func TestUnlimitedSessionReportsInf(t *testing.T) {
+	n := New()
+	n.AddNode("S", NodeCaps{})
+	n.AddNode("R", NodeCaps{})
+	sess := n.AddSession(Session{Source: "S", Edges: [][2]string{{"S", "R"}}})
+	res, err := n.Solve(BackPressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.SessionRates[sess], 1) {
+		t.Errorf("unconstrained session rate = %v, want +Inf", res.SessionRates[sess])
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	n := New()
+	for _, v := range []string{"A", "B"} {
+		n.AddNode(v, NodeCaps{})
+	}
+	n.AddSession(Session{Source: "A", Edges: [][2]string{{"A", "B"}, {"B", "A"}}})
+	if _, err := n.Solve(BackPressure); err == nil {
+		t.Error("cyclic session solved in BackPressure mode")
+	}
+	if _, err := n.Solve(Buffered); err == nil {
+		t.Error("cyclic session solved in Buffered mode")
+	}
+}
+
+func TestDownCapThrottlesReceiver(t *testing.T) {
+	n := New()
+	n.AddNode("S", NodeCaps{})
+	n.AddNode("R", NodeCaps{Down: 64 * kb})
+	sess := n.AddSession(Session{Source: "S", Edges: [][2]string{{"S", "R"}}})
+	res, err := n.Solve(BackPressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "down-capped", res.SessionRates[sess], 64*kb)
+
+	res, err = n.Solve(Buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "down-capped buffered", res.EdgeRate("S", "R"), 64*kb)
+}
+
+func TestUnknownModeRejected(t *testing.T) {
+	n := New()
+	if _, err := n.Solve(Mode(99)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestDiamondUnitCounting(t *testing.T) {
+	// S -> {X, Y} -> Z -> R: Z receives two copies and forwards both.
+	n := New()
+	for _, v := range []string{"S", "X", "Y", "Z", "R"} {
+		n.AddNode(v, NodeCaps{})
+	}
+	n.AddNode("S", NodeCaps{Up: 100 * kb})
+	sess := n.AddSession(Session{Source: "S", Edges: [][2]string{
+		{"S", "X"}, {"S", "Y"}, {"X", "Z"}, {"Y", "Z"}, {"Z", "R"},
+	}})
+	res, err := n.Solve(BackPressure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S's 100 across two copies: 50 each; ZR carries both copies at 100.
+	approx(t, "session rate", res.SessionRates[sess], 50*kb)
+	approx(t, "ZR", res.EdgeRate("Z", "R"), 100*kb)
+	approx(t, "R inflow", res.NodeInRates["R"], 100*kb)
+}
+
+// TestConservationProperty checks, for random fan-out trees under a
+// random source-side cap, that (a) no constraint is exceeded and (b) in
+// BackPressure mode every copy of a session carries the same rate.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64, capHint uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := New()
+		// A random tree of 6 nodes rooted at S.
+		names := []string{"S", "A", "B", "C", "D", "E"}
+		for _, v := range names {
+			n.AddNode(v, NodeCaps{})
+		}
+		srcCap := float64(capHint%1000+1) * kb
+		n.AddNode("S", NodeCaps{Up: srcCap})
+		var edges [][2]string
+		for i := 1; i < len(names); i++ {
+			parent := names[rng.Intn(i)]
+			edges = append(edges, [2]string{parent, names[i]})
+		}
+		sess := n.AddSession(Session{Source: "S", Edges: edges})
+		res, err := n.Solve(BackPressure)
+		if err != nil {
+			return false
+		}
+		// Source up constraint holds (with float slack).
+		var sUp float64
+		for _, e := range edges {
+			if e[0] == "S" {
+				sUp += res.EdgeRate(e[0], e[1])
+			}
+		}
+		if sUp > srcCap*1.0001 {
+			return false
+		}
+		// Per-copy uniformity: every edge rate is an integer multiple of
+		// the session rate (units × rate).
+		r := res.SessionRates[sess]
+		if r <= 0 {
+			return false
+		}
+		for _, e := range edges {
+			got := res.EdgeRate(e[0], e[1])
+			units := got / r
+			rounded := float64(int(units + 0.5))
+			if units < 0.999 || abs(units-rounded) > 0.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

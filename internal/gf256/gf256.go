@@ -1,0 +1,236 @@
+// Package gf256 implements arithmetic in the Galois field GF(2^8), the
+// field the paper's network-coding case study codes messages in ("linear
+// codes in the Galois Field, and more specifically, with GF(2^8)").
+// Multiplication uses log/antilog tables over the AES polynomial
+// x^8+x^4+x^3+x+1 (0x11B) with generator 3. Vector helpers code whole
+// message payloads; a Gaussian-elimination solver recovers the original
+// streams from any full-rank set of coded messages.
+package gf256
+
+import "fmt"
+
+// polynomial is the reduction polynomial (0x11B, low eight bits kept).
+const polynomial = 0x1B
+
+// generator 3 is primitive for this polynomial.
+const generator = 3
+
+type tables struct {
+	exp [512]byte // doubled to skip the mod 255 in Mul
+	log [256]byte
+}
+
+// _t holds the precomputed log/antilog tables.
+var _t = buildTables()
+
+func buildTables() *tables {
+	t := &tables{}
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		t.exp[i] = x
+		t.log[x] = byte(i)
+		// Multiply x by the generator (3): x*3 = x*2 + x.
+		d := x << 1
+		if x&0x80 != 0 {
+			d ^= polynomial
+		}
+		x = d ^ x
+	}
+	for i := 255; i < 512; i++ {
+		t.exp[i] = t.exp[i-255]
+	}
+	return t
+}
+
+// Add returns a+b in GF(2^8) (carry-less: XOR). Subtraction is identical.
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return _t.exp[int(_t.log[a])+int(_t.log[b])]
+}
+
+// Inv returns the multiplicative inverse of a; it panics on zero, which
+// has no inverse.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return _t.exp[255-int(_t.log[a])]
+}
+
+// Div returns a/b; it panics when b is zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return _t.exp[int(_t.log[a])+255-int(_t.log[b])]
+}
+
+// Exp returns the generator raised to the power e (mod 255).
+func Exp(e int) byte {
+	e %= 255
+	if e < 0 {
+		e += 255
+	}
+	return _t.exp[e]
+}
+
+// AddVec sets dst = dst + src elementwise; the slices must be equal
+// length.
+func AddVec(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf256: AddVec length mismatch %d != %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// MulVec sets dst = c * src; dst and src may alias. The slices must be
+// equal length.
+func MulVec(dst []byte, c byte, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf256: MulVec length mismatch %d != %d", len(dst), len(src)))
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	lc := int(_t.log[c])
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+			continue
+		}
+		dst[i] = _t.exp[lc+int(_t.log[s])]
+	}
+}
+
+// Axpy sets dst = dst + c*src (the coding kernel). The slices must be
+// equal length.
+func Axpy(dst []byte, c byte, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf256: Axpy length mismatch %d != %d", len(dst), len(src)))
+	}
+	if c == 0 {
+		return
+	}
+	lc := int(_t.log[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= _t.exp[lc+int(_t.log[s])]
+		}
+	}
+}
+
+// Combine returns the linear combination sum_i coeffs[i]*vecs[i]; all
+// vectors must share one length.
+func Combine(coeffs []byte, vecs [][]byte) []byte {
+	if len(coeffs) != len(vecs) {
+		panic("gf256: Combine needs one coefficient per vector")
+	}
+	if len(vecs) == 0 {
+		return nil
+	}
+	out := make([]byte, len(vecs[0]))
+	for i, v := range vecs {
+		Axpy(out, coeffs[i], v)
+	}
+	return out
+}
+
+// Solve performs Gaussian elimination over GF(2^8): given an n×n
+// coefficient matrix A (rows) and the corresponding coded payloads
+// B (rows), it returns X with A·X = B, i.e. the original messages. It
+// reports false when the matrix is singular (the coded set is not
+// full-rank). A and B are not modified.
+func Solve(a [][]byte, b [][]byte) ([][]byte, bool) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, false
+	}
+	width := len(b[0])
+	// Working copies.
+	m := make([][]byte, n)
+	x := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		if len(a[i]) != n || len(b[i]) != width {
+			return nil, false
+		}
+		m[i] = append([]byte(nil), a[i]...)
+		x[i] = append([]byte(nil), b[i]...)
+	}
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if m[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		// Normalize the pivot row.
+		inv := Inv(m[col][col])
+		MulVec(m[col], inv, m[col])
+		MulVec(x[col], inv, x[col])
+		// Eliminate the column everywhere else.
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			c := m[r][col]
+			Axpy(m[r], c, m[col])
+			Axpy(x[r], c, x[col])
+		}
+	}
+	return x, true
+}
+
+// Rank computes the rank of a matrix of coefficient rows.
+func Rank(rows [][]byte) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	width := len(rows[0])
+	m := make([][]byte, len(rows))
+	for i, r := range rows {
+		m[i] = append([]byte(nil), r...)
+	}
+	rank := 0
+	for col := 0; col < width && rank < len(m); col++ {
+		pivot := -1
+		for r := rank; r < len(m); r++ {
+			if m[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m[rank], m[pivot] = m[pivot], m[rank]
+		inv := Inv(m[rank][col])
+		MulVec(m[rank], inv, m[rank])
+		for r := 0; r < len(m); r++ {
+			if r != rank && m[r][col] != 0 {
+				Axpy(m[r], m[r][col], m[rank])
+			}
+		}
+		rank++
+	}
+	return rank
+}

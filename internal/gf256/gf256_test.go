@@ -1,0 +1,283 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldAxiomsProperty(t *testing.T) {
+	// Associativity, commutativity, distributivity for random elements.
+	f := func(a, b, c byte) bool {
+		if Add(a, b) != Add(b, a) || Mul(a, b) != Mul(b, a) {
+			return false
+		}
+		if Add(Add(a, b), c) != Add(a, Add(b, c)) {
+			return false
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			return false
+		}
+		// Distributivity: a*(b+c) = a*b + a*c.
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		x := byte(a)
+		if Add(x, 0) != x {
+			t.Fatalf("additive identity fails for %d", a)
+		}
+		if Add(x, x) != 0 {
+			t.Fatalf("self-inverse addition fails for %d", a)
+		}
+		if Mul(x, 1) != x {
+			t.Fatalf("multiplicative identity fails for %d", a)
+		}
+		if Mul(x, 0) != 0 {
+			t.Fatalf("zero annihilation fails for %d", a)
+		}
+	}
+}
+
+func TestInverseExhaustive(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		x := byte(a)
+		inv := Inv(x)
+		if Mul(x, inv) != 1 {
+			t.Fatalf("Inv(%d) = %d is not an inverse", a, inv)
+		}
+		if Div(1, x) != inv {
+			t.Fatalf("Div(1,%d) != Inv(%d)", a, a)
+		}
+	}
+}
+
+func TestDivIsMulByInverse(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(a, b) == Mul(a, Inv(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Div(x,0) did not panic")
+		}
+	}()
+	Div(5, 0)
+}
+
+func TestMulMatchesSchoolbook(t *testing.T) {
+	// Carry-less multiply with reduction by 0x11B, checked exhaustively
+	// against the table implementation.
+	slow := func(a, b byte) byte {
+		var p byte
+		for i := 0; i < 8; i++ {
+			if b&1 != 0 {
+				p ^= a
+			}
+			hi := a & 0x80
+			a <<= 1
+			if hi != 0 {
+				a ^= polynomial
+			}
+			b >>= 1
+		}
+		return p
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), slow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestExpGenerator(t *testing.T) {
+	if Exp(0) != 1 {
+		t.Errorf("Exp(0) = %d, want 1", Exp(0))
+	}
+	if Exp(1) != generator {
+		t.Errorf("Exp(1) = %d, want %d", Exp(1), generator)
+	}
+	if Exp(255) != 1 {
+		t.Errorf("Exp(255) = %d, want 1 (order 255)", Exp(255))
+	}
+	if Exp(-1) != Exp(254) {
+		t.Errorf("negative exponent not normalized")
+	}
+	// The generator's powers must enumerate all 255 nonzero elements.
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		seen[Exp(i)] = true
+	}
+	if len(seen) != 255 {
+		t.Errorf("generator order %d, want 255", len(seen))
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := []byte{1, 2, 3, 4}
+	b := []byte{5, 6, 7, 8}
+	sum := append([]byte(nil), a...)
+	AddVec(sum, b)
+	for i := range a {
+		if sum[i] != a[i]^b[i] {
+			t.Fatalf("AddVec[%d] = %d", i, sum[i])
+		}
+	}
+	scaled := make([]byte, 4)
+	MulVec(scaled, 7, a)
+	for i := range a {
+		if scaled[i] != Mul(7, a[i]) {
+			t.Fatalf("MulVec[%d] = %d", i, scaled[i])
+		}
+	}
+	acc := append([]byte(nil), b...)
+	Axpy(acc, 9, a)
+	for i := range b {
+		if acc[i] != Add(b[i], Mul(9, a[i])) {
+			t.Fatalf("Axpy[%d] = %d", i, acc[i])
+		}
+	}
+	// c=0 variants.
+	MulVec(scaled, 0, a)
+	if !bytes.Equal(scaled, []byte{0, 0, 0, 0}) {
+		t.Error("MulVec by zero not zero")
+	}
+	saved := append([]byte(nil), acc...)
+	Axpy(acc, 0, a)
+	if !bytes.Equal(acc, saved) {
+		t.Error("Axpy with zero coefficient changed dst")
+	}
+}
+
+func TestVectorLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"AddVec": func() { AddVec([]byte{1}, []byte{1, 2}) },
+		"MulVec": func() { MulVec([]byte{1}, 2, []byte{1, 2}) },
+		"Axpy":   func() { Axpy([]byte{1}, 2, []byte{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCombineAndSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(4) // 2..5 source messages
+		width := 1 + rng.Intn(64)
+		src := make([][]byte, n)
+		for i := range src {
+			src[i] = make([]byte, width)
+			rng.Read(src[i])
+		}
+		// Build n random coded combinations until full rank.
+		var coeffs [][]byte
+		var coded [][]byte
+		for len(coeffs) < n {
+			c := make([]byte, n)
+			rng.Read(c)
+			trialCoeffs := append(append([][]byte(nil), coeffs...), c)
+			if Rank(trialCoeffs) != len(trialCoeffs) {
+				continue
+			}
+			coeffs = trialCoeffs
+			coded = append(coded, Combine(c, src))
+		}
+		decoded, ok := Solve(coeffs, coded)
+		if !ok {
+			t.Fatalf("trial %d: full-rank system reported singular", trial)
+		}
+		for i := range src {
+			if !bytes.Equal(decoded[i], src[i]) {
+				t.Fatalf("trial %d: decoded[%d] mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestSolveSingularMatrix(t *testing.T) {
+	// Two identical combinations: rank 1, not solvable.
+	a := [][]byte{{1, 2}, {1, 2}}
+	b := [][]byte{{9, 9}, {9, 9}}
+	if _, ok := Solve(a, b); ok {
+		t.Error("Solve accepted a singular system")
+	}
+}
+
+func TestSolveRejectsMalformedInput(t *testing.T) {
+	if _, ok := Solve(nil, nil); ok {
+		t.Error("Solve(nil) succeeded")
+	}
+	if _, ok := Solve([][]byte{{1}}, [][]byte{{1}, {2}}); ok {
+		t.Error("Solve with mismatched row counts succeeded")
+	}
+	if _, ok := Solve([][]byte{{1, 2}}, [][]byte{{1}}); ok {
+		t.Error("Solve with non-square matrix succeeded")
+	}
+}
+
+func TestRank(t *testing.T) {
+	tests := []struct {
+		rows [][]byte
+		want int
+	}{
+		{nil, 0},
+		{[][]byte{{0, 0}}, 0},
+		{[][]byte{{1, 0}, {0, 1}}, 2},
+		{[][]byte{{1, 1}, {2, 2}}, 1}, // second row = 2 * first
+		{[][]byte{{1, 2}, {3, 4}, {5, 6}}, 2},
+	}
+	for i, tt := range tests {
+		if got := Rank(tt.rows); got != tt.want {
+			t.Errorf("case %d: Rank = %d, want %d", i, got, tt.want)
+		}
+	}
+}
+
+func TestPaperCodingScenario(t *testing.T) {
+	// Fig. 8(b): node D codes a+b; F holds a and a+b and must recover b.
+	a := []byte("stream-a payload")
+	b := []byte("stream-b payload")
+	aPlusB := Combine([]byte{1, 1}, [][]byte{a, b})
+	decoded, ok := Solve(
+		[][]byte{{1, 0}, {1, 1}}, // rows: a, a+b
+		[][]byte{a, aPlusB},
+	)
+	if !ok {
+		t.Fatal("a, a+b should be decodable")
+	}
+	if !bytes.Equal(decoded[0], a) || !bytes.Equal(decoded[1], b) {
+		t.Error("decoding a,b from {a, a+b} failed")
+	}
+}

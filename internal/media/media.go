@@ -1,0 +1,123 @@
+// Package media implements the application tier of the paper's
+// three-layer model for streaming workloads: the layer that "produces and
+// interprets the data portion of application-layer messages". The paper's
+// closing validation is a Windows MPEG-4 real-time streaming multicast
+// application on iOverlay; this package provides the receiver-side
+// machinery such an application needs — a playout meter that interprets
+// the dissemination stream (sequence numbers against a frame clock) and
+// reports the quality metrics streaming experiments care about: loss,
+// reordering, jitter, and playout stalls.
+package media
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Player is a receiver-side playout meter for a fixed-rate frame stream.
+// Feed it every arriving data message (sequence number and size); it
+// tracks gaps (losses), late arrivals relative to the frame clock
+// (stalls), inter-arrival jitter, and goodput. Safe for concurrent use.
+type Player struct {
+	// FrameInterval is the nominal spacing of frames (e.g. 33 ms for
+	// 30 fps). Required.
+	FrameInterval time.Duration
+	// StallFactor: an inter-arrival gap beyond StallFactor×FrameInterval
+	// counts as a playout stall. Defaults to 3.
+	StallFactor float64
+
+	mu         sync.Mutex
+	started    bool
+	nextSeq    uint32
+	lastArrive time.Time
+	stats      Stats
+	jitterEWMA float64 // seconds
+}
+
+// Stats summarizes playout quality.
+type Stats struct {
+	Received  int64
+	Bytes     int64
+	Lost      int64 // sequence gaps never filled
+	Reordered int64 // arrivals with seq below the expected frontier
+	Stalls    int64 // inter-arrival gaps beyond the stall threshold
+	// Jitter is the smoothed deviation of inter-arrival times from the
+	// frame interval (RFC 3550-style EWMA).
+	Jitter time.Duration
+}
+
+// LossRate reports lost/(received+lost).
+func (s Stats) LossRate() float64 {
+	total := s.Received + s.Lost
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(total)
+}
+
+// Feed records the arrival of frame seq with the given payload size.
+func (p *Player) Feed(seq uint32, size int, now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sf := p.StallFactor
+	if sf <= 0 {
+		sf = 3
+	}
+	if p.started {
+		gap := now.Sub(p.lastArrive)
+		if gap > time.Duration(sf*float64(p.FrameInterval)) {
+			p.stats.Stalls++
+		}
+		// RFC 3550 jitter: j += (|D| - j) / 16.
+		d := math.Abs(gap.Seconds() - p.FrameInterval.Seconds())
+		p.jitterEWMA += (d - p.jitterEWMA) / 16
+	}
+	p.lastArrive = now
+
+	switch {
+	case !p.started:
+		p.started = true
+		p.nextSeq = seq + 1
+	case seq == p.nextSeq:
+		p.nextSeq++
+	case seqAfter(seq, p.nextSeq):
+		// Jumped ahead: everything in between is lost.
+		p.stats.Lost += int64(seq - p.nextSeq)
+		p.nextSeq = seq + 1
+	default:
+		// Arrived behind the frontier: a reordered (or duplicated)
+		// frame; it fills no tracked gap but is still payload.
+		p.stats.Reordered++
+	}
+	p.stats.Received++
+	p.stats.Bytes += int64(size)
+	p.stats.Jitter = time.Duration(p.jitterEWMA * float64(time.Second))
+}
+
+// seqAfter reports a > b with uint32 wraparound.
+func seqAfter(a, b uint32) bool {
+	return int32(a-b) > 0
+}
+
+// Snapshot returns the current statistics.
+func (p *Player) Snapshot() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Continuity reports the fraction of the stream played without a stall
+// event: 1 - stalls/received. A rough playback-quality index.
+func (p *Player) Continuity() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stats.Received == 0 {
+		return 1
+	}
+	c := 1 - float64(p.stats.Stalls)/float64(p.stats.Received)
+	if c < 0 {
+		return 0
+	}
+	return c
+}

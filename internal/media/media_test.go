@@ -1,0 +1,134 @@
+package media
+
+import (
+	"testing"
+	"time"
+)
+
+const frame = 33 * time.Millisecond
+
+func feedRun(p *Player, start time.Time, seqs []uint32, gap time.Duration) {
+	now := start
+	for _, s := range seqs {
+		p.Feed(s, 1000, now)
+		now = now.Add(gap)
+	}
+}
+
+func TestPerfectStream(t *testing.T) {
+	p := &Player{FrameInterval: frame}
+	start := time.Unix(0, 0)
+	feedRun(p, start, []uint32{0, 1, 2, 3, 4, 5}, frame)
+	s := p.Snapshot()
+	if s.Received != 6 || s.Lost != 0 || s.Reordered != 0 || s.Stalls != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Bytes != 6000 {
+		t.Errorf("bytes = %d", s.Bytes)
+	}
+	if s.LossRate() != 0 {
+		t.Errorf("loss rate = %f", s.LossRate())
+	}
+	if p.Continuity() != 1 {
+		t.Errorf("continuity = %f", p.Continuity())
+	}
+	if s.Jitter > time.Millisecond {
+		t.Errorf("jitter on a perfect clock = %v", s.Jitter)
+	}
+}
+
+func TestGapsCountAsLoss(t *testing.T) {
+	p := &Player{FrameInterval: frame}
+	feedRun(p, time.Unix(0, 0), []uint32{0, 1, 5, 6}, frame)
+	s := p.Snapshot()
+	if s.Lost != 3 {
+		t.Errorf("Lost = %d, want 3 (frames 2,3,4)", s.Lost)
+	}
+	if got := s.LossRate(); got < 0.42 || got > 0.43 {
+		t.Errorf("LossRate = %f, want 3/7", got)
+	}
+}
+
+func TestReorderedArrivals(t *testing.T) {
+	p := &Player{FrameInterval: frame}
+	feedRun(p, time.Unix(0, 0), []uint32{0, 2, 1, 3}, frame)
+	s := p.Snapshot()
+	if s.Reordered != 1 {
+		t.Errorf("Reordered = %d, want 1", s.Reordered)
+	}
+	// Frame 1's late arrival does not retroactively reduce the loss
+	// count (the gap 1 was charged when 2 arrived).
+	if s.Lost != 1 {
+		t.Errorf("Lost = %d, want 1", s.Lost)
+	}
+}
+
+func TestStallDetection(t *testing.T) {
+	p := &Player{FrameInterval: frame}
+	now := time.Unix(0, 0)
+	p.Feed(0, 100, now)
+	p.Feed(1, 100, now.Add(frame))
+	// A long freeze, then recovery.
+	p.Feed(2, 100, now.Add(frame+10*frame))
+	p.Feed(3, 100, now.Add(frame+11*frame))
+	s := p.Snapshot()
+	if s.Stalls != 1 {
+		t.Errorf("Stalls = %d, want 1", s.Stalls)
+	}
+	if c := p.Continuity(); c <= 0.7 || c >= 1 {
+		t.Errorf("Continuity = %f", c)
+	}
+}
+
+func TestStallFactorConfigurable(t *testing.T) {
+	p := &Player{FrameInterval: frame, StallFactor: 20}
+	now := time.Unix(0, 0)
+	p.Feed(0, 100, now)
+	p.Feed(1, 100, now.Add(10*frame)) // below the 20x threshold
+	if s := p.Snapshot(); s.Stalls != 0 {
+		t.Errorf("Stalls = %d with relaxed factor", s.Stalls)
+	}
+}
+
+func TestJitterTracksIrregularArrivals(t *testing.T) {
+	smooth := &Player{FrameInterval: frame}
+	feedRun(smooth, time.Unix(0, 0), seqRange(64), frame)
+	bursty := &Player{FrameInterval: frame}
+	now := time.Unix(0, 0)
+	for i, s := range seqRange(64) {
+		bursty.Feed(s, 100, now)
+		if i%2 == 0 {
+			now = now.Add(frame / 4)
+		} else {
+			now = now.Add(frame * 7 / 4)
+		}
+	}
+	if smooth.Snapshot().Jitter >= bursty.Snapshot().Jitter {
+		t.Errorf("smooth jitter %v not below bursty %v",
+			smooth.Snapshot().Jitter, bursty.Snapshot().Jitter)
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	p := &Player{FrameInterval: frame}
+	feedRun(p, time.Unix(0, 0), []uint32{0xFFFFFFFE, 0xFFFFFFFF, 0, 1}, frame)
+	s := p.Snapshot()
+	if s.Lost != 0 || s.Reordered != 0 {
+		t.Errorf("wraparound misclassified: %+v", s)
+	}
+}
+
+func TestEmptyPlayer(t *testing.T) {
+	p := &Player{FrameInterval: frame}
+	if p.Continuity() != 1 || p.Snapshot().LossRate() != 0 {
+		t.Error("empty player not neutral")
+	}
+}
+
+func seqRange(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(i)
+	}
+	return out
+}

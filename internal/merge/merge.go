@@ -1,0 +1,193 @@
+// Package merge implements stream merging on overlay nodes — the other
+// n-to-m application of the engine's hold mechanism besides network
+// coding ("we have successfully implemented algorithms that perform
+// overlay multicast with merging or network coding"). A Merger holds one
+// message per upstream per generation (matched by sequence number) and
+// emits a single merged message carrying all parts; receivers split
+// merged messages back into their parts.
+package merge
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/algorithm"
+	"repro/internal/engine"
+	"repro/internal/message"
+	"repro/internal/protocol"
+)
+
+// MergedType is the data type of merged messages.
+const MergedType = message.FirstDataType + 30
+
+// maxPending bounds buffered generations so one stalled upstream cannot
+// exhaust memory.
+const maxPending = 4096
+
+// EncodeParts packs payload parts into one merged payload: a count
+// followed by length-prefixed parts.
+func EncodeParts(parts [][]byte) []byte {
+	size := 4
+	for _, p := range parts {
+		size += 4 + len(p)
+	}
+	buf := make([]byte, 0, size)
+	n := uint32(len(parts))
+	buf = append(buf, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	for _, p := range parts {
+		l := uint32(len(p))
+		buf = append(buf, byte(l>>24), byte(l>>16), byte(l>>8), byte(l))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// DecodeParts splits a merged payload back into its parts; the parts
+// alias b.
+func DecodeParts(b []byte) ([][]byte, error) {
+	r := protocol.NewReader(b)
+	n := r.U32()
+	if r.Err() != nil || n > uint32(len(b)/4) {
+		return nil, protocol.ErrTruncated
+	}
+	parts := make([][]byte, 0, n)
+	off := 4
+	for i := uint32(0); i < n; i++ {
+		if off+4 > len(b) {
+			return nil, protocol.ErrTruncated
+		}
+		l := int(uint32(b[off])<<24 | uint32(b[off+1])<<16 | uint32(b[off+2])<<8 | uint32(b[off+3]))
+		off += 4
+		if off+l > len(b) {
+			return nil, protocol.ErrTruncated
+		}
+		parts = append(parts, b[off:off+l])
+		off += l
+	}
+	return parts, nil
+}
+
+// Merger merges K upstream streams into one, generation by generation.
+type Merger struct {
+	algorithm.Base
+
+	// K is how many distinct upstream senders form one generation.
+	K int
+	// Dests receive the merged stream.
+	Dests []message.NodeID
+
+	pending map[uint32]map[message.NodeID]*message.Msg
+	merged  atomic.Int64
+}
+
+var _ engine.Algorithm = (*Merger)(nil)
+
+// Attach initializes state.
+func (mg *Merger) Attach(api engine.API) {
+	mg.Base.Attach(api)
+	mg.pending = make(map[uint32]map[message.NodeID]*message.Msg)
+}
+
+// Merged reports how many merged messages were emitted. Safe from any
+// goroutine.
+func (mg *Merger) Merged() int64 { return mg.merged.Load() }
+
+// Process implements the algorithm.
+func (mg *Merger) Process(m *message.Msg) engine.Verdict {
+	if !m.IsData() {
+		return mg.Base.Process(m)
+	}
+	gen := mg.pending[m.Seq()]
+	if gen == nil {
+		gen = make(map[message.NodeID]*message.Msg, mg.K)
+		mg.pending[m.Seq()] = gen
+		mg.evictIfNeeded()
+	}
+	if prev, dup := gen[m.Sender()]; dup {
+		_ = prev
+		return engine.Done // duplicate from the same upstream
+	}
+	gen[m.Sender()] = m
+	if len(gen) < mg.K {
+		return engine.Hold
+	}
+	// Complete generation: deterministic part order by sender.
+	senders := make([]message.NodeID, 0, len(gen))
+	for s := range gen {
+		senders = append(senders, s)
+	}
+	sort.Slice(senders, func(i, j int) bool { return senders[i].Less(senders[j]) })
+	parts := make([][]byte, 0, len(senders))
+	for _, s := range senders {
+		parts = append(parts, gen[s].Payload())
+	}
+	payload := EncodeParts(parts)
+	out := mg.API.NewMsg(MergedType, m.App(), m.Seq(), len(payload))
+	copy(out.Payload(), payload)
+	mg.API.SendNew(out, mg.Dests...)
+	mg.merged.Add(1)
+
+	for _, s := range senders {
+		if held := gen[s]; held != m {
+			mg.API.Finish(held)
+		}
+	}
+	delete(mg.pending, m.Seq())
+	return engine.Done
+}
+
+func (mg *Merger) evictIfNeeded() {
+	if len(mg.pending) <= maxPending {
+		return
+	}
+	seqs := make([]int, 0, len(mg.pending))
+	for s := range mg.pending {
+		seqs = append(seqs, int(s))
+	}
+	sort.Ints(seqs)
+	for _, s := range seqs[:len(seqs)/2] {
+		for _, held := range mg.pending[uint32(s)] {
+			mg.API.Finish(held)
+		}
+		delete(mg.pending, uint32(s))
+	}
+}
+
+// Receiver consumes merged messages, splitting them into parts.
+type Receiver struct {
+	algorithm.Base
+
+	// OnParts, when set, receives each merged message's parts on the
+	// engine goroutine.
+	OnParts func(seq uint32, parts [][]byte)
+
+	partsTotal atomic.Int64
+	bytesTotal atomic.Int64
+}
+
+var _ engine.Algorithm = (*Receiver)(nil)
+
+// Parts reports how many parts were received. Safe from any goroutine.
+func (rv *Receiver) Parts() int64 { return rv.partsTotal.Load() }
+
+// Bytes reports the split payload bytes received.
+func (rv *Receiver) Bytes() int64 { return rv.bytesTotal.Load() }
+
+// Process implements the algorithm.
+func (rv *Receiver) Process(m *message.Msg) engine.Verdict {
+	if m.Type() != MergedType {
+		return rv.Base.Process(m)
+	}
+	parts, err := DecodeParts(m.Payload())
+	if err != nil {
+		return engine.Done
+	}
+	for _, p := range parts {
+		rv.bytesTotal.Add(int64(len(p)))
+	}
+	rv.partsTotal.Add(int64(len(parts)))
+	if rv.OnParts != nil {
+		rv.OnParts(m.Seq(), parts)
+	}
+	return engine.Done
+}

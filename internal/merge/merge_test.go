@@ -1,0 +1,189 @@
+package merge
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/algtest"
+	"repro/internal/engine"
+	"repro/internal/message"
+	"repro/internal/vnet"
+)
+
+func nid(i int) message.NodeID {
+	return message.MakeID(fmt.Sprintf("10.0.6.%d", i), 7000)
+}
+
+func TestPartsCodecRoundTrip(t *testing.T) {
+	parts := [][]byte{[]byte("alpha"), {}, []byte("gamma")}
+	got, err := DecodeParts(EncodeParts(parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !bytes.Equal(got[0], parts[0]) ||
+		len(got[1]) != 0 || !bytes.Equal(got[2], parts[2]) {
+		t.Errorf("parts = %q", got)
+	}
+	// Truncations rejected.
+	full := EncodeParts(parts)
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeParts(full[:n]); err == nil {
+			t.Fatalf("accepted truncation at %d", n)
+		}
+	}
+}
+
+func TestPartsCodecProperty(t *testing.T) {
+	f := func(parts [][]byte) bool {
+		got, err := DecodeParts(EncodeParts(parts))
+		if err != nil || len(got) != len(parts) {
+			return false
+		}
+		for i := range parts {
+			if !bytes.Equal(got[i], parts[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergerCombinesGenerations(t *testing.T) {
+	api := algtest.New(nid(3))
+	mg := &Merger{K: 2, Dests: []message.NodeID{nid(9)}}
+	mg.Attach(api)
+
+	a := message.New(message.FirstDataType, nid(1), 1, 4, []byte("from-a"))
+	if v := mg.Process(a); v != engine.Hold {
+		t.Fatalf("first input verdict = %v", v)
+	}
+	b := message.New(message.FirstDataType, nid(2), 1, 4, []byte("from-b"))
+	if v := mg.Process(b); v != engine.Done {
+		t.Fatalf("second input verdict = %v", v)
+	}
+	sent := api.SentTo(nid(9))
+	if len(sent) != 1 || sent[0].Msg.Type() != MergedType || sent[0].Msg.Seq() != 4 {
+		t.Fatalf("merged sends = %+v", sent)
+	}
+	parts, err := DecodeParts(sent[0].Msg.Payload())
+	if err != nil || len(parts) != 2 {
+		t.Fatalf("parts = %q, %v", parts, err)
+	}
+	// Deterministic order by sender id: nid(1) before nid(2).
+	if string(parts[0]) != "from-a" || string(parts[1]) != "from-b" {
+		t.Errorf("part order = %q", parts)
+	}
+	if mg.Merged() != 1 {
+		t.Errorf("Merged() = %d", mg.Merged())
+	}
+	// The held message was finished.
+	if a.Refs() != 0 {
+		t.Errorf("held refs = %d", a.Refs())
+	}
+}
+
+func TestMergerIgnoresDuplicatesAndMismatchedSeqs(t *testing.T) {
+	api := algtest.New(nid(3))
+	mg := &Merger{K: 2, Dests: []message.NodeID{nid(9)}}
+	mg.Attach(api)
+	mg.Process(message.New(message.FirstDataType, nid(1), 1, 1, []byte("x")))
+	// Duplicate from the same sender: dropped, no merge.
+	dup := message.New(message.FirstDataType, nid(1), 1, 1, []byte("x2"))
+	if v := mg.Process(dup); v != engine.Done {
+		t.Fatalf("duplicate verdict = %v", v)
+	}
+	// Different seq from the other sender: no merge either.
+	mg.Process(message.New(message.FirstDataType, nid(2), 1, 2, []byte("y")))
+	if len(api.Sends) != 0 {
+		t.Errorf("merged across generations/duplicates: %d sends", len(api.Sends))
+	}
+}
+
+func TestReceiverSplitsParts(t *testing.T) {
+	api := algtest.New(nid(9))
+	rv := &Receiver{}
+	rv.Attach(api)
+	var gotSeq uint32
+	var gotParts [][]byte
+	rv.OnParts = func(seq uint32, parts [][]byte) {
+		gotSeq = seq
+		gotParts = parts
+	}
+	payload := EncodeParts([][]byte{[]byte("p1"), []byte("p2")})
+	m := message.New(MergedType, nid(3), 1, 8, payload)
+	if v := rv.Process(m); v != engine.Done {
+		t.Fatalf("verdict = %v", v)
+	}
+	if gotSeq != 8 || len(gotParts) != 2 {
+		t.Fatalf("delivery = seq %d, %d parts", gotSeq, len(gotParts))
+	}
+	if rv.Parts() != 2 || rv.Bytes() != 4 {
+		t.Errorf("counters = %d parts, %d bytes", rv.Parts(), rv.Bytes())
+	}
+}
+
+// TestMergeEndToEnd merges two live sources at a relay and splits them at
+// a sink over real engines.
+func TestMergeEndToEnd(t *testing.T) {
+	net := vnet.New()
+	defer net.Close()
+	const app = 1
+	sink := &Receiver{}
+	boot := func(id message.NodeID, alg engine.Algorithm) *engine.Engine {
+		e, err := engine.New(engine.Config{
+			ID:        id,
+			Transport: engine.VNet{Net: net},
+			Algorithm: alg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(e.Stop)
+		return e
+	}
+	boot(nid(9), sink)
+	mg := &Merger{K: 2, Dests: []message.NodeID{nid(9)}}
+	boot(nid(3), mg)
+	// Two paced sources so generations stay roughly aligned.
+	for i := 1; i <= 2; i++ {
+		fw := &forwardAll{dest: nid(3)}
+		e := boot(nid(i), fw)
+		e.StartSource(app, 80<<10, 700)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && sink.Parts() < 100 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if sink.Parts() < 100 {
+		t.Fatalf("sink split only %d parts", sink.Parts())
+	}
+	if sink.Parts()%2 != 0 {
+		t.Errorf("odd part count %d from K=2 merger", sink.Parts())
+	}
+	if mg.Merged() == 0 {
+		t.Error("merger emitted nothing")
+	}
+}
+
+// forwardAll sends every data message to one destination.
+type forwardAll struct {
+	Receiver
+	dest message.NodeID
+}
+
+func (f *forwardAll) Process(m *message.Msg) engine.Verdict {
+	if m.IsData() {
+		f.API.Send(m, f.dest)
+		return engine.Done
+	}
+	return f.Receiver.Process(m)
+}

@@ -1,0 +1,271 @@
+// Package message implements the iOverlay application-layer message: a
+// fixed 24-byte header (type, original sender, application identifier,
+// sequence number, payload size) followed by a variable-length payload.
+//
+// Messages travel through the engine by reference ("zero copying of
+// messages" in the paper); a thread-safe reference count governs when a
+// payload buffer may be returned to its pool. The content of a message is
+// mostly immutable and initialized at construction; only the sequence
+// number is modifiable, matching the paper's wire format.
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// HeaderSize is the fixed size of the application-layer header in bytes:
+// type (4), sender IP (4), sender port (4), application id (4), sequence
+// number (4), payload size (4).
+const HeaderSize = 24
+
+// DefaultMaxPayload bounds the payload size accepted by Read when the
+// caller does not supply its own limit. The paper uses messages of a
+// maximum (but not necessarily fixed) length.
+const DefaultMaxPayload = 1 << 20
+
+// Type identifies the kind of a message. Values below FirstDataType are
+// reserved for engine- and observer-level control messages; algorithm
+// developers allocate their own protocol types at or above FirstUserType.
+type Type uint32
+
+// FirstDataType is the first type value treated as application data by the
+// engine's switch; everything below it is delivered on the control path.
+const FirstDataType Type = 1000
+
+// Errors returned by the decoding functions.
+var (
+	ErrPayloadTooLarge = errors.New("message: payload exceeds limit")
+	ErrShortHeader     = errors.New("message: short header")
+)
+
+// Msg is one application-layer message. A Msg is created with a reference
+// count of one; every additional consumer Retains it and every consumer
+// Releases it when done. The engine owns destruction: algorithm code never
+// releases messages it received from the engine.
+type Msg struct {
+	typ     Type
+	sender  NodeID
+	app     uint32
+	seq     atomic.Uint32
+	payload []byte
+
+	refs   atomic.Int32
+	pool   *Pool
+	parent *Msg // set by Derive: the message owning the shared payload
+}
+
+// New constructs a message with the given header fields and payload. The
+// payload is owned by the message from this point on; callers who need to
+// keep the slice must copy it first.
+func New(typ Type, sender NodeID, app, seq uint32, payload []byte) *Msg {
+	m := &Msg{
+		typ:     typ,
+		sender:  sender,
+		app:     app,
+		payload: payload,
+	}
+	m.seq.Store(seq)
+	m.refs.Store(1)
+	return m
+}
+
+// Type reports the message type.
+func (m *Msg) Type() Type { return m.typ }
+
+// Sender reports the original sender recorded in the header.
+func (m *Msg) Sender() NodeID { return m.sender }
+
+// App reports the application identifier the message belongs to.
+func (m *Msg) App() uint32 { return m.app }
+
+// Seq reports the (modifiable) sequence number.
+func (m *Msg) Seq() uint32 { return m.seq.Load() }
+
+// SetSeq updates the sequence number, the only mutable header field.
+func (m *Msg) SetSeq(seq uint32) { m.seq.Store(seq) }
+
+// Payload returns the application data carried by the message. The slice
+// is shared, not copied; callers must not mutate it unless they hold the
+// only reference.
+func (m *Msg) Payload() []byte { return m.payload }
+
+// Len reports the payload length in bytes.
+func (m *Msg) Len() int { return len(m.payload) }
+
+// WireLen reports the total encoded size: header plus payload.
+func (m *Msg) WireLen() int { return HeaderSize + len(m.payload) }
+
+// IsData reports whether the engine's switch should treat the message as
+// application data (as opposed to a control or protocol message).
+func (m *Msg) IsData() bool { return m.typ >= FirstDataType }
+
+// Retain increments the reference count. It is safe for concurrent use.
+func (m *Msg) Retain() *Msg {
+	if m.refs.Add(1) <= 1 {
+		panic("message: retain after release")
+	}
+	return m
+}
+
+// Release decrements the reference count, returning the payload buffer to
+// its pool when the count reaches zero. Releasing more times than the
+// message was retained is a bug and panics.
+func (m *Msg) Release() {
+	n := m.refs.Add(-1)
+	switch {
+	case n == 0:
+		switch {
+		case m.parent != nil:
+			p := m.parent
+			m.parent = nil
+			m.payload = nil
+			p.Release()
+		case m.pool != nil:
+			m.pool.putBuf(m.payload)
+			m.payload = nil
+			m.pool = nil
+		}
+	case n < 0:
+		panic("message: release of already-released message")
+	}
+}
+
+// Refs reports the current reference count; used by tests and leak checks.
+func (m *Msg) Refs() int32 { return m.refs.Load() }
+
+// Clone deep-copies the message, corresponding to the Msg copy constructor
+// in the paper. The clone has an independent reference count of one and no
+// pool association. Algorithms must clone non-data messages received from
+// the engine before re-sending them.
+func (m *Msg) Clone() *Msg {
+	p := make([]byte, len(m.payload))
+	copy(p, m.payload)
+	return New(m.typ, m.sender, m.app, m.Seq(), p)
+}
+
+// Derive returns a new message sharing m's payload under a rewritten
+// header — the zero-copy retype used when a node re-labels a data stream
+// (for example the source in the network-coding case study splitting one
+// application stream into substreams). The derived message holds a
+// reference on m, which is released when the derived message's own count
+// reaches zero.
+func (m *Msg) Derive(typ Type, sender NodeID, app, seq uint32) *Msg {
+	m.Retain()
+	d := New(typ, sender, app, seq, m.payload)
+	d.parent = m
+	return d
+}
+
+// WithSender returns a shallow header rewrite used when the engine stamps
+// the local node as the original sender of a newly constructed message.
+func (m *Msg) WithSender(id NodeID) *Msg {
+	m.sender = id
+	return m
+}
+
+// String renders a compact human-readable description for logs and traces.
+func (m *Msg) String() string {
+	return fmt.Sprintf("msg{type=%d sender=%s app=%d seq=%d len=%d}",
+		m.typ, m.sender, m.app, m.Seq(), len(m.payload))
+}
+
+// AppendHeader appends the 24-byte wire header to dst and returns the
+// extended slice.
+func (m *Msg) AppendHeader(dst []byte) []byte {
+	var h [HeaderSize]byte
+	binary.BigEndian.PutUint32(h[0:4], uint32(m.typ))
+	binary.BigEndian.PutUint32(h[4:8], m.sender.IP)
+	binary.BigEndian.PutUint32(h[8:12], m.sender.Port)
+	binary.BigEndian.PutUint32(h[12:16], m.app)
+	binary.BigEndian.PutUint32(h[16:20], m.Seq())
+	binary.BigEndian.PutUint32(h[20:24], uint32(len(m.payload)))
+	return append(dst, h[:]...)
+}
+
+// WriteTo encodes the message to w: header followed by payload. It
+// implements io.WriterTo.
+func (m *Msg) WriteTo(w io.Writer) (int64, error) {
+	var h [HeaderSize]byte
+	buf := m.AppendHeader(h[:0])
+	n, err := w.Write(buf)
+	written := int64(n)
+	if err != nil {
+		return written, err
+	}
+	if len(m.payload) > 0 {
+		n, err = w.Write(m.payload)
+		written += int64(n)
+	}
+	return written, err
+}
+
+// Read decodes one message from r, allocating the payload from pool when
+// pool is non-nil. maxPayload bounds the accepted payload size; a value of
+// zero means DefaultMaxPayload. Read returns io.EOF only when no bytes of
+// the next message were consumed, io.ErrUnexpectedEOF on truncation.
+func Read(r io.Reader, pool *Pool, maxPayload int) (*Msg, error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	var h [HeaderSize]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(h[20:24])
+	if int(size) > maxPayload {
+		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, size, maxPayload)
+	}
+	var payload []byte
+	if size > 0 {
+		if pool != nil {
+			payload = pool.getBuf(int(size))
+		} else {
+			payload = make([]byte, size)
+		}
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if pool != nil {
+				pool.putBuf(payload)
+			}
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	m := New(Type(binary.BigEndian.Uint32(h[0:4])),
+		NodeID{
+			IP:   binary.BigEndian.Uint32(h[4:8]),
+			Port: binary.BigEndian.Uint32(h[8:12]),
+		},
+		binary.BigEndian.Uint32(h[12:16]),
+		binary.BigEndian.Uint32(h[16:20]),
+		payload)
+	m.pool = pool
+	return m, nil
+}
+
+// Decode parses one message from a byte slice, returning the message and
+// the number of bytes consumed. The payload aliases b; callers that retain
+// the message beyond the lifetime of b must Clone it.
+func Decode(b []byte) (*Msg, int, error) {
+	if len(b) < HeaderSize {
+		return nil, 0, ErrShortHeader
+	}
+	size := int(binary.BigEndian.Uint32(b[20:24]))
+	if len(b) < HeaderSize+size {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	m := New(Type(binary.BigEndian.Uint32(b[0:4])),
+		NodeID{
+			IP:   binary.BigEndian.Uint32(b[4:8]),
+			Port: binary.BigEndian.Uint32(b[8:12]),
+		},
+		binary.BigEndian.Uint32(b[12:16]),
+		binary.BigEndian.Uint32(b[16:20]),
+		b[HeaderSize:HeaderSize+size])
+	return m, HeaderSize + size, nil
+}

@@ -1,0 +1,377 @@
+package message
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAccessors(t *testing.T) {
+	sender := MakeID("10.0.0.1", 7000)
+	payload := []byte("hello overlay")
+	m := New(2000, sender, 7, 42, payload)
+
+	if got := m.Type(); got != 2000 {
+		t.Errorf("Type() = %d, want 2000", got)
+	}
+	if got := m.Sender(); got != sender {
+		t.Errorf("Sender() = %v, want %v", got, sender)
+	}
+	if got := m.App(); got != 7 {
+		t.Errorf("App() = %d, want 7", got)
+	}
+	if got := m.Seq(); got != 42 {
+		t.Errorf("Seq() = %d, want 42", got)
+	}
+	if !bytes.Equal(m.Payload(), payload) {
+		t.Errorf("Payload() = %q, want %q", m.Payload(), payload)
+	}
+	if got := m.Len(); got != len(payload) {
+		t.Errorf("Len() = %d, want %d", got, len(payload))
+	}
+	if got := m.WireLen(); got != HeaderSize+len(payload) {
+		t.Errorf("WireLen() = %d, want %d", got, HeaderSize+len(payload))
+	}
+}
+
+func TestSetSeqIsOnlyMutableField(t *testing.T) {
+	m := New(FirstDataType, ZeroID, 0, 1, nil)
+	m.SetSeq(99)
+	if got := m.Seq(); got != 99 {
+		t.Errorf("Seq() after SetSeq = %d, want 99", got)
+	}
+}
+
+func TestIsData(t *testing.T) {
+	tests := []struct {
+		typ  Type
+		want bool
+	}{
+		{0, false},
+		{FirstDataType - 1, false},
+		{FirstDataType, true},
+		{FirstDataType + 500, true},
+	}
+	for _, tt := range tests {
+		if got := New(tt.typ, ZeroID, 0, 0, nil).IsData(); got != tt.want {
+			t.Errorf("IsData() for type %d = %v, want %v", tt.typ, got, tt.want)
+		}
+	}
+}
+
+func TestWriteToReadRoundTrip(t *testing.T) {
+	sender := MakeID("192.168.1.20", 9999)
+	payload := bytes.Repeat([]byte{0xAB}, 5000)
+	m := New(1234, sender, 3, 77, payload)
+
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(m.WireLen()) {
+		t.Fatalf("WriteTo wrote %d bytes, want %d", n, m.WireLen())
+	}
+
+	got, err := Read(&buf, nil, 0)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Type() != m.Type() || got.Sender() != m.Sender() ||
+		got.App() != m.App() || got.Seq() != m.Seq() {
+		t.Errorf("round trip header mismatch: got %v, want %v", got, m)
+	}
+	if !bytes.Equal(got.Payload(), payload) {
+		t.Error("round trip payload mismatch")
+	}
+}
+
+func TestReadRejectsOversizedPayload(t *testing.T) {
+	m := New(FirstDataType, ZeroID, 0, 0, make([]byte, 128))
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	_, err := Read(&buf, nil, 64)
+	if !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("Read with small limit: err = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestReadEOFAtMessageBoundary(t *testing.T) {
+	_, err := Read(strings.NewReader(""), nil, 0)
+	if !errors.Is(err, io.EOF) {
+		t.Errorf("Read on empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadTruncatedPayload(t *testing.T) {
+	m := New(FirstDataType, ZeroID, 0, 0, make([]byte, 100))
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-10]
+	_, err := Read(bytes.NewReader(truncated), nil, 0)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("Read truncated: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReadTruncatedHeader(t *testing.T) {
+	_, err := Read(bytes.NewReader(make([]byte, HeaderSize-3)), nil, 0)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("Read short header: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestDecode(t *testing.T) {
+	m := New(2001, MakeID("1.2.3.4", 55), 9, 10, []byte("xyz"))
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	// Append trailing garbage: Decode must report the exact consumed count.
+	raw := append(buf.Bytes(), 0xFF, 0xFF)
+
+	got, n, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if n != m.WireLen() {
+		t.Errorf("Decode consumed %d, want %d", n, m.WireLen())
+	}
+	if got.Type() != m.Type() || !bytes.Equal(got.Payload(), m.Payload()) {
+		t.Errorf("Decode mismatch: %v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(make([]byte, 5)); !errors.Is(err, ErrShortHeader) {
+		t.Errorf("short buffer: err = %v, want ErrShortHeader", err)
+	}
+	m := New(FirstDataType, ZeroID, 0, 0, make([]byte, 64))
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decode(buf.Bytes()[:HeaderSize+10]); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated payload: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(typ uint32, ip uint32, port uint32, app, seq uint32, payload []byte) bool {
+		m := New(Type(typ), NodeID{IP: ip, Port: port}, app, seq, payload)
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf, nil, len(payload)+1)
+		if err != nil {
+			return false
+		}
+		return got.Type() == m.Type() && got.Sender() == m.Sender() &&
+			got.App() == m.App() && got.Seq() == m.Seq() &&
+			bytes.Equal(got.Payload(), m.Payload())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRetainRelease(t *testing.T) {
+	m := New(FirstDataType, ZeroID, 0, 0, []byte("x"))
+	if got := m.Refs(); got != 1 {
+		t.Fatalf("initial Refs() = %d, want 1", got)
+	}
+	m.Retain()
+	m.Retain()
+	if got := m.Refs(); got != 3 {
+		t.Fatalf("Refs() after two retains = %d, want 3", got)
+	}
+	m.Release()
+	m.Release()
+	m.Release()
+	if got := m.Refs(); got != 0 {
+		t.Fatalf("Refs() after full release = %d, want 0", got)
+	}
+}
+
+func TestReleasePanicsOnOverRelease(t *testing.T) {
+	m := New(FirstDataType, ZeroID, 0, 0, nil)
+	m.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("Release on released message did not panic")
+		}
+	}()
+	m.Release()
+}
+
+func TestRetainPanicsAfterRelease(t *testing.T) {
+	m := New(FirstDataType, ZeroID, 0, 0, nil)
+	m.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("Retain after release did not panic")
+		}
+	}()
+	m.Retain()
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	orig := New(2000, MakeID("10.0.0.1", 1), 1, 5, []byte("abc"))
+	cl := orig.Clone()
+	cl.Payload()[0] = 'Z'
+	cl.SetSeq(100)
+	if orig.Payload()[0] != 'a' {
+		t.Error("Clone shares payload with original")
+	}
+	if orig.Seq() != 5 {
+		t.Error("Clone shares sequence number with original")
+	}
+	cl.Release()
+	if orig.Refs() != 1 {
+		t.Error("Clone release affected original refcount")
+	}
+}
+
+func TestConcurrentRetainRelease(t *testing.T) {
+	m := New(FirstDataType, ZeroID, 0, 0, []byte("shared"))
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		m.Retain()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Retain()
+				m.Release()
+			}
+			m.Release()
+		}()
+	}
+	wg.Wait()
+	if got := m.Refs(); got != 1 {
+		t.Errorf("Refs() after concurrent churn = %d, want 1", got)
+	}
+}
+
+func TestPoolRecyclesBuffers(t *testing.T) {
+	p := NewPool()
+	m := p.Get(FirstDataType, ZeroID, 0, 0, 500)
+	if m.Len() != 500 {
+		t.Fatalf("pool Get length = %d, want 500", m.Len())
+	}
+	buf := m.Payload()
+	m.Release()
+	// The same size class should hand the buffer back.
+	m2 := p.Get(FirstDataType, ZeroID, 0, 1, 400)
+	if &buf[0] != &m2.Payload()[0] {
+		t.Log("pool did not recycle buffer (allowed, sync.Pool may drop), checking length only")
+	}
+	if m2.Len() != 400 {
+		t.Fatalf("pool Get length = %d, want 400", m2.Len())
+	}
+	m2.Release()
+}
+
+func TestPoolReadUsesPool(t *testing.T) {
+	p := NewPool()
+	src := New(FirstDataType, ZeroID, 1, 2, bytes.Repeat([]byte{7}, 1000))
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Read(&buf, p, 0)
+	if err != nil {
+		t.Fatalf("Read with pool: %v", err)
+	}
+	if !bytes.Equal(m.Payload(), src.Payload()) {
+		t.Error("pooled read payload mismatch")
+	}
+	m.Release()
+}
+
+func TestPoolHugeBufferFallsBack(t *testing.T) {
+	p := NewPool()
+	m := p.Get(FirstDataType, ZeroID, 0, 0, (1<<22)+1)
+	if m.Len() != (1<<22)+1 {
+		t.Fatalf("huge Get length = %d", m.Len())
+	}
+	m.Release() // must not panic even though the buffer is unpooled
+}
+
+func TestClassFor(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{1, 6}, {64, 6}, {65, 7}, {128, 7}, {1 << 22, 22}, {(1 << 22) + 1, -1},
+	}
+	for _, tt := range tests {
+		if got := classFor(tt.n); got != tt.want {
+			t.Errorf("classFor(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestDeriveSharesPayloadZeroCopy(t *testing.T) {
+	orig := New(FirstDataType, MakeID("10.0.0.1", 1), 1, 5, []byte("shared payload"))
+	d := orig.Derive(FirstDataType+3, MakeID("10.0.0.2", 2), 9, 0)
+	if d.Type() != FirstDataType+3 || d.App() != 9 || d.Seq() != 0 {
+		t.Errorf("derived header = %v", d)
+	}
+	if d.Sender() != MakeID("10.0.0.2", 2) {
+		t.Errorf("derived sender = %v", d.Sender())
+	}
+	if &d.Payload()[0] != &orig.Payload()[0] {
+		t.Error("Derive copied the payload")
+	}
+	// Derive retained the parent.
+	if orig.Refs() != 2 {
+		t.Errorf("parent refs = %d, want 2", orig.Refs())
+	}
+	d.Release()
+	if orig.Refs() != 1 {
+		t.Errorf("parent refs after derived release = %d, want 1", orig.Refs())
+	}
+	orig.Release()
+}
+
+func TestDerivedPooledBufferReturnsOnlyAfterBothReleased(t *testing.T) {
+	p := NewPool()
+	orig := p.Get(FirstDataType, ZeroID, 1, 0, 256)
+	buf := orig.Payload()
+	d := orig.Derive(FirstDataType+1, ZeroID, 1, 1)
+	orig.Release() // parent's own ref gone; derived still holds it
+	// Buffer must not be recycled yet: a fresh Get of the same class
+	// must not alias it while the derived message is alive.
+	probe := p.Get(FirstDataType, ZeroID, 1, 2, 256)
+	if len(buf) > 0 && len(probe.Payload()) > 0 && &probe.Payload()[0] == &buf[0] {
+		t.Fatal("pooled buffer recycled while derived message alive")
+	}
+	probe.Release()
+	d.Release() // now the parent's pool buffer may be recycled
+}
+
+func TestDeriveChain(t *testing.T) {
+	orig := New(FirstDataType, ZeroID, 1, 0, []byte("abc"))
+	d1 := orig.Derive(FirstDataType+1, ZeroID, 1, 1)
+	d2 := d1.Derive(FirstDataType+2, ZeroID, 1, 2)
+	if string(d2.Payload()) != "abc" {
+		t.Error("chained derive lost payload")
+	}
+	d2.Release()
+	d1.Release()
+	if orig.Refs() != 1 {
+		t.Errorf("root refs = %d after chain release, want 1", orig.Refs())
+	}
+	orig.Release()
+}

@@ -1,0 +1,66 @@
+package message
+
+import "sync"
+
+// Pool recycles payload buffers between the receiving and sending sockets,
+// supporting the paper's zero-copy, leak-free message lifecycle: buffers
+// are checked out by Read, travel by reference through the engine, and
+// return here when the last reference is released.
+//
+// Buffers are binned by power-of-two size class up to maxClass; larger
+// requests fall back to plain allocation.
+type Pool struct {
+	classes [maxClassBits + 1]sync.Pool
+}
+
+const (
+	minClassBits = 6  // 64 B
+	maxClassBits = 22 // 4 MiB
+)
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+func classFor(n int) int {
+	bits := minClassBits
+	for n > 1<<bits {
+		bits++
+		if bits > maxClassBits {
+			return -1
+		}
+	}
+	return bits
+}
+
+// getBuf returns a buffer of length n, recycled when possible.
+func (p *Pool) getBuf(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if v := p.classes[c].Get(); v != nil {
+		buf := *(v.(*[]byte))
+		return buf[:n]
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// putBuf returns a buffer to the pool. Buffers whose capacity does not
+// match a size class exactly are dropped for the garbage collector.
+func (p *Pool) putBuf(buf []byte) {
+	c := classFor(cap(buf))
+	if c < 0 || cap(buf) != 1<<c {
+		return
+	}
+	full := buf[:cap(buf)]
+	p.classes[c].Put(&full)
+}
+
+// Get allocates an n-byte payload from the pool and wraps it in a message
+// whose Release returns the buffer here. The payload contents are
+// unspecified; callers overwrite them.
+func (p *Pool) Get(typ Type, sender NodeID, app, seq uint32, n int) *Msg {
+	m := New(typ, sender, app, seq, p.getBuf(n))
+	m.pool = p
+	return m
+}

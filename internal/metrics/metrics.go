@@ -1,0 +1,220 @@
+// Package metrics implements the QoS measurement facilities the paper
+// attaches at the socket level: per-connection throughput, round-trip
+// latency samples, and counters of bytes or messages lost due to
+// failures. Results are sampled periodically by the engine and reported
+// to the algorithm and the observer.
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Meter measures throughput in bytes per second over a sliding window of
+// fixed-width buckets. It is safe for concurrent use: the transport
+// goroutine Adds while the engine goroutine samples Rate.
+type Meter struct {
+	mu         sync.Mutex
+	bucketSize time.Duration
+	buckets    []int64
+	times      []time.Time
+	head       int
+	total      int64 // lifetime bytes
+	start      time.Time
+}
+
+// DefaultWindow is the sliding measurement window.
+const DefaultWindow = 2 * time.Second
+
+// defaultBuckets subdivides the window; more buckets smooth the estimate.
+const defaultBuckets = 20
+
+// NewMeter returns a meter with the given sliding window; zero uses
+// DefaultWindow.
+func NewMeter(window time.Duration) *Meter {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Meter{
+		bucketSize: window / defaultBuckets,
+		buckets:    make([]int64, defaultBuckets),
+		times:      make([]time.Time, defaultBuckets),
+		start:      time.Now(),
+	}
+}
+
+// Add records n bytes transferred now.
+func (m *Meter) Add(n int64) {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total += n
+	cur := m.times[m.head]
+	if cur.IsZero() || now.Sub(cur) >= m.bucketSize {
+		m.head = (m.head + 1) % len(m.buckets)
+		m.buckets[m.head] = 0
+		m.times[m.head] = now
+	}
+	m.buckets[m.head] += n
+}
+
+// Rate reports the current throughput estimate in bytes per second over
+// the populated portion of the window.
+func (m *Meter) Rate() float64 {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	window := m.bucketSize * time.Duration(len(m.buckets))
+	cutoff := now.Add(-window)
+	var sum int64
+	oldest := now
+	for i, ts := range m.times {
+		if ts.IsZero() || ts.Before(cutoff) {
+			continue
+		}
+		sum += m.buckets[i]
+		if ts.Before(oldest) {
+			oldest = ts
+		}
+	}
+	span := now.Sub(oldest)
+	if span < m.bucketSize {
+		span = m.bucketSize
+	}
+	return float64(sum) / span.Seconds()
+}
+
+// Total reports lifetime bytes recorded.
+func (m *Meter) Total() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// LifetimeRate reports total bytes divided by the meter's lifetime; the
+// stable long-run throughput used by experiment harnesses.
+func (m *Meter) LifetimeRate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	elapsed := time.Since(m.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.total) / elapsed
+}
+
+// Idle reports how long the meter has gone without traffic; the engine's
+// inactivity-based failure detector consults this (the paper detects
+// failures partly by "long consecutive periods of traffic inactivity").
+func (m *Meter) Idle() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var latest time.Time
+	for _, ts := range m.times {
+		if ts.After(latest) {
+			latest = ts
+		}
+	}
+	if latest.IsZero() {
+		return time.Since(m.start)
+	}
+	return time.Since(latest)
+}
+
+// Reset zeroes the meter, restarting its lifetime clock.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.buckets {
+		m.buckets[i] = 0
+		m.times[i] = time.Time{}
+	}
+	m.total = 0
+	m.start = time.Now()
+}
+
+// Counters aggregates the loss and volume statistics the engine reports
+// per link. All methods are safe for concurrent use.
+type Counters struct {
+	mu           sync.Mutex
+	msgsIn       int64
+	msgsOut      int64
+	bytesIn      int64
+	bytesOut     int64
+	msgsDropped  int64
+	bytesDropped int64
+}
+
+// CountersSnapshot is an immutable copy of Counters.
+type CountersSnapshot struct {
+	MsgsIn, MsgsOut   int64
+	BytesIn, BytesOut int64
+	MsgsDropped       int64
+	BytesDropped      int64
+}
+
+// AddIn records a received message of n bytes.
+func (c *Counters) AddIn(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgsIn++
+	c.bytesIn += n
+}
+
+// AddOut records a sent message of n bytes.
+func (c *Counters) AddOut(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgsOut++
+	c.bytesOut += n
+}
+
+// AddDropped records a message of n bytes lost to a failure, the paper's
+// "number of bytes (or messages) lost due to failures".
+func (c *Counters) AddDropped(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgsDropped++
+	c.bytesDropped += n
+}
+
+// Snapshot copies the counters.
+func (c *Counters) Snapshot() CountersSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CountersSnapshot{
+		MsgsIn: c.msgsIn, MsgsOut: c.msgsOut,
+		BytesIn: c.bytesIn, BytesOut: c.bytesOut,
+		MsgsDropped: c.msgsDropped, BytesDropped: c.bytesDropped,
+	}
+}
+
+// LatencyTracker keeps an exponentially weighted round-trip estimate fed
+// by ping/pong probes.
+type LatencyTracker struct {
+	mu      sync.Mutex
+	rtt     time.Duration
+	samples int
+}
+
+// ewmaAlpha weights new samples, mirroring TCP's SRTT smoothing.
+const ewmaAlpha = 0.125
+
+// Observe folds one RTT sample into the estimate.
+func (lt *LatencyTracker) Observe(rtt time.Duration) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.samples++
+	if lt.samples == 1 {
+		lt.rtt = rtt
+		return
+	}
+	lt.rtt = time.Duration((1-ewmaAlpha)*float64(lt.rtt) + ewmaAlpha*float64(rtt))
+}
+
+// RTT reports the smoothed estimate and whether any sample exists.
+func (lt *LatencyTracker) RTT() (time.Duration, bool) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.rtt, lt.samples > 0
+}

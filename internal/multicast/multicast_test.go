@@ -1,0 +1,113 @@
+package multicast
+
+import (
+	"testing"
+
+	"repro/internal/algtest"
+	"repro/internal/engine"
+	"repro/internal/message"
+	"repro/internal/protocol"
+)
+
+func nid(i int) message.NodeID {
+	return message.NodeID{IP: 10<<24 | uint32(i), Port: 7000}
+}
+
+func attached() (*Forwarder, *algtest.FakeAPI) {
+	api := algtest.New(nid(1))
+	f := &Forwarder{}
+	f.Attach(api)
+	return f, api
+}
+
+func TestDefaultRouteCopiesToAll(t *testing.T) {
+	f, api := attached()
+	f.DefaultRoutes = []message.NodeID{nid(2), nid(3)}
+	m := message.New(message.FirstDataType, nid(9), 1, 0, []byte("x"))
+	if v := f.Process(m); v != engine.Done {
+		t.Fatalf("verdict = %v", v)
+	}
+	if len(api.SentTo(nid(2))) != 1 || len(api.SentTo(nid(3))) != 1 {
+		t.Error("not copied to both downstreams")
+	}
+	// Forwarded, not consumed.
+	if f.ReceivedBytes(1) != 0 {
+		t.Error("forwarder consumed the message")
+	}
+	if f.SeenMessages(1) != 1 {
+		t.Errorf("SeenMessages = %d", f.SeenMessages(1))
+	}
+	m.Release()
+}
+
+func TestTypedRoutesOverrideDefault(t *testing.T) {
+	f, api := attached()
+	f.DefaultRoutes = []message.NodeID{nid(2)}
+	f.Routes = map[message.Type][]message.NodeID{
+		message.FirstDataType + 1: {nid(3)},
+	}
+	typed := message.New(message.FirstDataType+1, nid(9), 1, 0, nil)
+	f.Process(typed)
+	typed.Release()
+	plain := message.New(message.FirstDataType, nid(9), 1, 1, nil)
+	f.Process(plain)
+	plain.Release()
+	if len(api.SentTo(nid(3))) != 1 {
+		t.Error("typed route not used")
+	}
+	if len(api.SentTo(nid(2))) != 1 {
+		t.Error("default route not used for untyped data")
+	}
+}
+
+func TestSinkCountsConsumedBytes(t *testing.T) {
+	f, api := attached()
+	for i := 0; i < 3; i++ {
+		m := message.New(message.FirstDataType, nid(9), 7, uint32(i), make([]byte, 100))
+		f.Process(m)
+		m.Release()
+	}
+	if got := f.ReceivedBytes(7); got != 300 {
+		t.Errorf("ReceivedBytes = %d, want 300", got)
+	}
+	if got := f.SeenMessages(7); got != 3 {
+		t.Errorf("SeenMessages = %d, want 3", got)
+	}
+	if len(api.Sends) != 0 {
+		t.Error("sink forwarded messages")
+	}
+	// Per-app separation.
+	if f.ReceivedBytes(8) != 0 {
+		t.Error("counted bytes for wrong app")
+	}
+}
+
+func TestEmptyTypedRouteConsumes(t *testing.T) {
+	f, api := attached()
+	f.DefaultRoutes = []message.NodeID{nid(2)}
+	f.Routes = map[message.Type][]message.NodeID{
+		message.FirstDataType + 5: {}, // explicit sink for one stream
+	}
+	m := message.New(message.FirstDataType+5, nid(9), 1, 0, make([]byte, 10))
+	f.Process(m)
+	m.Release()
+	if len(api.Sends) != 0 {
+		t.Error("explicitly sunk stream was forwarded")
+	}
+	if f.ReceivedBytes(1) != 10 {
+		t.Error("sunk stream not counted")
+	}
+}
+
+func TestControlFallsThroughToBase(t *testing.T) {
+	f, api := attached()
+	d := protocol.Deploy{App: 3, Rate: 1, MsgSize: 64}
+	m := message.New(protocol.TypeDeploy, nid(0), 3, 0, d.Encode())
+	if v := f.Process(m); v != engine.Done {
+		t.Fatalf("verdict = %v", v)
+	}
+	m.Release()
+	if len(api.Sources) != 1 || api.Sources[0].App != 3 {
+		t.Errorf("deploy not handled by base: %+v", api.Sources)
+	}
+}

@@ -1,0 +1,340 @@
+// Package observer implements iOverlay's centralized monitoring facility:
+// bootstrap support (answering boot requests with a random subset of
+// alive nodes), periodic status requests, a control panel (deploying
+// applications, join/leave, node termination, runtime bandwidth
+// emulation, algorithm-specific commands), and a central trace log.
+//
+// The original observer is a Windows GUI; this one is headless and exposes
+// the same information programmatically (and as text topology dumps),
+// which is what every experiment in the paper actually consumes.
+package observer
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/message"
+	"repro/internal/protocol"
+	"repro/internal/queue"
+)
+
+// Defaults.
+const (
+	DefaultBootstrapCount  = 8
+	DefaultRequestInterval = 500 * time.Millisecond
+	DefaultStaleAfter      = 5 * time.Second
+)
+
+// TraceRecord is one centrally logged trace message.
+type TraceRecord struct {
+	When time.Time
+	Node message.NodeID
+	Body string
+}
+
+// Config parameterizes an Observer.
+type Config struct {
+	// ID is the observer's identity/listen address.
+	ID message.NodeID
+	// Transport supplies connectivity.
+	Transport engine.Transport
+	// BootstrapCount is how many alive nodes a boot reply includes.
+	BootstrapCount int
+	// RequestInterval paces automatic status requests to all alive nodes;
+	// zero uses the default, negative disables automatic requests.
+	RequestInterval time.Duration
+	// StaleAfter marks nodes dead after silence for this long.
+	StaleAfter time.Duration
+	// TraceWriter, when set, receives trace records as text lines.
+	TraceWriter io.Writer
+	// Seed fixes the bootstrap sampling for reproducible experiments.
+	Seed int64
+	// Logf, when set, receives debug logging.
+	Logf func(format string, args ...any)
+}
+
+// route is an outbound path for commands to one node.
+type route struct {
+	ring  *queue.Ring
+	proxy bool // wrap commands in a Relay envelope
+}
+
+// nodeState tracks one overlay node.
+type nodeState struct {
+	id         message.NodeID
+	out        *route
+	lastSeen   time.Time
+	lastReport protocol.Report
+	hasReport  bool
+}
+
+// Observer is the centralized monitoring and control server.
+type Observer struct {
+	cfg      Config
+	listener net.Listener
+	rng      *rand.Rand
+
+	mu     sync.Mutex
+	nodes  map[message.NodeID]*nodeState
+	traces []TraceRecord
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New constructs an observer.
+func New(cfg Config) (*Observer, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("observer: Config.Transport is required")
+	}
+	if cfg.ID.IsZero() {
+		return nil, fmt.Errorf("observer: Config.ID is required")
+	}
+	if cfg.BootstrapCount <= 0 {
+		cfg.BootstrapCount = DefaultBootstrapCount
+	}
+	if cfg.RequestInterval == 0 {
+		cfg.RequestInterval = DefaultRequestInterval
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = DefaultStaleAfter
+	}
+	return &Observer{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+		nodes: make(map[message.NodeID]*nodeState),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// ID reports the observer identity.
+func (o *Observer) ID() message.NodeID { return o.cfg.ID }
+
+// Start binds the observer port and begins serving.
+func (o *Observer) Start() error {
+	l, err := o.cfg.Transport.Listen(o.cfg.ID.Addr())
+	if err != nil {
+		return fmt.Errorf("observer: listen: %w", err)
+	}
+	o.listener = l
+	o.wg.Add(1)
+	go o.acceptLoop()
+	if o.cfg.RequestInterval > 0 {
+		o.wg.Add(1)
+		go o.requestLoop()
+	}
+	return nil
+}
+
+// Stop shuts the observer down.
+func (o *Observer) Stop() {
+	o.once.Do(func() {
+		close(o.done)
+		if o.listener != nil {
+			_ = o.listener.Close()
+		}
+		o.mu.Lock()
+		for _, n := range o.nodes {
+			if n.out != nil {
+				n.out.ring.Close()
+			}
+		}
+		o.mu.Unlock()
+		o.wg.Wait()
+	})
+}
+
+func (o *Observer) logf(format string, args ...any) {
+	if o.cfg.Logf != nil {
+		o.cfg.Logf(format, args...)
+	}
+}
+
+func (o *Observer) acceptLoop() {
+	defer o.wg.Done()
+	for {
+		conn, err := o.listener.Accept()
+		if err != nil {
+			return
+		}
+		o.wg.Add(1)
+		go o.serveConn(conn)
+	}
+}
+
+// serveConn handles one inbound connection: a node's observer link or a
+// proxy's trunk. The first message must be a hello.
+func (o *Observer) serveConn(conn net.Conn) {
+	defer o.wg.Done()
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	hello, err := message.Read(conn, nil, 256)
+	if err != nil || hello.Type() != protocol.TypeHello {
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	isProxy := hello.App() == protocol.HelloProxy
+	peer := hello.Sender()
+	hello.Release()
+
+	out := &route{ring: queue.New(256), proxy: isProxy}
+	o.wg.Add(1)
+	go o.writeLoop(conn, out.ring)
+	defer out.ring.Close()
+
+	if !isProxy {
+		o.register(peer, out)
+	}
+	for {
+		m, err := message.Read(conn, nil, message.DefaultMaxPayload)
+		if err != nil {
+			if !isProxy {
+				o.markGone(peer)
+			}
+			return
+		}
+		o.handle(m, out)
+	}
+}
+
+func (o *Observer) writeLoop(conn net.Conn, ring *queue.Ring) {
+	defer o.wg.Done()
+	for {
+		m, err := ring.Pop()
+		if err != nil {
+			return
+		}
+		_, werr := m.WriteTo(conn)
+		m.Release()
+		if werr != nil {
+			ring.Close()
+			return
+		}
+	}
+}
+
+// handle processes one message from a node (possibly relayed by a proxy).
+func (o *Observer) handle(m *message.Msg, out *route) {
+	defer m.Release()
+	from := m.Sender()
+	o.register(from, out)
+	switch m.Type() {
+	case protocol.TypeBoot:
+		reply := protocol.BootReply{Hosts: o.bootstrapSet(from)}
+		o.sendRoute(out, from,
+			message.New(protocol.TypeBootReply, o.cfg.ID, 0, 0, reply.Encode()))
+	case protocol.TypeReport:
+		rp, err := protocol.DecodeReport(m.Payload())
+		if err != nil {
+			o.logf("bad report from %s: %v", from, err)
+			return
+		}
+		o.mu.Lock()
+		if n, ok := o.nodes[from]; ok {
+			n.lastReport = rp
+			n.hasReport = true
+		}
+		o.mu.Unlock()
+	case protocol.TypeTrace:
+		rec := TraceRecord{When: time.Now(), Node: from, Body: string(m.Payload())}
+		o.mu.Lock()
+		o.traces = append(o.traces, rec)
+		o.mu.Unlock()
+		if o.cfg.TraceWriter != nil {
+			fmt.Fprintf(o.cfg.TraceWriter, "%s %s %s\n",
+				rec.When.Format(time.RFC3339Nano), rec.Node, rec.Body)
+		}
+	default:
+		o.logf("unexpected %s from %s", protocol.TypeName(m.Type()), from)
+	}
+}
+
+// register records (or refreshes) a node and its outbound route.
+func (o *Observer) register(id message.NodeID, out *route) {
+	if id.IsZero() || id == o.cfg.ID {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n, ok := o.nodes[id]
+	if !ok {
+		n = &nodeState{id: id}
+		o.nodes[id] = n
+	}
+	n.out = out
+	n.lastSeen = time.Now()
+}
+
+func (o *Observer) markGone(id message.NodeID) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if n, ok := o.nodes[id]; ok {
+		n.out = nil
+	}
+}
+
+// bootstrapSet samples up to BootstrapCount alive nodes, excluding the
+// requester — the paper's "random subset of existing nodes that are
+// alive".
+func (o *Observer) bootstrapSet(exclude message.NodeID) []message.NodeID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	alive := make([]message.NodeID, 0, len(o.nodes))
+	for id, n := range o.nodes {
+		if id != exclude && n.out != nil {
+			alive = append(alive, id)
+		}
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].Less(alive[j]) })
+	if len(alive) > o.cfg.BootstrapCount {
+		o.rng.Shuffle(len(alive), func(i, j int) {
+			alive[i], alive[j] = alive[j], alive[i]
+		})
+		alive = alive[:o.cfg.BootstrapCount]
+	}
+	return alive
+}
+
+// sendRoute pushes a command toward a node over its route, wrapping in a
+// relay envelope when the route is a proxy trunk. It consumes m.
+func (o *Observer) sendRoute(out *route, dest message.NodeID, m *message.Msg) {
+	if out == nil {
+		m.Release()
+		return
+	}
+	if out.proxy {
+		var buf []byte
+		buf = m.AppendHeader(buf)
+		buf = append(buf, m.Payload()...)
+		m.Release()
+		m = message.New(protocol.TypeRelay, o.cfg.ID, 0, 0,
+			protocol.Relay{Dest: dest, Inner: buf}.Encode())
+	}
+	if !out.ring.TryPush(m) {
+		m.Release()
+	}
+}
+
+// requestLoop periodically asks every alive node for a status update.
+func (o *Observer) requestLoop() {
+	defer o.wg.Done()
+	ticker := time.NewTicker(o.cfg.RequestInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			for _, id := range o.Alive() {
+				o.Command(id, protocol.TypeRequest, nil)
+			}
+		case <-o.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,480 @@
+package protocol
+
+import (
+	"repro/internal/message"
+)
+
+// Reserved control message types (all below message.FirstDataType). The
+// names mirror the paper where it gives them: boot, request, sDeploy,
+// sTerminate, BrokenSource, UpThroughput, trace.
+const (
+	// Link management between engines.
+	TypeHello message.Type = 1 // first message on a new connection: sender identity
+
+	// Observer bootstrap and monitoring.
+	TypeBoot      message.Type = 2 // node -> observer: bootstrap request
+	TypeBootReply message.Type = 3 // observer -> node: random subset of alive nodes
+	TypeRequest   message.Type = 4 // observer -> node: request a status update
+	TypeReport    message.Type = 5 // node -> observer: status update
+	TypeTrace     message.Type = 6 // node -> observer: debugging/trace record
+	TypeRelay     message.Type = 7 // observer -> proxy: enveloped command for a node
+
+	// Observer control panel actions.
+	TypeDeploy        message.Type = 10 // sDeploy: deploy an application source
+	TypeTerminateApp  message.Type = 11 // sTerminate: terminate an application source
+	TypeTerminateNode message.Type = 12 // terminate a node entirely
+	TypeSetBandwidth  message.Type = 13 // adjust emulated bandwidth at runtime
+	TypeJoin          message.Type = 14 // ask a node to join an application
+	TypeLeave         message.Type = 15 // ask a node to leave an application
+	TypeCustom        message.Type = 16 // algorithm-specific command, two int params
+
+	// QoS measurement probes.
+	TypePing     message.Type = 20 // latency probe
+	TypePong     message.Type = 21 // latency probe reply
+	TypeProbe    message.Type = 22 // bandwidth probe burst
+	TypeProbeAck message.Type = 23 // bandwidth probe result
+
+	// Engine -> algorithm notifications (produced locally, never wired).
+	TypeBrokenSource   message.Type = 30 // upstream application source failed
+	TypeLinkUp         message.Type = 31 // a link was established
+	TypeLinkDown       message.Type = 32 // a link failed or was torn down
+	TypeUpThroughput   message.Type = 33 // periodic upstream link throughput
+	TypeDownThroughput message.Type = 34 // periodic downstream link throughput
+	TypeTick           message.Type = 35 // algorithm-requested timer expiry
+	TypeNodeShutdown   message.Type = 36 // engine is terminating gracefully
+	TypeLatency        message.Type = 37 // measured RTT result for the algorithm
+	TypeBandwidthEst   message.Type = 38 // measured available bandwidth result
+)
+
+// TypeName renders a reserved type for traces; unknown and data types are
+// rendered numerically.
+func TypeName(t message.Type) string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeBoot:
+		return "boot"
+	case TypeBootReply:
+		return "bootReply"
+	case TypeRequest:
+		return "request"
+	case TypeReport:
+		return "report"
+	case TypeTrace:
+		return "trace"
+	case TypeRelay:
+		return "relay"
+	case TypeDeploy:
+		return "sDeploy"
+	case TypeTerminateApp:
+		return "sTerminate"
+	case TypeTerminateNode:
+		return "terminateNode"
+	case TypeSetBandwidth:
+		return "setBandwidth"
+	case TypeJoin:
+		return "join"
+	case TypeLeave:
+		return "leave"
+	case TypeCustom:
+		return "custom"
+	case TypePing:
+		return "ping"
+	case TypePong:
+		return "pong"
+	case TypeProbe:
+		return "probe"
+	case TypeProbeAck:
+		return "probeAck"
+	case TypeBrokenSource:
+		return "BrokenSource"
+	case TypeLinkUp:
+		return "LinkUp"
+	case TypeLinkDown:
+		return "LinkDown"
+	case TypeUpThroughput:
+		return "UpThroughput"
+	case TypeDownThroughput:
+		return "DownThroughput"
+	case TypeTick:
+		return "tick"
+	case TypeNodeShutdown:
+		return "nodeShutdown"
+	case TypeLatency:
+		return "latency"
+	case TypeBandwidthEst:
+		return "bandwidthEst"
+	default:
+		if t >= message.FirstDataType {
+			return "data"
+		}
+		return "unknown"
+	}
+}
+
+// BandwidthClass selects which emulated budget a SetBandwidth command
+// adjusts, matching the paper's three emulation categories.
+type BandwidthClass uint32
+
+// Bandwidth emulation categories.
+const (
+	BandwidthTotal BandwidthClass = iota + 1
+	BandwidthUp
+	BandwidthDown
+	BandwidthLink // requires Peer
+)
+
+// SetBandwidth is the payload of TypeSetBandwidth.
+type SetBandwidth struct {
+	Class BandwidthClass
+	Rate  int64          // bytes per second; <=0 means unlimited
+	Peer  message.NodeID // for BandwidthLink: the downstream end
+}
+
+// Encode serializes the command.
+func (c SetBandwidth) Encode() []byte {
+	return NewWriter(24).U32(uint32(c.Class)).I64(c.Rate).ID(c.Peer).Bytes()
+}
+
+// DecodeSetBandwidth parses a SetBandwidth payload.
+func DecodeSetBandwidth(b []byte) (SetBandwidth, error) {
+	r := NewReader(b)
+	c := SetBandwidth{
+		Class: BandwidthClass(r.U32()),
+		Rate:  r.I64(),
+		Peer:  r.ID(),
+	}
+	return c, r.Err()
+}
+
+// BootReply is the observer's answer to a bootstrap request: a random
+// subset of existing nodes that are alive.
+type BootReply struct {
+	Hosts []message.NodeID
+}
+
+// Encode serializes the reply.
+func (br BootReply) Encode() []byte {
+	return NewWriter(4 + 8*len(br.Hosts)).IDs(br.Hosts).Bytes()
+}
+
+// DecodeBootReply parses a BootReply payload.
+func DecodeBootReply(b []byte) (BootReply, error) {
+	r := NewReader(b)
+	br := BootReply{Hosts: r.IDs()}
+	return br, r.Err()
+}
+
+// Deploy is the payload of TypeDeploy: start an application source on the
+// receiving node. Rate caps the source's send rate (<=0: back-to-back as
+// fast as possible, the paper's raw-performance workload), MsgSize sets
+// the payload bytes per message.
+type Deploy struct {
+	App     uint32
+	Rate    int64
+	MsgSize uint32
+}
+
+// Encode serializes the command.
+func (d Deploy) Encode() []byte {
+	return NewWriter(16).U32(d.App).I64(d.Rate).U32(d.MsgSize).Bytes()
+}
+
+// DecodeDeploy parses a Deploy payload.
+func DecodeDeploy(b []byte) (Deploy, error) {
+	r := NewReader(b)
+	d := Deploy{App: r.U32(), Rate: r.I64(), MsgSize: r.U32()}
+	return d, r.Err()
+}
+
+// Join is the payload of TypeJoin/TypeLeave: application membership
+// changes pushed by the observer; Contact optionally names a node already
+// in the session to start the join at.
+type Join struct {
+	App     uint32
+	Contact message.NodeID
+}
+
+// Encode serializes the command.
+func (j Join) Encode() []byte {
+	return NewWriter(12).U32(j.App).ID(j.Contact).Bytes()
+}
+
+// DecodeJoin parses a Join payload.
+func DecodeJoin(b []byte) (Join, error) {
+	r := NewReader(b)
+	j := Join{App: r.U32(), Contact: r.ID()}
+	return j, r.Err()
+}
+
+// Custom is the payload of TypeCustom: an algorithm-specific control
+// message with two optional integer parameters embedded, as the observer
+// supports in the paper.
+type Custom struct {
+	Kind uint32
+	P1   int64
+	P2   int64
+}
+
+// Encode serializes the command.
+func (c Custom) Encode() []byte {
+	return NewWriter(20).U32(c.Kind).I64(c.P1).I64(c.P2).Bytes()
+}
+
+// DecodeCustom parses a Custom payload.
+func DecodeCustom(b []byte) (Custom, error) {
+	r := NewReader(b)
+	c := Custom{Kind: r.U32(), P1: r.I64(), P2: r.I64()}
+	return c, r.Err()
+}
+
+// LinkStatus describes one active link in a status report.
+type LinkStatus struct {
+	Peer       message.NodeID
+	Rate       float64 // bytes/sec over the measurement window
+	BufLen     uint32  // queued messages in the engine buffer
+	BufCap     uint32
+	BytesTotal int64
+}
+
+// Report is the payload of TypeReport: the periodic status update each
+// node sends to the observer — lengths of all engine buffers, QoS
+// measurements, and the lists of upstream and downstream nodes.
+type Report struct {
+	Node       message.NodeID
+	Upstreams  []LinkStatus
+	Downstream []LinkStatus
+	Apps       []uint32
+	MsgsIn     int64
+	MsgsOut    int64
+	Dropped    int64
+}
+
+// Encode serializes the report.
+func (rp Report) Encode() []byte {
+	w := NewWriter(64 + 36*(len(rp.Upstreams)+len(rp.Downstream)))
+	w.ID(rp.Node)
+	encodeLinks := func(links []LinkStatus) {
+		w.U32(uint32(len(links)))
+		for _, l := range links {
+			w.ID(l.Peer).F64(l.Rate).U32(l.BufLen).U32(l.BufCap).I64(l.BytesTotal)
+		}
+	}
+	encodeLinks(rp.Upstreams)
+	encodeLinks(rp.Downstream)
+	w.U32(uint32(len(rp.Apps)))
+	for _, a := range rp.Apps {
+		w.U32(a)
+	}
+	w.I64(rp.MsgsIn).I64(rp.MsgsOut).I64(rp.Dropped)
+	return w.Bytes()
+}
+
+// DecodeReport parses a Report payload.
+func DecodeReport(b []byte) (Report, error) {
+	r := NewReader(b)
+	rp := Report{Node: r.ID()}
+	decodeLinks := func() []LinkStatus {
+		n := r.U32()
+		if r.Err() != nil || n > uint32(r.Remaining()/28) {
+			return nil
+		}
+		links := make([]LinkStatus, 0, n)
+		for i := uint32(0); i < n; i++ {
+			links = append(links, LinkStatus{
+				Peer: r.ID(), Rate: r.F64(),
+				BufLen: r.U32(), BufCap: r.U32(), BytesTotal: r.I64(),
+			})
+		}
+		return links
+	}
+	rp.Upstreams = decodeLinks()
+	rp.Downstream = decodeLinks()
+	nApps := r.U32()
+	if r.Err() == nil && nApps <= uint32(r.Remaining()/4) {
+		rp.Apps = make([]uint32, 0, nApps)
+		for i := uint32(0); i < nApps; i++ {
+			rp.Apps = append(rp.Apps, r.U32())
+		}
+	}
+	rp.MsgsIn = r.I64()
+	rp.MsgsOut = r.I64()
+	rp.Dropped = r.I64()
+	return rp, r.Err()
+}
+
+// Throughput is the payload of TypeUpThroughput/TypeDownThroughput
+// delivered to the algorithm, and of TypeBandwidthEst.
+type Throughput struct {
+	Peer message.NodeID
+	Rate float64 // bytes per second
+}
+
+// Encode serializes the measurement.
+func (tp Throughput) Encode() []byte {
+	return NewWriter(16).ID(tp.Peer).F64(tp.Rate).Bytes()
+}
+
+// DecodeThroughput parses a Throughput payload.
+func DecodeThroughput(b []byte) (Throughput, error) {
+	r := NewReader(b)
+	tp := Throughput{Peer: r.ID(), Rate: r.F64()}
+	return tp, r.Err()
+}
+
+// BrokenSource is the payload of TypeBrokenSource: the upstream toward App
+// has failed; downstream state for it must be cleared (the domino effect).
+type BrokenSource struct {
+	App      uint32
+	Upstream message.NodeID
+}
+
+// Encode serializes the notification.
+func (bs BrokenSource) Encode() []byte {
+	return NewWriter(12).U32(bs.App).ID(bs.Upstream).Bytes()
+}
+
+// DecodeBrokenSource parses a BrokenSource payload.
+func DecodeBrokenSource(b []byte) (BrokenSource, error) {
+	r := NewReader(b)
+	bs := BrokenSource{App: r.U32(), Upstream: r.ID()}
+	return bs, r.Err()
+}
+
+// HelloProxy is the app-field value marking a hello as coming from a
+// relay proxy rather than an overlay node.
+const HelloProxy uint32 = 1
+
+// Relay is the payload of TypeRelay: a command enveloped by the observer
+// for the proxy to unwrap and deliver to Dest over the node's inbound
+// connection — how commands traverse the firewall the proxy exists for.
+type Relay struct {
+	Dest  message.NodeID
+	Inner []byte // full wire encoding of the enveloped message
+}
+
+// Encode serializes the envelope.
+func (rl Relay) Encode() []byte {
+	w := NewWriter(8 + len(rl.Inner))
+	w.ID(rl.Dest)
+	w.buf = append(w.buf, rl.Inner...)
+	return w.Bytes()
+}
+
+// DecodeRelay parses a Relay payload.
+func DecodeRelay(b []byte) (Relay, error) {
+	r := NewReader(b)
+	rl := Relay{Dest: r.ID()}
+	if r.Err() != nil {
+		return rl, r.Err()
+	}
+	rl.Inner = b[8:]
+	return rl, nil
+}
+
+// LinkEvent is the payload of TypeLinkUp/TypeLinkDown notifications the
+// engine delivers to the algorithm when a connection is established, fails
+// or is torn down.
+type LinkEvent struct {
+	Peer     message.NodeID
+	Upstream bool // true: the peer was an upstream (incoming link)
+}
+
+// Encode serializes the event.
+func (le LinkEvent) Encode() []byte {
+	up := uint32(0)
+	if le.Upstream {
+		up = 1
+	}
+	return NewWriter(12).ID(le.Peer).U32(up).Bytes()
+}
+
+// DecodeLinkEvent parses a LinkEvent payload.
+func DecodeLinkEvent(b []byte) (LinkEvent, error) {
+	r := NewReader(b)
+	le := LinkEvent{Peer: r.ID(), Upstream: r.U32() == 1}
+	return le, r.Err()
+}
+
+// Probe is the payload of TypeProbe: one message of a back-to-back burst
+// used to estimate available bandwidth toward a peer. The receiver times
+// the burst and answers with a ProbeAck.
+type Probe struct {
+	Token uint32
+	Index uint32
+	Count uint32
+	Pad   []byte // filler so the burst carries measurable volume
+}
+
+// Encode serializes the probe.
+func (p Probe) Encode() []byte {
+	w := NewWriter(12 + len(p.Pad))
+	w.U32(p.Token).U32(p.Index).U32(p.Count)
+	w.buf = append(w.buf, p.Pad...)
+	return w.Bytes()
+}
+
+// DecodeProbe parses a probe payload.
+func DecodeProbe(b []byte) (Probe, error) {
+	r := NewReader(b)
+	p := Probe{Token: r.U32(), Index: r.U32(), Count: r.U32()}
+	if r.Err() != nil {
+		return p, r.Err()
+	}
+	p.Pad = b[12:]
+	return p, nil
+}
+
+// ProbeAck is the payload of TypeProbeAck: the receiver-side estimate of
+// the burst's arrival rate in bytes per second.
+type ProbeAck struct {
+	Token uint32
+	Rate  float64
+}
+
+// Encode serializes the acknowledgment.
+func (p ProbeAck) Encode() []byte {
+	return NewWriter(12).U32(p.Token).F64(p.Rate).Bytes()
+}
+
+// DecodeProbeAck parses a probe acknowledgment.
+func DecodeProbeAck(b []byte) (ProbeAck, error) {
+	r := NewReader(b)
+	p := ProbeAck{Token: r.U32(), Rate: r.F64()}
+	return p, r.Err()
+}
+
+// Ping is the payload of TypePing/TypePong: an opaque timestamp echoed by
+// the peer; the sender computes the RTT.
+type Ping struct {
+	UnixNano int64
+	Token    uint32
+}
+
+// Encode serializes the probe.
+func (p Ping) Encode() []byte {
+	return NewWriter(12).I64(p.UnixNano).U32(p.Token).Bytes()
+}
+
+// DecodePing parses a Ping payload.
+func DecodePing(b []byte) (Ping, error) {
+	r := NewReader(b)
+	p := Ping{UnixNano: r.I64(), Token: r.U32()}
+	return p, r.Err()
+}
+
+// Tick is the payload of TypeTick: an algorithm-scheduled timer with an
+// opaque kind discriminator.
+type Tick struct {
+	Kind uint32
+}
+
+// Encode serializes the tick.
+func (tk Tick) Encode() []byte { return NewWriter(4).U32(tk.Kind).Bytes() }
+
+// DecodeTick parses a Tick payload.
+func DecodeTick(b []byte) (Tick, error) {
+	r := NewReader(b)
+	tk := Tick{Kind: r.U32()}
+	return tk, r.Err()
+}

@@ -1,0 +1,248 @@
+// Package proxy implements iOverlay's observer proxy: an efficient relay
+// executed outside the firewall that accepts status updates from many
+// overlay nodes and forwards them to the observer over a single
+// connection, solving both the Windows backlog limit and the firewall
+// problem the paper describes. Commands travel the reverse path inside
+// relay envelopes, unwrapped here and delivered on each node's inbound
+// connection.
+package proxy
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/message"
+	"repro/internal/protocol"
+	"repro/internal/queue"
+)
+
+// Config parameterizes a Proxy.
+type Config struct {
+	// ID is the proxy's identity/listen address.
+	ID message.NodeID
+	// Observer is the upstream observer to trunk into.
+	Observer message.NodeID
+	// Transport supplies connectivity.
+	Transport engine.Transport
+	// Logf, when set, receives debug logging.
+	Logf func(format string, args ...any)
+}
+
+// Proxy is the N-to-1 relay.
+type Proxy struct {
+	cfg      Config
+	listener net.Listener
+	trunk    net.Conn
+	trunkOut *queue.Ring
+
+	mu    sync.Mutex
+	nodes map[message.NodeID]*queue.Ring // per-node outbound rings
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New constructs a proxy.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("proxy: Config.Transport is required")
+	}
+	if cfg.ID.IsZero() || cfg.Observer.IsZero() {
+		return nil, fmt.Errorf("proxy: Config.ID and Config.Observer are required")
+	}
+	return &Proxy{
+		cfg:      cfg,
+		trunkOut: queue.New(1024),
+		nodes:    make(map[message.NodeID]*queue.Ring),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Start connects the trunk to the observer and begins accepting node
+// connections.
+func (p *Proxy) Start() error {
+	trunk, err := p.cfg.Transport.DialFrom(p.cfg.ID.Addr(), p.cfg.Observer.Addr())
+	if err != nil {
+		return fmt.Errorf("proxy: dial observer: %w", err)
+	}
+	hello := message.New(protocol.TypeHello, p.cfg.ID, protocol.HelloProxy, 0, nil)
+	if _, err := hello.WriteTo(trunk); err != nil {
+		_ = trunk.Close()
+		return fmt.Errorf("proxy: trunk hello: %w", err)
+	}
+	p.trunk = trunk
+
+	l, err := p.cfg.Transport.Listen(p.cfg.ID.Addr())
+	if err != nil {
+		_ = trunk.Close()
+		return fmt.Errorf("proxy: listen: %w", err)
+	}
+	p.listener = l
+
+	p.wg.Add(3)
+	go p.acceptLoop()
+	go p.trunkWriter()
+	go p.trunkReader()
+	return nil
+}
+
+// Stop shuts the proxy down.
+func (p *Proxy) Stop() {
+	p.once.Do(func() {
+		close(p.done)
+		if p.listener != nil {
+			_ = p.listener.Close()
+		}
+		if p.trunk != nil {
+			_ = p.trunk.Close()
+		}
+		p.trunkOut.Close()
+		p.trunkOut.Drain()
+		p.mu.Lock()
+		for _, ring := range p.nodes {
+			ring.Close()
+		}
+		p.mu.Unlock()
+		p.wg.Wait()
+	})
+}
+
+func (p *Proxy) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.listener.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.serveNode(conn)
+	}
+}
+
+// serveNode relays one node's updates onto the trunk and registers a ring
+// for commands flowing back.
+func (p *Proxy) serveNode(conn net.Conn) {
+	defer p.wg.Done()
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	hello, err := message.Read(conn, nil, 256)
+	if err != nil || hello.Type() != protocol.TypeHello {
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	node := hello.Sender()
+	hello.Release()
+
+	ring := queue.New(256)
+	p.mu.Lock()
+	if old, ok := p.nodes[node]; ok {
+		old.Close()
+	}
+	p.nodes[node] = ring
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.nodeWriter(conn, ring)
+
+	for {
+		m, err := message.Read(conn, nil, message.DefaultMaxPayload)
+		if err != nil {
+			p.mu.Lock()
+			if p.nodes[node] == ring {
+				delete(p.nodes, node)
+			}
+			p.mu.Unlock()
+			ring.Close()
+			return
+		}
+		if !p.trunkOut.TryPush(m) {
+			m.Release() // trunk congested: shed updates, never block nodes
+		}
+	}
+}
+
+func (p *Proxy) nodeWriter(conn net.Conn, ring *queue.Ring) {
+	defer p.wg.Done()
+	for {
+		m, err := ring.Pop()
+		if err != nil {
+			return
+		}
+		_, werr := m.WriteTo(conn)
+		m.Release()
+		if werr != nil {
+			ring.Close()
+			return
+		}
+	}
+}
+
+// trunkWriter drains relayed updates to the observer.
+func (p *Proxy) trunkWriter() {
+	defer p.wg.Done()
+	for {
+		m, err := p.trunkOut.Pop()
+		if err != nil {
+			return
+		}
+		_, werr := m.WriteTo(p.trunk)
+		m.Release()
+		if werr != nil {
+			return
+		}
+	}
+}
+
+// trunkReader unwraps relay envelopes from the observer and delivers the
+// inner command to the destination node.
+func (p *Proxy) trunkReader() {
+	defer p.wg.Done()
+	for {
+		m, err := message.Read(p.trunk, nil, message.DefaultMaxPayload)
+		if err != nil {
+			return
+		}
+		if m.Type() != protocol.TypeRelay {
+			p.logf("unexpected trunk message %s", protocol.TypeName(m.Type()))
+			m.Release()
+			continue
+		}
+		rl, err := protocol.DecodeRelay(m.Payload())
+		if err != nil {
+			m.Release()
+			continue
+		}
+		inner, _, derr := message.Decode(rl.Inner)
+		if derr != nil {
+			m.Release()
+			continue
+		}
+		// The inner payload aliases the envelope; clone for independent
+		// lifetime, then drop the envelope.
+		cmd := inner.Clone()
+		m.Release()
+
+		p.mu.Lock()
+		ring := p.nodes[rl.Dest]
+		p.mu.Unlock()
+		if ring == nil || !ring.TryPush(cmd) {
+			cmd.Release()
+		}
+	}
+}
+
+// NodeCount reports how many node connections are currently relayed.
+func (p *Proxy) NodeCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.nodes)
+}

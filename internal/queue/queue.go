@@ -1,0 +1,157 @@
+// Package queue provides the thread-safe circular queue that implements
+// the shared receiver and sender buffers between the engine thread and the
+// receiver/sender goroutines, as in the paper's engine design: receivers
+// block when their buffer is full, senders sleep when their buffer is
+// empty and are signaled by the engine.
+package queue
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/message"
+)
+
+// ErrClosed is returned by operations on a closed queue once it has
+// drained.
+var ErrClosed = errors.New("queue: closed")
+
+// Ring is a bounded FIFO of message references with blocking and
+// non-blocking endpoints. The zero value is not usable; construct with
+// New. All methods are safe for concurrent use by any number of
+// goroutines.
+type Ring struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+
+	buf    []*message.Msg
+	head   int // index of the oldest element
+	length int
+	closed bool
+}
+
+// New returns a ring holding at most capacity messages. Capacity must be
+// positive.
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("queue: capacity must be positive")
+	}
+	r := &Ring{buf: make([]*message.Msg, capacity)}
+	r.notFull = sync.NewCond(&r.mu)
+	r.notEmpty = sync.NewCond(&r.mu)
+	return r
+}
+
+// Cap reports the fixed capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len reports the current number of buffered messages.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.length
+}
+
+// Push appends m, blocking while the ring is full. It returns ErrClosed if
+// the ring is (or becomes) closed before the message is accepted; the
+// caller retains ownership of m in that case.
+func (r *Ring) Push(m *message.Msg) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.length == len(r.buf) && !r.closed {
+		r.notFull.Wait()
+	}
+	if r.closed {
+		return ErrClosed
+	}
+	r.pushLocked(m)
+	return nil
+}
+
+// TryPush appends m without blocking. It reports whether the message was
+// accepted; a full or closed ring rejects it.
+func (r *Ring) TryPush(m *message.Msg) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.length == len(r.buf) {
+		return false
+	}
+	r.pushLocked(m)
+	return true
+}
+
+func (r *Ring) pushLocked(m *message.Msg) {
+	r.buf[(r.head+r.length)%len(r.buf)] = m
+	r.length++
+	r.notEmpty.Signal()
+}
+
+// Pop removes and returns the oldest message, blocking while the ring is
+// empty. Once the ring is closed and drained, Pop returns ErrClosed.
+func (r *Ring) Pop() (*message.Msg, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.length == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	if r.length == 0 {
+		return nil, ErrClosed
+	}
+	return r.popLocked(), nil
+}
+
+// TryPop removes and returns the oldest message without blocking; ok is
+// false when the ring is empty.
+func (r *Ring) TryPop() (m *message.Msg, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.length == 0 {
+		return nil, false
+	}
+	return r.popLocked(), true
+}
+
+func (r *Ring) popLocked() *message.Msg {
+	m := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.length--
+	r.notFull.Signal()
+	return m
+}
+
+// Close marks the ring closed, waking all blocked producers and consumers.
+// Buffered messages may still be drained with Pop/TryPop. Close is
+// idempotent.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.notFull.Broadcast()
+	r.notEmpty.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (r *Ring) Closed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// Drain removes and releases every buffered message; the engine uses it
+// when tearing down a link so that no payload buffers leak. It returns the
+// number of messages released.
+func (r *Ring) Drain() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for r.length > 0 {
+		r.popLocked().Release()
+		n++
+	}
+	return n
+}

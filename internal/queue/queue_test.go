@@ -1,0 +1,329 @@
+package queue
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/message"
+)
+
+func mkMsg(seq uint32) *message.Msg {
+	return message.New(message.FirstDataType, message.ZeroID, 0, seq, nil)
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", c)
+				}
+			}()
+			New(c)
+		}()
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	r := New(8)
+	for i := uint32(0); i < 8; i++ {
+		if err := r.Push(mkMsg(i)); err != nil {
+			t.Fatalf("Push(%d): %v", i, err)
+		}
+	}
+	for i := uint32(0); i < 8; i++ {
+		m, err := r.Pop()
+		if err != nil {
+			t.Fatalf("Pop: %v", err)
+		}
+		if m.Seq() != i {
+			t.Fatalf("Pop order: got seq %d, want %d", m.Seq(), i)
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := New(3)
+	seq := uint32(0)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.TryPush(mkMsg(seq)) {
+				t.Fatal("TryPush on non-full ring failed")
+			}
+			seq++
+		}
+		for i := 0; i < 3; i++ {
+			m, ok := r.TryPop()
+			if !ok {
+				t.Fatal("TryPop on non-empty ring failed")
+			}
+			want := seq - 3 + uint32(i)
+			if m.Seq() != want {
+				t.Fatalf("wrap order: got %d, want %d", m.Seq(), want)
+			}
+		}
+	}
+}
+
+func TestTryPushFull(t *testing.T) {
+	r := New(2)
+	r.TryPush(mkMsg(0))
+	r.TryPush(mkMsg(1))
+	if r.TryPush(mkMsg(2)) {
+		t.Error("TryPush on full ring succeeded")
+	}
+	if got := r.Len(); got != 2 {
+		t.Errorf("Len() = %d, want 2", got)
+	}
+}
+
+func TestTryPopEmpty(t *testing.T) {
+	r := New(2)
+	if _, ok := r.TryPop(); ok {
+		t.Error("TryPop on empty ring succeeded")
+	}
+}
+
+func TestPushBlocksUntilPop(t *testing.T) {
+	r := New(1)
+	if err := r.Push(mkMsg(0)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.Push(mkMsg(1)) }()
+
+	select {
+	case <-done:
+		t.Fatal("Push on full ring returned before Pop")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := r.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("blocked Push: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Push did not unblock after Pop")
+	}
+}
+
+func TestPopBlocksUntilPush(t *testing.T) {
+	r := New(1)
+	got := make(chan *message.Msg, 1)
+	go func() {
+		m, err := r.Pop()
+		if err != nil {
+			t.Error(err)
+		}
+		got <- m
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := r.Push(mkMsg(42)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Seq() != 42 {
+			t.Errorf("Pop got seq %d, want 42", m.Seq())
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Pop did not unblock after Push")
+	}
+}
+
+func TestCloseWakesBlockedPush(t *testing.T) {
+	r := New(1)
+	if err := r.Push(mkMsg(0)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.Push(mkMsg(1)) }()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("blocked Push after Close: err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake blocked Push")
+	}
+}
+
+func TestCloseWakesBlockedPop(t *testing.T) {
+	r := New(1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Pop()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("blocked Pop after Close: err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake blocked Pop")
+	}
+}
+
+func TestCloseDrainSemantics(t *testing.T) {
+	r := New(4)
+	r.TryPush(mkMsg(1))
+	r.TryPush(mkMsg(2))
+	r.Close()
+	if !r.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+	if r.TryPush(mkMsg(3)) {
+		t.Error("TryPush succeeded on closed ring")
+	}
+	// Buffered messages remain poppable.
+	m, err := r.Pop()
+	if err != nil || m.Seq() != 1 {
+		t.Fatalf("Pop after close = %v, %v; want seq 1", m, err)
+	}
+	if m, ok := r.TryPop(); !ok || m.Seq() != 2 {
+		t.Fatalf("TryPop after close = %v, %v; want seq 2", m, ok)
+	}
+	if _, err := r.Pop(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Pop on drained closed ring: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	r := New(1)
+	r.Close()
+	r.Close() // must not panic or deadlock
+}
+
+func TestDrainReleasesMessages(t *testing.T) {
+	r := New(4)
+	msgs := []*message.Msg{mkMsg(0), mkMsg(1), mkMsg(2)}
+	for _, m := range msgs {
+		r.TryPush(m)
+	}
+	if n := r.Drain(); n != 3 {
+		t.Fatalf("Drain() = %d, want 3", n)
+	}
+	for i, m := range msgs {
+		if m.Refs() != 0 {
+			t.Errorf("msg %d refs = %d after Drain, want 0", i, m.Refs())
+		}
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len() after Drain = %d, want 0", r.Len())
+	}
+}
+
+// TestConcurrentProducersConsumers hammers the ring with several producers
+// and consumers and checks that every message is delivered exactly once.
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 500
+	)
+	r := New(16)
+	var wg sync.WaitGroup
+	seen := make(chan uint32, producers*perProd)
+
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m, err := r.Pop()
+				if err != nil {
+					return
+				}
+				seen <- m.Seq()
+			}
+		}()
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < perProd; i++ {
+				if err := r.Push(mkMsg(uint32(p*perProd + i))); err != nil {
+					t.Errorf("Push: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	pwg.Wait()
+	// Wait for the ring to drain, then close to release consumers.
+	for r.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	r.Close()
+	wg.Wait()
+	close(seen)
+
+	got := make(map[uint32]int)
+	for s := range seen {
+		got[s]++
+	}
+	if len(got) != producers*perProd {
+		t.Fatalf("delivered %d distinct messages, want %d", len(got), producers*perProd)
+	}
+	for s, n := range got {
+		if n != 1 {
+			t.Fatalf("message %d delivered %d times", s, n)
+		}
+	}
+}
+
+// TestFIFOProperty checks, via testing/quick, that for any interleaving of
+// a bounded push sequence, single-consumer pop order equals push order.
+func TestFIFOProperty(t *testing.T) {
+	f := func(seqs []uint32, capHint uint8) bool {
+		capacity := int(capHint%16) + 1
+		r := New(capacity)
+		done := make(chan []uint32, 1)
+		go func() {
+			var out []uint32
+			for {
+				m, err := r.Pop()
+				if err != nil {
+					done <- out
+					return
+				}
+				out = append(out, m.Seq())
+			}
+		}()
+		for _, s := range seqs {
+			if err := r.Push(mkMsg(s)); err != nil {
+				return false
+			}
+		}
+		for r.Len() > 0 {
+			time.Sleep(time.Microsecond)
+		}
+		r.Close()
+		out := <-done
+		if len(out) != len(seqs) {
+			return false
+		}
+		for i := range out {
+			if out[i] != seqs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package simnet generates synthetic wide-area overlay testbeds — the
+// PlanetLab substitute for this reproduction. It produces deterministic,
+// seeded node populations with geographic coordinates drawn from real
+// PlanetLab-era site locations, per-node last-mile bandwidth drawn from
+// the paper's distributions (uniform 50–200 KBps for the tree
+// experiments), and a latency matrix derived from great-circle distance.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/message"
+)
+
+// Site is a physical location hosting overlay nodes.
+type Site struct {
+	Name     string
+	Lat, Lon float64
+}
+
+// _sites lists PlanetLab-era host institutions; node placement cycles
+// through them, so multiple virtualized nodes may share a location (as
+// the paper notes for its topology maps).
+var _sites = []Site{
+	{"MIT", 42.36, -71.09},
+	{"Berkeley", 37.87, -122.26},
+	{"CMU", 40.44, -79.94},
+	{"Princeton", 40.34, -74.65},
+	{"UCSD", 32.88, -117.23},
+	{"UWashington", 47.65, -122.30},
+	{"Duke", 36.00, -78.94},
+	{"UToronto", 43.66, -79.40},
+	{"Columbia", 40.81, -73.96},
+	{"Caltech", 34.14, -118.13},
+	{"UT-Austin", 30.29, -97.74},
+	{"GaTech", 33.78, -84.40},
+	{"Cornell", 42.45, -76.48},
+	{"UIUC", 40.11, -88.23},
+	{"Utah", 40.76, -111.85},
+	{"Arizona", 32.23, -110.95},
+	{"Rice", 29.72, -95.40},
+	{"UNC", 35.91, -79.05},
+	{"Michigan", 42.28, -83.74},
+	{"UCLA", 34.07, -118.44},
+	{"INRIA", 43.62, 7.05},
+	{"TUBerlin", 52.51, 13.33},
+	{"VU-Amsterdam", 52.33, 4.87},
+	{"Technion", 32.78, 35.02},
+	{"Tsinghua", 40.00, 116.33},
+	{"UFMG", -19.87, -43.97},
+}
+
+// Node is one synthetic overlay node.
+type Node struct {
+	ID        message.NodeID
+	Site      Site
+	Bandwidth int64 // last-mile bandwidth, bytes/sec
+}
+
+// Testbed is a generated node population.
+type Testbed struct {
+	Nodes []Node
+	rng   *rand.Rand
+}
+
+// Config parameterizes generation.
+type Config struct {
+	// N is the number of overlay nodes.
+	N int
+	// Seed fixes the generation.
+	Seed int64
+	// MinBW and MaxBW bound the uniform last-mile bandwidth distribution
+	// in bytes/sec (the paper uses 50–200 KBps).
+	MinBW, MaxBW int64
+	// BasePort is the first port; node i gets BasePort (ports are unique
+	// because IPs differ).
+	BasePort uint32
+}
+
+// DefaultBW matches the paper's uniform 50–200 KBps distribution.
+const (
+	DefaultMinBW = 50 << 10
+	DefaultMaxBW = 200 << 10
+)
+
+// Generate builds a deterministic testbed.
+func Generate(cfg Config) *Testbed {
+	if cfg.N <= 0 {
+		panic("simnet: N must be positive")
+	}
+	if cfg.MinBW <= 0 {
+		cfg.MinBW = DefaultMinBW
+	}
+	if cfg.MaxBW < cfg.MinBW {
+		cfg.MaxBW = DefaultMaxBW
+	}
+	if cfg.BasePort == 0 {
+		cfg.BasePort = 7000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tb := &Testbed{rng: rng}
+	for i := 0; i < cfg.N; i++ {
+		// Address space 10.x.y.z, distinct per node.
+		ip := fmt.Sprintf("10.%d.%d.%d", (i/65025)%256, (i/255)%255+1, i%255+1)
+		bw := cfg.MinBW
+		if cfg.MaxBW > cfg.MinBW {
+			bw += rng.Int63n(cfg.MaxBW - cfg.MinBW + 1)
+		}
+		tb.Nodes = append(tb.Nodes, Node{
+			ID:        message.MakeID(ip, cfg.BasePort),
+			Site:      _sites[i%len(_sites)],
+			Bandwidth: bw,
+		})
+	}
+	return tb
+}
+
+// IDs lists the node identities in order.
+func (tb *Testbed) IDs() []message.NodeID {
+	ids := make([]message.NodeID, len(tb.Nodes))
+	for i, n := range tb.Nodes {
+		ids[i] = n.ID
+	}
+	return ids
+}
+
+// BandwidthOf reports the last-mile bandwidth of a node, or zero.
+func (tb *Testbed) BandwidthOf(id message.NodeID) int64 {
+	for _, n := range tb.Nodes {
+		if n.ID == id {
+			return n.Bandwidth
+		}
+	}
+	return 0
+}
+
+// Latency estimates the one-way latency between two testbed nodes from
+// great-circle distance at ~2/3 the speed of light plus a 2 ms floor.
+func Latency(a, b Node) time.Duration {
+	km := haversineKm(a.Site.Lat, a.Site.Lon, b.Site.Lat, b.Site.Lon)
+	prop := km / 200000.0 // seconds, ~200,000 km/s in fiber
+	return 2*time.Millisecond + time.Duration(prop*float64(time.Second))
+}
+
+func haversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const r = 6371.0
+	rad := func(d float64) float64 { return d * math.Pi / 180 }
+	dLat, dLon := rad(lat2-lat1), rad(lon2-lon1)
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(rad(lat1))*math.Cos(rad(lat2))*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * r * math.Asin(math.Min(1, math.Sqrt(a)))
+}

@@ -1,0 +1,118 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{N: 81, Seed: 42})
+	b := Generate(Config{N: 81, Seed: 42})
+	if len(a.Nodes) != 81 || len(b.Nodes) != 81 {
+		t.Fatalf("node counts = %d/%d", len(a.Nodes), len(b.Nodes))
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("node %d differs across same-seed generations", i)
+		}
+	}
+	c := Generate(Config{N: 81, Seed: 43})
+	same := true
+	for i := range a.Nodes {
+		if a.Nodes[i].Bandwidth != c.Nodes[i].Bandwidth {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical bandwidths")
+	}
+}
+
+func TestGenerateUniqueIDs(t *testing.T) {
+	tb := Generate(Config{N: 300, Seed: 1})
+	seen := make(map[string]bool)
+	for _, n := range tb.Nodes {
+		addr := n.ID.Addr()
+		if seen[addr] {
+			t.Fatalf("duplicate node address %s", addr)
+		}
+		seen[addr] = true
+	}
+}
+
+func TestBandwidthDistribution(t *testing.T) {
+	tb := Generate(Config{N: 500, Seed: 7})
+	var sum int64
+	for _, n := range tb.Nodes {
+		if n.Bandwidth < DefaultMinBW || n.Bandwidth > DefaultMaxBW {
+			t.Fatalf("bandwidth %d outside [%d, %d]", n.Bandwidth, DefaultMinBW, DefaultMaxBW)
+		}
+		sum += n.Bandwidth
+	}
+	mean := float64(sum) / float64(len(tb.Nodes))
+	mid := float64(DefaultMinBW+DefaultMaxBW) / 2
+	if mean < mid*0.9 || mean > mid*1.1 {
+		t.Errorf("bandwidth mean %.0f far from uniform midpoint %.0f", mean, mid)
+	}
+}
+
+func TestCustomBandwidthRange(t *testing.T) {
+	tb := Generate(Config{N: 50, Seed: 1, MinBW: 100, MaxBW: 100})
+	for _, n := range tb.Nodes {
+		if n.Bandwidth != 100 {
+			t.Fatalf("fixed-range bandwidth = %d", n.Bandwidth)
+		}
+	}
+}
+
+func TestBandwidthOfAndIDs(t *testing.T) {
+	tb := Generate(Config{N: 5, Seed: 1})
+	ids := tb.IDs()
+	if len(ids) != 5 {
+		t.Fatalf("IDs() = %d", len(ids))
+	}
+	if got := tb.BandwidthOf(ids[3]); got != tb.Nodes[3].Bandwidth {
+		t.Errorf("BandwidthOf = %d, want %d", got, tb.Nodes[3].Bandwidth)
+	}
+	if got := tb.BandwidthOf(ids[0]); got == 0 {
+		t.Error("BandwidthOf known node = 0")
+	}
+	unknown := tb.Nodes[0]
+	unknown.ID.Port++
+	if got := tb.BandwidthOf(unknown.ID); got != 0 {
+		t.Errorf("BandwidthOf unknown node = %d, want 0", got)
+	}
+}
+
+func TestLatencyProperties(t *testing.T) {
+	tb := Generate(Config{N: 30, Seed: 1})
+	for i := 0; i < 10; i++ {
+		a, b := tb.Nodes[i], tb.Nodes[(i+7)%len(tb.Nodes)]
+		lab := Latency(a, b)
+		lba := Latency(b, a)
+		if lab != lba {
+			t.Errorf("latency asymmetric: %v vs %v", lab, lba)
+		}
+		if lab < 2*time.Millisecond {
+			t.Errorf("latency %v below floor", lab)
+		}
+		if lab > 500*time.Millisecond {
+			t.Errorf("latency %v implausibly large", lab)
+		}
+	}
+	// Same site: floor only.
+	same := Latency(tb.Nodes[0], tb.Nodes[0])
+	if same != 2*time.Millisecond {
+		t.Errorf("same-site latency = %v, want 2ms", same)
+	}
+}
+
+func TestGeneratePanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate(N=0) did not panic")
+		}
+	}()
+	Generate(Config{N: 0})
+}

@@ -1,0 +1,239 @@
+package vnet
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// errTimeout satisfies net.Error for deadline expiry.
+type errTimeout struct{}
+
+func (errTimeout) Error() string   { return "vnet: i/o timeout" }
+func (errTimeout) Timeout() bool   { return true }
+func (errTimeout) Temporary() bool { return true }
+
+// ErrPipeClosed is returned by operations on a closed pipe endpoint.
+var ErrPipeClosed = errors.New("vnet: pipe closed")
+
+// pipe is a bounded, single-direction byte stream between two endpoints of
+// a virtual connection. Its bounded buffer is what yields TCP-like
+// back-pressure: writers block when the reader side falls behind, exactly
+// the property the paper's engine relies on for the back-pressure effect
+// of small buffers.
+// watermark records that all bytes up to total become readable at `at`,
+// implementing one-way propagation latency.
+type watermark struct {
+	total int64
+	at    time.Time
+}
+
+type pipe struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+
+	buf    []byte
+	head   int
+	length int
+
+	// latency, when positive, delays the visibility of written bytes.
+	latency      time.Duration
+	totalWritten int64
+	totalRead    int64
+	marks        []watermark
+
+	readDeadline  time.Time
+	writeDeadline time.Time
+
+	writeClosed bool // no more writes; reads drain then EOF
+	broken      bool // hard failure: reads and writes error immediately
+}
+
+func newPipe(capacity int, latency time.Duration) *pipe {
+	p := &pipe{buf: make([]byte, capacity), latency: latency}
+	p.notFull = sync.NewCond(&p.mu)
+	p.notEmpty = sync.NewCond(&p.mu)
+	return p
+}
+
+// arrivedLocked reports how many buffered bytes have propagated (their
+// latency elapsed) and, when some have not, when the next batch lands.
+func (p *pipe) arrivedLocked(now time.Time) (avail int, next time.Time) {
+	if p.latency <= 0 {
+		return p.length, time.Time{}
+	}
+	arrived := p.totalRead // at least everything already consumed
+	for _, m := range p.marks {
+		if m.at.After(now) {
+			next = m.at
+			break
+		}
+		arrived = m.total
+	}
+	// Drop fully-consumed watermarks.
+	for len(p.marks) > 0 && p.marks[0].total <= p.totalRead {
+		p.marks = p.marks[1:]
+	}
+	a := arrived - p.totalRead
+	if a < 0 {
+		a = 0
+	}
+	if int(a) > p.length {
+		return p.length, next
+	}
+	return int(a), next
+}
+
+// deadlineTimer arranges a broadcast wake-up at deadline so blocked
+// readers/writers can observe expiry. Returns a stop function.
+func (p *pipe) deadlineTimer(deadline time.Time) func() {
+	if deadline.IsZero() {
+		return func() {}
+	}
+	d := time.Until(deadline)
+	if d < 0 {
+		d = 0
+	}
+	t := time.AfterFunc(d, func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.notFull.Broadcast()
+		p.notEmpty.Broadcast()
+	})
+	return func() { t.Stop() }
+}
+
+func (p *pipe) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	stop := p.deadlineTimer(p.writeDeadline)
+	defer stop()
+	defer p.mu.Unlock()
+
+	written := 0
+	for len(b) > 0 {
+		for p.length == len(p.buf) && !p.writeClosed && !p.broken && !expired(p.writeDeadline) {
+			p.notFull.Wait()
+		}
+		if p.broken || p.writeClosed {
+			return written, ErrPipeClosed
+		}
+		if expired(p.writeDeadline) {
+			return written, errTimeout{}
+		}
+		n := p.copyIn(b)
+		b = b[n:]
+		written += n
+		p.totalWritten += int64(n)
+		if p.latency > 0 {
+			p.marks = append(p.marks, watermark{
+				total: p.totalWritten,
+				at:    time.Now().Add(p.latency),
+			})
+		}
+		p.notEmpty.Broadcast()
+	}
+	return written, nil
+}
+
+func (p *pipe) copyIn(b []byte) int {
+	free := len(p.buf) - p.length
+	n := len(b)
+	if n > free {
+		n = free
+	}
+	tail := (p.head + p.length) % len(p.buf)
+	first := copy(p.buf[tail:], b[:n])
+	if first < n {
+		copy(p.buf, b[first:n])
+	}
+	p.length += n
+	return n
+}
+
+func (p *pipe) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	stop := p.deadlineTimer(p.readDeadline)
+	defer stop()
+	defer p.mu.Unlock()
+
+	for {
+		if p.broken {
+			return 0, ErrPipeClosed
+		}
+		avail, next := p.arrivedLocked(time.Now())
+		if avail > 0 {
+			n := len(b)
+			if n > avail {
+				n = avail
+			}
+			first := copy(b[:n], p.buf[p.head:min(p.head+n, len(p.buf))])
+			if first < n {
+				copy(b[first:n], p.buf)
+			}
+			p.head = (p.head + n) % len(p.buf)
+			p.length -= n
+			p.totalRead += int64(n)
+			p.notFull.Broadcast()
+			return n, nil
+		}
+		if p.length == 0 && p.writeClosed {
+			return 0, io.EOF
+		}
+		if expired(p.readDeadline) {
+			return 0, errTimeout{}
+		}
+		if !next.IsZero() {
+			// Bytes are in flight: wake when they land.
+			t := time.AfterFunc(time.Until(next), func() {
+				p.mu.Lock()
+				p.notEmpty.Broadcast()
+				p.mu.Unlock()
+			})
+			p.notEmpty.Wait()
+			t.Stop()
+		} else {
+			p.notEmpty.Wait()
+		}
+	}
+}
+
+// closeWrite marks the writer side done: pending bytes remain readable and
+// the reader then sees io.EOF. Used for graceful connection close.
+func (p *pipe) closeWrite() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.writeClosed = true
+	p.notFull.Broadcast()
+	p.notEmpty.Broadcast()
+}
+
+// breakPipe simulates an abrupt failure (node crash, severed link):
+// buffered data is discarded and both ends error immediately.
+func (p *pipe) breakPipe() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.broken = true
+	p.length = 0
+	p.notFull.Broadcast()
+	p.notEmpty.Broadcast()
+}
+
+func (p *pipe) setReadDeadline(t time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.readDeadline = t
+	p.notEmpty.Broadcast()
+}
+
+func (p *pipe) setWriteDeadline(t time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.writeDeadline = t
+	p.notFull.Broadcast()
+}
+
+func expired(deadline time.Time) bool {
+	return !deadline.IsZero() && !time.Now().Before(deadline)
+}

@@ -1,0 +1,351 @@
+// Package vnet implements an in-process virtual network whose connections
+// satisfy net.Conn and net.Listener. It is the testbed substrate this
+// reproduction substitutes for PlanetLab: each virtualized iOverlay node
+// listens on a virtual address, dials peers, and experiences TCP-like
+// back-pressure through bounded pipes. Links can be severed and latency
+// can be attached per network for failure and QoS experiments.
+package vnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// DefaultPipeCapacity is the per-direction socket buffer, mirroring a
+// typical kernel TCP buffer. Small relative to experiment traffic so that
+// back-pressure propagates promptly.
+const DefaultPipeCapacity = 64 << 10
+
+// Errors reported by the network.
+var (
+	ErrAddrInUse         = errors.New("vnet: address already in use")
+	ErrConnectionRefused = errors.New("vnet: connection refused")
+	ErrListenerClosed    = errors.New("vnet: listener closed")
+	ErrNetworkDown       = errors.New("vnet: network closed")
+)
+
+// Network is one virtual internet. Addresses are arbitrary "host:port"
+// strings; the network hands out ephemeral local addresses to dialers.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	conns     map[*Conn]struct{}
+	latency   time.Duration
+	latencyFn func(a, b string) time.Duration
+	pipeCap   int
+	nextEphem int
+	closed    bool
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency attaches a fixed one-way propagation latency to every
+// connection: written bytes become readable at the far end only after d.
+func WithLatency(d time.Duration) Option {
+	return func(n *Network) { n.latency = d }
+}
+
+// WithLatencyFunc attaches per-pair one-way propagation latency, keyed by
+// the two endpoint addresses (symmetric: the function is called with the
+// dialer's address first). It overrides WithLatency.
+func WithLatencyFunc(fn func(a, b string) time.Duration) Option {
+	return func(n *Network) { n.latencyFn = fn }
+}
+
+// WithPipeCapacity overrides the per-direction buffer size.
+func WithPipeCapacity(c int) Option {
+	return func(n *Network) { n.pipeCap = c }
+}
+
+// New constructs an empty virtual network.
+func New(opts ...Option) *Network {
+	n := &Network{
+		listeners: make(map[string]*Listener),
+		conns:     make(map[*Conn]struct{}),
+		pipeCap:   DefaultPipeCapacity,
+		nextEphem: 40000,
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// addr is a net.Addr over the virtual address space.
+type addr string
+
+func (a addr) Network() string { return "vnet" }
+func (a addr) String() string  { return string(a) }
+
+// Listen binds a listener to address. The address must be free.
+func (n *Network) Listen(address string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrNetworkDown
+	}
+	if _, ok := n.listeners[address]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, address)
+	}
+	l := &Listener{
+		net:     n,
+		address: address,
+		backlog: make(chan *Conn, 512),
+	}
+	n.listeners[address] = l
+	return l, nil
+}
+
+// Dial connects to a listening address, assigning an ephemeral local
+// address.
+func (n *Network) Dial(address string) (net.Conn, error) {
+	n.mu.Lock()
+	local := fmt.Sprintf("ephemeral:%d", n.nextEphem)
+	n.nextEphem++
+	n.mu.Unlock()
+	return n.DialFrom(local, address)
+}
+
+// DialFrom connects to a listening address using the given local address;
+// engines use their node identity so that peers can attribute traffic.
+func (n *Network) DialFrom(local, address string) (net.Conn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrNetworkDown
+	}
+	l, ok := n.listeners[address]
+	latency := n.latency
+	if n.latencyFn != nil {
+		latency = n.latencyFn(local, address)
+	}
+	pipeCap := n.pipeCap
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrConnectionRefused, address)
+	}
+
+	a2b := newPipe(pipeCap, latency)
+	b2a := newPipe(pipeCap, latency)
+	client := &Conn{net: n, local: addr(local), remote: addr(address), rd: b2a, wr: a2b}
+	server := &Conn{net: n, local: addr(address), remote: addr(local), rd: a2b, wr: b2a}
+	client.peer, server.peer = server, client
+
+	l.mu.Lock()
+	closed := l.closed
+	if !closed {
+		select {
+		case l.backlog <- server:
+		default:
+			l.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s backlog full", ErrConnectionRefused, address)
+		}
+	}
+	l.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("%w: %s", ErrConnectionRefused, address)
+	}
+
+	n.mu.Lock()
+	n.conns[client] = struct{}{}
+	n.conns[server] = struct{}{}
+	n.mu.Unlock()
+	return client, nil
+}
+
+// Sever abruptly breaks every established connection between the two
+// addresses (matching by listener-side address), simulating a failed
+// virtual link. It reports how many connections were broken.
+func (n *Network) Sever(addrA, addrB string) int {
+	n.mu.Lock()
+	var victims []*Conn
+	for c := range n.conns {
+		la, ra := c.local.String(), c.remote.String()
+		if (la == addrA && ra == addrB) || (la == addrB && ra == addrA) {
+			victims = append(victims, c)
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.breakConn()
+	}
+	return len(victims)
+}
+
+// SeverNode abruptly breaks every connection touching the address and
+// removes its listener, simulating a node crash.
+func (n *Network) SeverNode(address string) int {
+	n.mu.Lock()
+	var victims []*Conn
+	for c := range n.conns {
+		if c.local.String() == address || c.remote.String() == address {
+			victims = append(victims, c)
+		}
+	}
+	l := n.listeners[address]
+	delete(n.listeners, address)
+	n.mu.Unlock()
+	if l != nil {
+		l.close(false)
+	}
+	for _, c := range victims {
+		c.breakConn()
+	}
+	return len(victims)
+}
+
+// Close shuts the whole network down, breaking every connection.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	listeners := make([]*Listener, 0, len(n.listeners))
+	for _, l := range n.listeners {
+		listeners = append(listeners, l)
+	}
+	conns := make([]*Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.listeners = map[string]*Listener{}
+	n.mu.Unlock()
+
+	for _, l := range listeners {
+		l.close(false)
+	}
+	for _, c := range conns {
+		c.breakConn()
+	}
+}
+
+func (n *Network) removeListener(address string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.listeners, address)
+}
+
+func (n *Network) removeConn(c *Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.conns, c)
+}
+
+// Listener accepts virtual connections.
+type Listener struct {
+	net     *Network
+	address string
+	backlog chan *Conn
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, ok := <-l.backlog
+	if !ok {
+		return nil, ErrListenerClosed
+	}
+	return c, nil
+}
+
+// Close stops accepting; established connections are unaffected.
+func (l *Listener) Close() error {
+	l.close(true)
+	return nil
+}
+
+func (l *Listener) close(unregister bool) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	close(l.backlog)
+	l.mu.Unlock()
+	if unregister {
+		l.net.removeListener(l.address)
+	}
+	for c := range l.backlog {
+		c.breakConn()
+	}
+}
+
+// Addr reports the bound virtual address.
+func (l *Listener) Addr() net.Addr { return addr(l.address) }
+
+// Conn is one endpoint of a virtual connection.
+type Conn struct {
+	net    *Network
+	local  addr
+	remote addr
+	rd     *pipe
+	wr     *pipe
+	peer   *Conn
+
+	closeOnce sync.Once
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Read reads from the inbound pipe.
+func (c *Conn) Read(b []byte) (int, error) { return c.rd.Read(b) }
+
+// Write writes to the outbound pipe, blocking under back-pressure.
+func (c *Conn) Write(b []byte) (int, error) { return c.wr.Write(b) }
+
+// Close gracefully closes the connection: the peer drains buffered bytes
+// and then observes EOF, like a TCP FIN.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.wr.closeWrite()
+		c.rd.closeWrite()
+		c.net.removeConn(c)
+		c.net.removeConn(c.peer)
+	})
+	return nil
+}
+
+// breakConn simulates an abrupt failure: both directions error at once and
+// in-flight bytes are lost, like a TCP RST after a crash.
+func (c *Conn) breakConn() {
+	c.rd.breakPipe()
+	c.wr.breakPipe()
+	c.net.removeConn(c)
+	c.net.removeConn(c.peer)
+}
+
+// LocalAddr reports the local virtual address.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr reports the peer's virtual address.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline sets both read and write deadlines.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	c.wr.setWriteDeadline(t)
+	return nil
+}
+
+// SetReadDeadline sets the read deadline.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline sets the write deadline.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.wr.setWriteDeadline(t)
+	return nil
+}

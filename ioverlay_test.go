@@ -1,0 +1,131 @@
+package ioverlay_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	ioverlay "repro"
+)
+
+// counter is a minimal public-API algorithm: counts data bytes, forwards
+// to an optional next hop.
+type counter struct {
+	ioverlay.Base
+	next     ioverlay.NodeID
+	received atomic.Int64
+}
+
+func (c *counter) Process(m *ioverlay.Msg) ioverlay.Verdict {
+	if !m.IsData() {
+		return c.Base.Process(m)
+	}
+	c.received.Add(int64(m.Len()))
+	if !c.next.IsZero() {
+		c.API.Send(m, c.next)
+	}
+	return ioverlay.Done
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	net := ioverlay.NewVirtualNetwork()
+	defer net.Close()
+
+	obs, err := ioverlay.NewObserver(ioverlay.ObserverConfig{
+		ID:        ioverlay.MustParseID("10.255.0.1:9000"),
+		Transport: ioverlay.VirtualTransport(net),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Stop()
+
+	sinkID := ioverlay.MustParseID("10.0.0.2:7000")
+	srcID := ioverlay.MustParseID("10.0.0.1:7000")
+
+	sink := &counter{}
+	sinkEng, err := ioverlay.NewEngine(ioverlay.Config{
+		ID:        sinkID,
+		Transport: ioverlay.VirtualTransport(net),
+		Algorithm: sink,
+		Observer:  obs.ID(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sinkEng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer sinkEng.Stop()
+
+	src := &counter{next: sinkID}
+	srcEng, err := ioverlay.NewEngine(ioverlay.Config{
+		ID:        srcID,
+		Transport: ioverlay.VirtualTransport(net),
+		Algorithm: src,
+		Observer:  obs.ID(),
+		UpBW:      200 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srcEng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srcEng.Stop()
+
+	if !obs.WaitForNodes(2, 5*time.Second) {
+		t.Fatalf("observer sees %d nodes", len(obs.Alive()))
+	}
+	if !obs.Deploy(srcID, 1, 0, 2048) {
+		t.Fatal("Deploy found no route")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && sink.received.Load() < 64<<10 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := sink.received.Load(); got < 64<<10 {
+		t.Fatalf("sink received %d bytes", got)
+	}
+	// Runtime bandwidth control through the public API.
+	if !obs.SetBandwidth(srcID, ioverlay.SetBandwidth{
+		Class: ioverlay.BandwidthUp, Rate: 50 << 10,
+	}) {
+		t.Fatal("SetBandwidth found no route")
+	}
+	// Status reports flow.
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if rp, ok := obs.Status(srcID); ok && len(rp.Downstream) > 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("no status report with downstream links")
+}
+
+func TestParseIDHelpers(t *testing.T) {
+	id, err := ioverlay.ParseID("1.2.3.4:56")
+	if err != nil || id.Addr() != "1.2.3.4:56" {
+		t.Errorf("ParseID = %v, %v", id, err)
+	}
+	if _, err := ioverlay.ParseID("bogus"); err == nil {
+		t.Error("ParseID accepted garbage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseID did not panic on garbage")
+		}
+	}()
+	ioverlay.MustParseID("bogus")
+}
+
+func TestNewMsgPublic(t *testing.T) {
+	m := ioverlay.NewMsg(ioverlay.FirstDataType, ioverlay.MustParseID("1.1.1.1:1"), 2, 3, []byte("hi"))
+	if !m.IsData() || m.App() != 2 || m.Seq() != 3 || string(m.Payload()) != "hi" {
+		t.Errorf("NewMsg fields wrong: %v", m)
+	}
+}
