@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: ci build test vet race bench
+
+# ci is the tier-1 gate: everything here must pass before a change lands.
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy data-path packages additionally run under the race
+# detector: the batched ring handoffs, engine switch, and virtual-network
+# pipes are where a lost wakeup or torn batch would hide.
+race:
+	$(GO) test -race ./internal/queue ./internal/engine ./internal/vnet
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

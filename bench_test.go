@@ -24,21 +24,33 @@ import (
 // ----- §2.4, Fig. 5: raw engine performance -----
 
 func BenchmarkFig5RawEngine(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig5(experiments.Fig5Config{
-			Sizes:  []int{2, 3, 4, 8, 16, 32},
-			Warmup: 200 * time.Millisecond,
-			Window: 500 * time.Millisecond,
+	// The sub-benchmarks give the before/after curve of data-path batching:
+	// "batched" is the default engine, "nobatch" forces BatchSize 1
+	// (one lock acquisition and one wakeup per message — the pre-batching
+	// engine).
+	for _, variant := range []struct {
+		name  string
+		batch int
+	}{{"batched", 0}, {"nobatch", 1}} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig5(experiments.Fig5Config{
+					Sizes:     []int{2, 3, 4, 8, 16, 32},
+					Warmup:    200 * time.Millisecond,
+					Window:    500 * time.Millisecond,
+					BatchSize: variant.batch,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rows {
+					b.ReportMetric(r.EndToEnd/(1024*1024), fmt.Sprintf("e2e-MBps/n=%d", r.Nodes))
+				}
+				if i == 0 {
+					b.Log("\n" + experiments.RenderFig5(rows))
+				}
+			}
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, r := range rows {
-			b.ReportMetric(r.EndToEnd/(1024*1024), fmt.Sprintf("e2e-MBps/n=%d", r.Nodes))
-		}
-		if i == 0 {
-			b.Log("\n" + experiments.RenderFig5(rows))
-		}
 	}
 }
 
@@ -333,6 +345,86 @@ func BenchmarkQueuePushPop(b *testing.B) {
 			b.Fatal("pop failed")
 		}
 	}
+}
+
+// BenchmarkRingBatchVsSingle measures what the whole data path is built
+// on: moving message references through a Ring one at a time versus in
+// batches of 32 under a single lock acquisition. "handoff" variants add a
+// second goroutine so the condvar wakeup cost (the dominant term on the
+// real data path) is included.
+func BenchmarkRingBatchVsSingle(b *testing.B) {
+	m := message.New(message.FirstDataType, message.ZeroID, 0, 0, nil)
+	const batchN = 32
+
+	b.Run("single", func(b *testing.B) {
+		r := queue.New(1024)
+		for i := 0; i < b.N; i++ {
+			if !r.TryPush(m) {
+				b.Fatal("push failed")
+			}
+			if _, ok := r.TryPop(); !ok {
+				b.Fatal("pop failed")
+			}
+		}
+	})
+	b.Run("batch32", func(b *testing.B) {
+		r := queue.New(1024)
+		ms := make([]*message.Msg, batchN)
+		for i := range ms {
+			ms[i] = m
+		}
+		dst := make([]*message.Msg, batchN)
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batchN {
+			if n := r.TryPushBatch(ms); n != batchN {
+				b.Fatal("push failed")
+			}
+			if n := r.TryPopBatch(dst); n != batchN {
+				b.Fatal("pop failed")
+			}
+		}
+	})
+	b.Run("handoff-single", func(b *testing.B) {
+		r := queue.New(64)
+		go func() {
+			for {
+				if _, err := r.Pop(); err != nil {
+					return
+				}
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := r.Push(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		r.Close()
+	})
+	b.Run("handoff-batch32", func(b *testing.B) {
+		r := queue.New(64)
+		go func() {
+			dst := make([]*message.Msg, batchN)
+			for {
+				if _, err := r.PopBatch(dst); err != nil {
+					return
+				}
+			}
+		}()
+		ms := make([]*message.Msg, batchN)
+		for i := range ms {
+			ms[i] = m
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batchN {
+			if _, err := r.PushBatch(ms); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		r.Close()
+	})
 }
 
 func BenchmarkGF256Axpy(b *testing.B) {

@@ -11,6 +11,7 @@ package bandwidth
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,6 +28,12 @@ const DefaultBurstWindow = 50 * time.Millisecond
 // use; several connections may share one limiter to model a shared budget
 // (for example a node's uplink shared by all its outgoing links).
 type Limiter struct {
+	// active mirrors rate > 0 and lets the hot data path skip the mutex
+	// entirely for unlimited limiters — every shaped byte would otherwise
+	// pay three lock round-trips (link, direction, total) just to learn
+	// that no shaping is configured.
+	active atomic.Bool
+
 	mu     sync.Mutex
 	rate   int64 // bytes/sec; <=0 means unlimited
 	burst  time.Duration
@@ -39,6 +46,7 @@ type Limiter struct {
 // NewLimiter returns a limiter at the given rate in bytes per second.
 func NewLimiter(rate int64) *Limiter {
 	l := &Limiter{rate: rate, burst: DefaultBurstWindow, last: time.Now()}
+	l.active.Store(rate > 0)
 	l.wake = sync.NewCond(&l.mu)
 	return l
 }
@@ -58,6 +66,7 @@ func (l *Limiter) SetRate(rate int64) {
 	defer l.mu.Unlock()
 	l.refillLocked(time.Now())
 	l.rate = rate
+	l.active.Store(rate > 0)
 	cap := l.capLocked()
 	if cap > 0 && l.tokens > cap {
 		l.tokens = cap
@@ -106,7 +115,7 @@ func (l *Limiter) refillLocked(now time.Time) {
 // so arbitrarily large writes still respect the long-run rate. Wait
 // returns immediately when the limiter is unlimited or closed.
 func (l *Limiter) Wait(n int) {
-	if n <= 0 {
+	if n <= 0 || !l.active.Load() {
 		return
 	}
 	remaining := float64(n)
@@ -179,6 +188,18 @@ func (s *Shaper) Wait(n int) {
 	}
 }
 
+// Active reports whether any composed limiter currently shapes traffic.
+// Rates are runtime-tunable, so callers must re-check per transfer rather
+// than caching the answer.
+func (s *Shaper) Active() bool {
+	for _, l := range s.limits {
+		if l.active.Load() {
+			return true
+		}
+	}
+	return false
+}
+
 // maxChunk bounds how many bytes pass a shaped writer per budget request,
 // so large messages are paced rather than admitted in one burst.
 const maxChunk = 4 << 10
@@ -192,9 +213,11 @@ type Writer struct {
 // NewWriter wraps w with the shaper. A nil shaper passes through.
 func NewWriter(w io.Writer, s *Shaper) *Writer { return &Writer{w: w, s: s} }
 
-// Write pushes b through the shaper in paced chunks.
+// Write pushes b through the shaper in paced chunks. When no composed
+// limiter is active the write passes through whole, with no chunking and
+// no budget bookkeeping.
 func (sw *Writer) Write(b []byte) (int, error) {
-	if sw.s == nil || len(sw.s.limits) == 0 {
+	if sw.s == nil || !sw.s.Active() {
 		return sw.w.Write(b)
 	}
 	written := 0
@@ -224,9 +247,11 @@ type Reader struct {
 // NewReader wraps r with the shaper. A nil shaper passes through.
 func NewReader(r io.Reader, s *Shaper) *Reader { return &Reader{r: r, s: s} }
 
-// Read fills b at the shaped rate.
+// Read fills b at the shaped rate. When no composed limiter is active the
+// read passes through whole — in particular it is not clamped to maxChunk,
+// so unshaped receivers refill their buffers with large reads.
 func (sr *Reader) Read(b []byte) (int, error) {
-	if sr.s == nil || len(sr.s.limits) == 0 {
+	if sr.s == nil || !sr.s.Active() {
 		return sr.r.Read(b)
 	}
 	if len(b) > maxChunk {

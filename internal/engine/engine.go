@@ -37,11 +37,9 @@ const (
 	DefaultMaxPayload     = 1 << 20
 	DefaultStatusInterval = 500 * time.Millisecond
 	DefaultMaxParked      = 256
+	DefaultSwitchBudget   = 512
+	DefaultBatchSize      = 32
 )
-
-// switchBudget bounds messages processed per switch invocation so control
-// messages stay responsive under heavy data load.
-const switchBudget = 512
 
 // Config parameterizes an Engine.
 type Config struct {
@@ -76,6 +74,16 @@ type Config struct {
 	// MaxParked bounds the engine's parked-message backlog before the
 	// switch stops draining receivers (back-pressure).
 	MaxParked int
+	// SwitchBudget bounds data messages processed per switch pass so
+	// control messages stay responsive under heavy data load.
+	SwitchBudget int
+	// BatchSize bounds how many message references move per ring operation
+	// across the data path: the receiver's decoded-message push, the
+	// switch's per-quantum drain, the sender's buffer drain, and unlimited
+	// local sources. Batches never exceed the ring's capacity or the
+	// parked-backlog headroom, so a full ring still blocks the receiver
+	// and back-pressure semantics are unchanged. 1 disables batching.
+	BatchSize int
 	// LocalTrace, when set, receives every Trace record as a text line in
 	// addition to the observer — the paper's alternative of logging
 	// traces locally at each node when the volume is large. The writer
@@ -100,6 +108,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxParked <= 0 {
 		c.MaxParked = DefaultMaxParked
+	}
+	if c.SwitchBudget <= 0 {
+		c.SwitchBudget = DefaultSwitchBudget
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
 	}
 }
 
@@ -139,12 +153,19 @@ type Engine struct {
 	obs       *observerLink
 
 	// Engine-goroutine-only state.
+	// lastDest/lastSender cache the most recent Send destination's link:
+	// overlay nodes forward overwhelmingly to the same few peers, so this
+	// skips the sender-map mutex on the hot path. Invalidated when the
+	// cached sender is torn down.
+	lastDest     message.NodeID
+	lastSender   *sender
 	parked       []parkedMsg
 	parkedByDest map[message.NodeID]int
 	pingSent     map[uint32]time.Time
 	probeRecv    map[probeKey]*probeAgg
 	nextToken    uint32
-	localPass    float64 // stride virtual time of the local source ring
+	localPass    float64          // stride virtual time of the local source ring
+	switchBuf    []*message.Msg   // scratch for per-quantum batched pops
 
 	control chan ctrlMsg
 	events  chan func()
@@ -180,6 +201,7 @@ func New(cfg Config) (*Engine, error) {
 		linkRates:    make(map[message.NodeID]int64),
 		localRing:    queue.New(cfg.RecvBuf),
 		localApps:    make(map[uint32]*source),
+		switchBuf:    make([]*message.Msg, cfg.BatchSize),
 		parkedByDest: make(map[message.NodeID]int),
 		pingSent:     make(map[uint32]time.Time),
 		control:      make(chan ctrlMsg, 1024),
@@ -425,13 +447,14 @@ func (e *Engine) notifyAlg(typ message.Type, app uint32, payload []byte) {
 
 // switchOnce retries parked messages, then switches data messages from
 // receiver buffers through the algorithm. Service order is stride
-// scheduling on the dynamically tunable per-receiver weights: each pop
-// advances the buffer's virtual time by 1/weight and the
-// smallest-virtual-time nonempty buffer is served next, which yields
-// weighted fair sharing even when back-pressure admits only a trickle.
+// scheduling on the dynamically tunable per-receiver weights: each quantum
+// drains a bounded batch from the smallest-virtual-time nonempty buffer
+// and advances that buffer's virtual time by batch/weight, which yields
+// weighted fair sharing even when back-pressure admits only a trickle
+// while amortizing the ring lock over the whole quantum.
 func (e *Engine) switchOnce() {
 	e.retryParked()
-	budget := switchBudget
+	budget := e.cfg.SwitchBudget
 	rs := e.receiverSnapshot()
 	// Admit newcomers at the current minimum virtual time so they
 	// neither monopolize nor starve.
@@ -462,40 +485,52 @@ func (e *Engine) switchOnce() {
 				best, bestLocal, bestPass = r, false, r.pass
 			}
 		}
-		var m *message.Msg
-		var ok bool
-		switch {
-		case best != nil:
-			m, ok = best.ring.TryPop()
-			if ok {
-				w := best.weight
-				if w < 1 {
-					w = 1
-				}
-				best.pass += 1 / float64(w)
-				best.apps[m.App()] = struct{}{}
-			}
-		case bestLocal:
-			m, ok = e.localRing.TryPop()
-			if ok {
-				e.localPass++
-			}
-		default:
+		if best == nil && !bestLocal {
 			return // nothing to switch
 		}
-		if !ok {
+		// One quantum: a single batched pop bounded by the remaining
+		// budget and the parked-backlog headroom, so the switch admits no
+		// more work per pass than the unbatched loop did.
+		quantum := len(e.switchBuf)
+		if quantum > budget {
+			quantum = budget
+		}
+		if headroom := e.cfg.MaxParked - len(e.parked); quantum > headroom {
+			quantum = headroom
+		}
+		var n int
+		if bestLocal {
+			n = e.localRing.TryPopBatch(e.switchBuf[:quantum])
+			e.localPass += float64(n)
+		} else {
+			n = best.ring.TryPopBatch(e.switchBuf[:quantum])
+			w := best.weight
+			if w < 1 {
+				w = 1
+			}
+			best.pass += float64(n) / float64(w)
+		}
+		if n == 0 {
 			continue
 		}
-		budget--
-		if e.alg.Process(m) == Done {
-			m.Release()
+		budget -= n
+		for i := 0; i < n; i++ {
+			m := e.switchBuf[i]
+			e.switchBuf[i] = nil
+			if best != nil {
+				best.apps[m.App()] = struct{}{}
+			}
+			if e.alg.Process(m) == Done {
+				m.Release()
+			}
 		}
 	}
-	// Re-arm only when the budget stopped us with work still queued.
-	// When back-pressure (the parked limit) stopped us, spinning would
-	// burn the CPU: the sender goroutines signal work as buffer space
-	// frees, which is the event that can make progress.
-	if budget > 0 {
+	// Re-arm only when the budget stopped us with work still queued AND
+	// the parked backlog leaves the next pass headroom to make progress.
+	// When back-pressure (the parked limit) binds, self-signaling would
+	// hot-spin the engine goroutine: the sender goroutines signal work as
+	// their rings drain, which is the event that can make progress.
+	if budget > 0 || len(e.parked) >= e.cfg.MaxParked {
 		return
 	}
 	if e.localRing.Len() > 0 {
@@ -573,11 +608,15 @@ func (e *Engine) Send(m *message.Msg, dest message.NodeID) {
 		e.sendToObserver(m)
 		return
 	}
-	s := e.ensureSender(dest)
-	if s == nil {
-		e.counters.AddDropped(int64(m.WireLen()))
-		m.Release()
-		return
+	s := e.lastSender
+	if s == nil || e.lastDest != dest {
+		s = e.ensureSender(dest)
+		if s == nil {
+			e.counters.AddDropped(int64(m.WireLen()))
+			m.Release()
+			return
+		}
+		e.lastDest, e.lastSender = dest, s
 	}
 	if m.IsData() {
 		s.apps[m.App()] = struct{}{}
@@ -715,6 +754,9 @@ func (e *Engine) senderGone(s *sender) {
 	delete(e.senders, s.peer)
 	e.mu.Unlock()
 
+	if e.lastSender == s {
+		e.lastSender = nil
+	}
 	s.ring.Close()
 	e.dropQueued(s)
 	s.linkLimit.Close()
@@ -767,6 +809,9 @@ func (e *Engine) CloseLink(peer message.NodeID) {
 	e.mu.Unlock()
 	if s == nil {
 		return
+	}
+	if e.lastSender == s {
+		e.lastSender = nil
 	}
 	s.ring.Close() // sender goroutine flushes remaining messages and exits
 	s.linkLimit.Close()

@@ -137,6 +137,32 @@ func TestDataFlowsSourceToSink(t *testing.T) {
 	}
 }
 
+// TestBatchingDisabledStillDelivers runs a chain with BatchSize 1 (no
+// batching anywhere on the data path) and a minimal switch budget,
+// checking that the batched code paths degrade exactly to the
+// one-message-at-a-time design.
+func TestBatchingDisabledStillDelivers(t *testing.T) {
+	n := vnet.New()
+	defer n.Close()
+	const app = 7
+	tune := func(c *engine.Config) {
+		c.BatchSize = 1
+		c.SwitchBudget = 1
+	}
+
+	sink := &recorder{}
+	startNode(t, n, nid(2), sink, tune)
+
+	src := &recorder{}
+	src.DefaultRoutes = []message.NodeID{nid(2)}
+	a := startNode(t, n, nid(1), src, tune)
+	a.StartSource(app, 0, 1024)
+
+	waitFor(t, 5*time.Second, "sink to receive data without batching", func() bool {
+		return sink.ReceivedBytes(app) > 100*1024
+	})
+}
+
 func TestChainForwarding(t *testing.T) {
 	n := vnet.New()
 	defer n.Close()

@@ -39,30 +39,158 @@ func newReceiver(peer message.NodeID, conn net.Conn, bufMsgs int) *receiver {
 	}
 }
 
-// runReceiver is the receiver thread body.
+// runReceiver is the receiver thread body. Each iteration performs one
+// bulk read from the socket into a pooled segment, then decodes every
+// fully arrived message inside it and pushes the data messages to the
+// ring in batches — one lock acquisition and one engine wakeup per burst
+// of arrivals instead of one per message. Large bursts decode zero-copy:
+// the messages alias the segment, which stays checked out until the last
+// of them is released. Small bursts (trickle traffic, shaped links) are
+// copied out into per-message pool buffers instead, so a slowly draining
+// ring can never pin a segment's worth of memory per message. A full ring
+// still blocks this goroutine exactly as in the unbatched design, so
+// back-pressure propagates to the upstream connection unchanged.
 func (e *Engine) runReceiver(r *receiver) {
 	defer e.wg.Done()
 	shaped := bandwidth.NewReader(r.conn, e.budget.DownShaper(nil))
-	br := bufio.NewReaderSize(shaped, 32<<10)
-	for {
-		m, err := message.Read(br, e.pool, e.cfg.MaxPayload)
+	maxBatch := e.cfg.BatchSize
+	if c := r.ring.Cap(); maxBatch > c {
+		maxBatch = c
+	}
+	maxPayload := e.cfg.MaxPayload
+	if maxPayload <= 0 {
+		maxPayload = message.DefaultMaxPayload
+	}
+	batch := make([]*message.Msg, 0, maxBatch)
+	var bytes int64
+
+	// flush meters and pushes the gathered batch; false means the ring was
+	// closed by the engine and the receiver must stand down.
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		// Meter once per batch: timestamped meters and atomic counters
+		// are per-message costs worth amortizing at these message rates.
+		r.meter.Add(bytes)
+		e.counters.AddIn(bytes)
+		bytes = 0
+		n, err := r.ring.PushBatch(batch)
 		if err != nil {
-			e.postEvent(func() { e.receiverGone(r) })
+			for _, rest := range batch[n:] {
+				rest.Release()
+			}
+			batch = batch[:0]
+			return false
+		}
+		batch = batch[:0]
+		e.signalWork()
+		return true
+	}
+	// deliver routes one decoded message; false means stand down.
+	deliver := func(m *message.Msg) bool {
+		if m.IsData() {
+			bytes += int64(m.WireLen())
+			batch = append(batch, m)
+			if len(batch) < maxBatch {
+				return true
+			}
+			return flush()
+		}
+		// A control message is delivered after the data that preceded it
+		// on the wire, so the batch goes first.
+		if !flush() {
+			m.Release()
+			return false
+		}
+		wl := int64(m.WireLen())
+		r.meter.Add(wl)
+		e.counters.AddIn(wl)
+		e.deliverControl(m, r.peer)
+		return true
+	}
+
+	seg := e.pool.GetSegment()
+	fail := func() {
+		seg.Release()
+		e.postEvent(func() { e.receiverGone(r) })
+	}
+	fill := 0
+	for {
+		n, err := shaped.Read(seg.Bytes()[fill:])
+		if err != nil {
+			fail()
 			return
 		}
-		r.meter.Add(int64(m.WireLen()))
-		e.counters.AddIn(int64(m.WireLen()))
-		if m.IsData() {
-			if err := r.ring.Push(m); err != nil {
-				// Ring closed: the engine tore this link down.
-				m.Release()
-				e.postEvent(func() { e.receiverGone(r) })
+		fill += n
+		// Zero-copy aliasing only pays when the burst is substantial;
+		// below the threshold each message is copied into its own pooled
+		// buffer and the segment is immediately reusable.
+		alias := 2*fill >= message.SegmentSize
+		aliased := false
+		off := 0
+		for {
+			b := seg.Bytes()[off:fill]
+			size, ok := message.PeekPayloadLen(b)
+			if !ok {
+				break // header not fully arrived: carry the tail
+			}
+			if size > maxPayload {
+				flush()
+				fail()
 				return
 			}
-			e.signalWork()
-		} else {
-			e.deliverControl(m, r.peer)
+			wire := message.HeaderSize + size
+			if off+wire > message.SegmentSize {
+				// The message can never fit in the remaining segment:
+				// assemble it in its own pool buffer, blocking until the
+				// sender's remaining bytes arrive.
+				m, err := message.ReadContinued(b, shaped, e.pool)
+				if err != nil {
+					flush()
+					fail()
+					return
+				}
+				off = fill
+				if !deliver(m) {
+					fail()
+					return
+				}
+				break
+			}
+			if len(b) < wire {
+				break // message not fully arrived: carry the tail
+			}
+			var m *message.Msg
+			if alias {
+				m = message.FromSegment(seg, off)
+				aliased = true
+			} else {
+				m = message.FromBytes(b, e.pool)
+			}
+			off += wire
+			if !deliver(m) {
+				fail()
+				return
+			}
 		}
+		if !flush() {
+			fail()
+			return
+		}
+		// Carry any partial tail into the next read. An aliased segment is
+		// shared with in-flight messages, so the tail moves to a fresh one.
+		rem := fill - off
+		switch {
+		case aliased:
+			ns := e.pool.GetSegment()
+			copy(ns.Bytes(), seg.Bytes()[off:fill])
+			seg.Release()
+			seg = ns
+		case rem > 0 && off > 0:
+			copy(seg.Bytes(), seg.Bytes()[off:fill])
+		}
+		fill = rem
 	}
 }
 
@@ -116,39 +244,109 @@ func (e *Engine) runSender(s *sender) {
 
 	bufw := bufio.NewWriterSize(conn, 32<<10)
 	shaped := bandwidth.NewWriter(bufw, e.budget.UpShaper(s.linkLimit))
+	maxBatch := e.cfg.BatchSize
+	if c := s.ring.Cap(); maxBatch > c {
+		maxBatch = c
+	}
+	batch := make([]*message.Msg, maxBatch)
+	bw, canVec := conn.(buffersWriter)
+	var vec [][]byte
+	if canVec {
+		vec = make([][]byte, 0, maxBatch)
+	}
 	for {
-		m, err := s.ring.Pop()
+		n, err := s.ring.PopBatch(batch)
 		if err != nil {
 			// Ring closed: graceful teardown; flush what was written.
 			_ = bufw.Flush()
 			_ = conn.Close()
 			return
 		}
-		wire := int64(m.WireLen())
-		_, werr := m.WriteTo(shaped)
-		m.Release()
+		// Flush per message only on shaped links: when bandwidth emulation
+		// paces this sender, holding messages in the write buffer would
+		// turn a smooth emulated rate into large bursts downstream.
+		// Unshaped vectored connections flush the whole batch straight
+		// from the messages' contiguous wire images in a single pipe
+		// operation — no intermediate buffer, no copy; other unshaped
+		// links buffer and flush once per drained batch.
+		shapedLink := e.senderShaped(s)
+		var total, sent int64
+		for i := 0; i < n; i++ {
+			total += int64(batch[i].WireLen())
+		}
+		var werr error
+		if canVec && !shapedLink {
+			if bufw.Buffered() > 0 { // shaped leftovers precede this batch
+				werr = bufw.Flush()
+			}
+			vec = vec[:0]
+			for i := 0; i < n && werr == nil; i++ {
+				if w := batch[i].Wire(); w != nil {
+					vec = append(vec, w)
+					continue
+				}
+				// Rare: no contiguous image (derived or externally built
+				// message). Preserve order: drain the gathered run first.
+				if len(vec) > 0 {
+					wn, e2 := bw.WriteBuffers(vec)
+					sent += wn
+					vec, werr = vec[:0], e2
+				}
+				if werr == nil {
+					wn, e2 := batch[i].WriteTo(conn)
+					sent += wn
+					werr = e2
+				}
+			}
+			if werr == nil && len(vec) > 0 {
+				wn, e2 := bw.WriteBuffers(vec)
+				sent += wn
+				vec, werr = vec[:0], e2
+			}
+			// Meter once per drained batch: at unshaped speeds per-message
+			// metering is pure overhead and the lump is far smaller than any
+			// measurement window.
+			s.meter.Add(sent)
+			e.counters.AddOut(sent)
+		} else {
+			for i := 0; i < n && werr == nil; i++ {
+				wn, e2 := batch[i].WriteTo(shaped)
+				werr = e2
+				if werr == nil && shapedLink {
+					werr = bufw.Flush()
+				}
+				// Meter per message here: a shaped batch can take longer to
+				// drain than a measurement window, and lump-metering it at
+				// the end would alias windowed rate samples.
+				s.meter.Add(wn)
+				e.counters.AddOut(wn)
+				sent += wn
+			}
+			if werr == nil && !shapedLink && s.ring.Len() == 0 {
+				werr = bufw.Flush()
+			}
+		}
+		for i := 0; i < n; i++ {
+			batch[i].Release()
+			batch[i] = nil
+		}
 		if werr != nil {
-			e.counters.AddDropped(wire)
+			e.counters.AddDropped(total - sent)
 			e.dropQueued(s)
 			e.postEvent(func() { e.senderGone(s) })
 			return
 		}
-		s.meter.Add(wire)
-		e.counters.AddOut(wire)
-		// Batch writes only on unshaped links: when bandwidth emulation
-		// paces this sender, holding messages in the write buffer would
-		// turn a smooth emulated rate into large bursts downstream.
-		if s.ring.Len() == 0 || e.senderShaped(s) {
-			if err := bufw.Flush(); err != nil {
-				e.dropQueued(s)
-				e.postEvent(func() { e.senderGone(s) })
-				return
-			}
-		}
-		// Wake the engine so parked messages destined to this (now less
-		// full) buffer can be retried promptly.
+		// One wakeup per drained batch: the engine retries parked messages
+		// destined to this (now less full) buffer promptly.
 		e.signalWork()
 	}
+}
+
+// buffersWriter is the vectored-write fast path vnet connections provide:
+// a whole batch of wire images lands in the peer's socket buffer under a
+// single lock acquisition.
+type buffersWriter interface {
+	WriteBuffers(bufs [][]byte) (int64, error)
 }
 
 // senderShaped reports whether any emulated bandwidth cap paces this

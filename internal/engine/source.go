@@ -68,6 +68,17 @@ func (e *Engine) runSource(s *source, msgSize int) {
 	defer e.wg.Done()
 	defer s.limiter.Close()
 	seq := uint32(0)
+	// Back-to-back (unlimited) sources inject in batches: one ring
+	// operation and one engine wakeup per batch. Rate-limited sources pace
+	// message by message so the emulated rate stays smooth.
+	batchN := 1
+	if s.limiter.Rate() <= 0 {
+		batchN = e.cfg.BatchSize
+		if c := e.localRing.Cap(); batchN > c {
+			batchN = c
+		}
+	}
+	batch := make([]*message.Msg, 0, batchN)
 	for {
 		select {
 		case <-s.stop:
@@ -76,13 +87,19 @@ func (e *Engine) runSource(s *source, msgSize int) {
 			return
 		default:
 		}
-		m := e.pool.Get(message.FirstDataType, e.id, s.app, seq, msgSize)
-		s.limiter.Wait(m.WireLen())
-		if err := e.localRing.Push(m); err != nil {
-			m.Release()
+		batch = batch[:0]
+		for i := 0; i < batchN; i++ {
+			m := e.pool.Get(message.FirstDataType, e.id, s.app, seq, msgSize)
+			s.limiter.Wait(m.WireLen())
+			batch = append(batch, m)
+			seq++
+		}
+		if n, err := e.localRing.PushBatch(batch); err != nil {
+			for _, m := range batch[n:] {
+				m.Release()
+			}
 			return
 		}
 		e.signalWork()
-		seq++
 	}
 }

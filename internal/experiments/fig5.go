@@ -20,6 +20,12 @@ type Fig5Config struct {
 	MsgSize int
 	// Warmup and Window bound the measurement.
 	Warmup, Window time.Duration
+	// BatchSize overrides engine.Config.BatchSize (0 = engine default;
+	// 1 disables batching — benches use that for before/after curves).
+	BatchSize int
+	// SwitchBudget overrides engine.Config.SwitchBudget (0 = default),
+	// letting benches sweep the control-responsiveness bound.
+	SwitchBudget int
 }
 
 func (c *Fig5Config) applyDefaults() {
@@ -76,6 +82,8 @@ func fig5One(n int, cfg Fig5Config) (Fig5Row, error) {
 		if _, err := c.AddNode(nodeID(i), algs[i], func(conf *engine.Config) {
 			conf.RecvBuf, conf.SendBuf = 64, 64
 			conf.StatusInterval = time.Second
+			conf.BatchSize = cfg.BatchSize
+			conf.SwitchBudget = cfg.SwitchBudget
 		}); err != nil {
 			return Fig5Row{}, err
 		}

@@ -10,6 +10,7 @@
 package message
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -53,10 +54,52 @@ type Msg struct {
 	seq     atomic.Uint32
 	payload []byte
 
+	// raw, when non-nil, is the pooled contiguous wire image: HeaderSize
+	// rendered header bytes followed by the payload (payload aliases
+	// raw[HeaderSize:]). It lets WriteTo emit the whole message with one
+	// Write and no copy. The header bytes are (re)rendered only while the
+	// message is held privately — at construction and by SetSeq/WithSender
+	// before the message is handed to sender goroutines, which only read
+	// raw. Derived messages never have raw: their headers differ from the
+	// buffer owner's.
+	raw []byte
+
 	refs   atomic.Int32
 	pool   *Pool
-	parent *Msg // set by Derive: the message owning the shared payload
+	parent *Msg     // set by Derive: the message owning the shared payload
+	seg    *Segment // set by FromSegment: the receive buffer aliased
 }
+
+// Segment is a pooled, reference-counted receive buffer. A receiver fills
+// one with a single bulk socket read and decodes the messages inside it in
+// place: each message's payload and wire image alias the segment, which
+// stays checked out until every message decoded from it has been released.
+// This is the zero-copy receive path — bytes are copied once from the
+// (emulated) kernel buffer and never again.
+type Segment struct {
+	buf  []byte
+	refs atomic.Int32
+	pool *Pool
+}
+
+// Bytes returns the segment's backing storage.
+func (s *Segment) Bytes() []byte { return s.buf }
+
+// Release drops one reference; the last release recycles the segment.
+func (s *Segment) Release() {
+	n := s.refs.Add(-1)
+	switch {
+	case n == 0:
+		if s.pool != nil {
+			s.pool.putSegment(s)
+		}
+	case n < 0:
+		panic("message: release of already-released segment")
+	}
+}
+
+// Refs reports the current reference count; used by tests and leak checks.
+func (s *Segment) Refs() int32 { return s.refs.Load() }
 
 // New constructs a message with the given header fields and payload. The
 // payload is owned by the message from this point on; callers who need to
@@ -85,8 +128,15 @@ func (m *Msg) App() uint32 { return m.app }
 // Seq reports the (modifiable) sequence number.
 func (m *Msg) Seq() uint32 { return m.seq.Load() }
 
-// SetSeq updates the sequence number, the only mutable header field.
-func (m *Msg) SetSeq(seq uint32) { m.seq.Store(seq) }
+// SetSeq updates the sequence number, the only mutable header field. Like
+// all header mutations it must happen before the message is enqueued for
+// sending.
+func (m *Msg) SetSeq(seq uint32) {
+	m.seq.Store(seq)
+	if m.raw != nil {
+		binary.BigEndian.PutUint32(m.raw[16:20], seq)
+	}
+}
 
 // Payload returns the application data carried by the message. The slice
 // is shared, not copied; callers must not mutate it unless they hold the
@@ -124,8 +174,15 @@ func (m *Msg) Release() {
 			m.parent = nil
 			m.payload = nil
 			p.Release()
+		case m.seg != nil:
+			s := m.seg
+			m.seg = nil
+			m.raw = nil
+			m.payload = nil
+			s.Release()
 		case m.pool != nil:
-			m.pool.putBuf(m.payload)
+			m.pool.putBuf(m.raw)
+			m.raw = nil
 			m.payload = nil
 			m.pool = nil
 		}
@@ -164,6 +221,10 @@ func (m *Msg) Derive(typ Type, sender NodeID, app, seq uint32) *Msg {
 // the local node as the original sender of a newly constructed message.
 func (m *Msg) WithSender(id NodeID) *Msg {
 	m.sender = id
+	if m.raw != nil {
+		binary.BigEndian.PutUint32(m.raw[4:8], id.IP)
+		binary.BigEndian.PutUint32(m.raw[8:12], id.Port)
+	}
 	return m
 }
 
@@ -187,8 +248,13 @@ func (m *Msg) AppendHeader(dst []byte) []byte {
 }
 
 // WriteTo encodes the message to w: header followed by payload. It
-// implements io.WriterTo.
+// implements io.WriterTo. Pool-backed messages hold the whole wire image
+// contiguously and emit it with a single Write and no copying.
 func (m *Msg) WriteTo(w io.Writer) (int64, error) {
+	if m.raw != nil {
+		n, err := w.Write(m.raw[:HeaderSize+len(m.payload)])
+		return int64(n), err
+	}
 	var h [HeaderSize]byte
 	buf := m.AppendHeader(h[:0])
 	n, err := w.Write(buf)
@@ -201,6 +267,28 @@ func (m *Msg) WriteTo(w io.Writer) (int64, error) {
 		written += int64(n)
 	}
 	return written, err
+}
+
+// Wire returns the message's contiguous wire image when it has one (all
+// pool-backed messages do), or nil. Senders use it to hand whole batches
+// to vectored writers without per-message copies.
+func (m *Msg) Wire() []byte {
+	if m.raw == nil {
+		return nil
+	}
+	return m.raw[:HeaderSize+len(m.payload)]
+}
+
+// renderHeader writes the current header fields into the raw wire buffer.
+// Only called while the message is held privately (construction, SetSeq,
+// WithSender); sender goroutines afterwards only read the buffer.
+func (m *Msg) renderHeader() {
+	binary.BigEndian.PutUint32(m.raw[0:4], uint32(m.typ))
+	binary.BigEndian.PutUint32(m.raw[4:8], m.sender.IP)
+	binary.BigEndian.PutUint32(m.raw[8:12], m.sender.Port)
+	binary.BigEndian.PutUint32(m.raw[12:16], m.app)
+	binary.BigEndian.PutUint32(m.raw[16:20], m.Seq())
+	binary.BigEndian.PutUint32(m.raw[20:24], uint32(len(m.payload)))
 }
 
 // Read decodes one message from r, allocating the payload from pool when
@@ -219,16 +307,18 @@ func Read(r io.Reader, pool *Pool, maxPayload int) (*Msg, error) {
 	if int(size) > maxPayload {
 		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, size, maxPayload)
 	}
-	var payload []byte
+	var payload, raw []byte
+	if pool != nil {
+		raw = pool.getRaw(int(size))
+		copy(raw, h[:]) // the wire image keeps the header it arrived with
+		payload = raw[HeaderSize:]
+	} else if size > 0 {
+		payload = make([]byte, size)
+	}
 	if size > 0 {
-		if pool != nil {
-			payload = pool.getBuf(int(size))
-		} else {
-			payload = make([]byte, size)
-		}
 		if _, err := io.ReadFull(r, payload); err != nil {
 			if pool != nil {
-				pool.putBuf(payload)
+				pool.putBuf(raw)
 			}
 			if errors.Is(err, io.EOF) {
 				err = io.ErrUnexpectedEOF
@@ -245,6 +335,125 @@ func Read(r io.Reader, pool *Pool, maxPayload int) (*Msg, error) {
 		binary.BigEndian.Uint32(h[16:20]),
 		payload)
 	m.pool = pool
+	m.raw = raw
+	return m, nil
+}
+
+// PeekWireLen inspects the next message's header in br without consuming
+// any bytes and reports its total wire length (header plus payload). It
+// never blocks: ok is false when fewer than HeaderSize bytes are already
+// buffered. Receivers use it to decode batches of fully arrived messages
+// without risking a blocking read mid-batch.
+func PeekWireLen(br *bufio.Reader) (n int, ok bool) {
+	if br.Buffered() < HeaderSize {
+		return 0, false
+	}
+	h, err := br.Peek(HeaderSize)
+	if err != nil {
+		return 0, false
+	}
+	return HeaderSize + int(binary.BigEndian.Uint32(h[20:24])), true
+}
+
+// PeekPayloadLen reports the payload size encoded in the wire header at
+// the start of b; ok is false when b holds fewer than HeaderSize bytes.
+func PeekPayloadLen(b []byte) (size int, ok bool) {
+	if len(b) < HeaderSize {
+		return 0, false
+	}
+	return int(binary.BigEndian.Uint32(b[20:24])), true
+}
+
+// headerMsg builds a Msg from the wire header at the start of b and the
+// given payload slice.
+func headerMsg(b, payload []byte) *Msg {
+	return New(Type(binary.BigEndian.Uint32(b[0:4])),
+		NodeID{
+			IP:   binary.BigEndian.Uint32(b[4:8]),
+			Port: binary.BigEndian.Uint32(b[8:12]),
+		},
+		binary.BigEndian.Uint32(b[12:16]),
+		binary.BigEndian.Uint32(b[16:20]),
+		payload)
+}
+
+// FromSegment decodes the message whose complete wire image begins at
+// offset off in seg. Payload and wire image alias the segment — no copy —
+// and the message holds a reference on the segment until its own count
+// reaches zero. The caller must have verified (via PeekPayloadLen) that
+// every byte of the message is present.
+func FromSegment(seg *Segment, off int) *Msg {
+	b := seg.buf[off:]
+	size := int(binary.BigEndian.Uint32(b[20:24]))
+	wire := HeaderSize + size
+	m := headerMsg(b, b[HeaderSize:wire:wire])
+	m.raw = b[:wire:wire]
+	m.seg = seg
+	seg.refs.Add(1)
+	return m
+}
+
+// FromBytes decodes the complete message at the start of b into a fresh
+// pool-backed wire buffer, copying the bytes. Receivers use it for bursts
+// too small to justify pinning a whole segment.
+func FromBytes(b []byte, pool *Pool) *Msg {
+	size := int(binary.BigEndian.Uint32(b[20:24]))
+	wire := HeaderSize + size
+	var payload, raw []byte
+	if pool != nil {
+		raw = pool.getRaw(size)
+		copy(raw, b[:wire])
+		payload = raw[HeaderSize:]
+	} else if size > 0 {
+		payload = make([]byte, size)
+		copy(payload, b[HeaderSize:wire])
+	}
+	m := headerMsg(b, payload)
+	m.pool = pool
+	m.raw = raw
+	return m
+}
+
+// ReadContinued assembles a message whose wire prefix pre (beginning at
+// the header, which must be complete) has already been received, reading
+// the remaining bytes from r. Receivers use it for messages too large to
+// fit a receive segment.
+func ReadContinued(pre []byte, r io.Reader, pool *Pool) (*Msg, error) {
+	size := int(binary.BigEndian.Uint32(pre[20:24]))
+	wire := HeaderSize + size
+	var payload, raw []byte
+	if pool != nil {
+		raw = pool.getRaw(size)
+		copy(raw, pre)
+		payload = raw[HeaderSize:]
+	} else {
+		payload = make([]byte, size)
+		copy(payload, pre[min(HeaderSize, len(pre)):])
+	}
+	have := len(pre)
+	if have > wire {
+		have = wire
+	}
+	if have < wire {
+		var rest []byte
+		if raw != nil {
+			rest = raw[have:wire]
+		} else {
+			rest = payload[have-HeaderSize:]
+		}
+		if _, err := io.ReadFull(r, rest); err != nil {
+			if pool != nil {
+				pool.putBuf(raw)
+			}
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	m := headerMsg(pre, payload)
+	m.pool = pool
+	m.raw = raw
 	return m, nil
 }
 

@@ -313,12 +313,29 @@ func TestClassFor(t *testing.T) {
 		n    int
 		want int
 	}{
-		{1, 6}, {64, 6}, {65, 7}, {128, 7}, {1 << 22, 22}, {(1 << 22) + 1, -1},
+		// Even classes are powers of two, odd classes the 1.5× midpoints:
+		// 64, 96, 128, 192, 256, ... so mixed sizes waste at most 1/3.
+		{1, 0}, {64, 0}, {65, 1}, {96, 1}, {97, 2}, {128, 2},
+		{129, 3}, {192, 3}, {193, 4}, {256, 4},
+		{5 << 10, 13}, // the paper's 5 KB payloads → the 6 KB class
+		{1 << 22, numClasses - 1}, {(1 << 22) + 1, -1},
 	}
 	for _, tt := range tests {
 		if got := classFor(tt.n); got != tt.want {
 			t.Errorf("classFor(%d) = %d, want %d", tt.n, got, tt.want)
 		}
+	}
+	for c := 0; c < numClasses; c++ {
+		size := classSize(c)
+		if got := classFor(size); got != c {
+			t.Errorf("classFor(classSize(%d)=%d) = %d, want %d", c, size, got, c)
+		}
+		if c > 0 && classFor(classSize(c-1)+1) != c {
+			t.Errorf("classFor(%d) != %d: classes not contiguous", classSize(c-1)+1, c)
+		}
+	}
+	if classSize(classFor(5<<10)) != 6<<10 {
+		t.Errorf("5 KB payload lands in %d-byte class, want 6144", classSize(classFor(5<<10)))
 	}
 }
 

@@ -53,6 +53,13 @@ func (r *Ring) Len() int {
 	return r.length
 }
 
+// Free reports the current number of unoccupied slots.
+func (r *Ring) Free() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf) - r.length
+}
+
 // Push appends m, blocking while the ring is full. It returns ErrClosed if
 // the ring is (or becomes) closed before the message is accepted; the
 // caller retains ownership of m in that case.
@@ -87,6 +94,65 @@ func (r *Ring) pushLocked(m *message.Msg) {
 	r.notEmpty.Signal()
 }
 
+// PushBatch appends every message of ms in order, blocking while the ring
+// is full, moving as many messages as fit under each lock acquisition and
+// issuing one consumer wakeup per transfer instead of one per message. It
+// returns the number of messages accepted; on ErrClosed the caller retains
+// ownership of ms[n:]. A nil or empty batch is a no-op.
+func (r *Ring) PushBatch(ms []*message.Msg) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pushed := 0
+	for pushed < len(ms) {
+		for r.length == len(r.buf) && !r.closed {
+			r.notFull.Wait()
+		}
+		if r.closed {
+			return pushed, ErrClosed
+		}
+		pushed += r.pushBatchLocked(ms[pushed:])
+	}
+	return pushed, nil
+}
+
+// TryPushBatch appends as many messages of ms as currently fit, in order,
+// without blocking, and reports how many were accepted. A full or closed
+// ring accepts none; the caller retains ownership of ms[n:].
+func (r *Ring) TryPushBatch(ms []*message.Msg) int {
+	if len(ms) == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0
+	}
+	return r.pushBatchLocked(ms)
+}
+
+// pushBatchLocked moves up to len(ms) messages into free slots and wakes
+// consumers once for the whole transfer.
+func (r *Ring) pushBatchLocked(ms []*message.Msg) int {
+	n := len(r.buf) - r.length
+	if n > len(ms) {
+		n = len(ms)
+	}
+	for i := 0; i < n; i++ {
+		r.buf[(r.head+r.length+i)%len(r.buf)] = ms[i]
+	}
+	r.length += n
+	switch {
+	case n == 1:
+		r.notEmpty.Signal()
+	case n > 1:
+		r.notEmpty.Broadcast()
+	}
+	return n
+}
+
 // Pop removes and returns the oldest message, blocking while the ring is
 // empty. Once the ring is closed and drained, Pop returns ErrClosed.
 func (r *Ring) Pop() (*message.Msg, error) {
@@ -110,6 +176,59 @@ func (r *Ring) TryPop() (m *message.Msg, ok bool) {
 		return nil, false
 	}
 	return r.popLocked(), true
+}
+
+// PopBatch removes up to len(dst) of the oldest messages into dst under a
+// single lock acquisition with a single producer wakeup, blocking while
+// the ring is empty. It returns the number of messages popped (at least
+// one). Once the ring is closed and drained, PopBatch returns ErrClosed.
+func (r *Ring) PopBatch(dst []*message.Msg) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.length == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	if r.length == 0 {
+		return 0, ErrClosed
+	}
+	return r.popBatchLocked(dst), nil
+}
+
+// TryPopBatch removes up to len(dst) of the oldest messages into dst
+// without blocking and reports how many were popped; zero when the ring is
+// empty.
+func (r *Ring) TryPopBatch(dst []*message.Msg) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.popBatchLocked(dst)
+}
+
+// popBatchLocked moves up to len(dst) messages out of the ring and wakes
+// producers once for the whole transfer.
+func (r *Ring) popBatchLocked(dst []*message.Msg) int {
+	n := r.length
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[r.head]
+		r.buf[r.head] = nil
+		r.head = (r.head + 1) % len(r.buf)
+	}
+	r.length -= n
+	switch {
+	case n == 1:
+		r.notFull.Signal()
+	case n > 1:
+		r.notFull.Broadcast()
+	}
+	return n
 }
 
 func (r *Ring) popLocked() *message.Msg {

@@ -285,6 +285,277 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 	}
 }
 
+// TestBatchMixedFIFO interleaves batch and single-message operations and
+// checks that the overall pop order is exactly the push order.
+func TestBatchMixedFIFO(t *testing.T) {
+	r := New(8)
+	next := uint32(0)
+	mk := func(n int) []*message.Msg {
+		ms := make([]*message.Msg, n)
+		for i := range ms {
+			ms[i] = mkMsg(next)
+			next++
+		}
+		return ms
+	}
+	var got []uint32
+	popOne := func() {
+		m, err := r.Pop()
+		if err != nil {
+			t.Fatalf("Pop: %v", err)
+		}
+		got = append(got, m.Seq())
+	}
+	popBatch := func(n int) {
+		dst := make([]*message.Msg, n)
+		k := r.TryPopBatch(dst)
+		for _, m := range dst[:k] {
+			got = append(got, m.Seq())
+		}
+	}
+
+	if n, err := r.PushBatch(mk(3)); n != 3 || err != nil {
+		t.Fatalf("PushBatch = %d, %v; want 3, nil", n, err)
+	}
+	if err := r.Push(mk(1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	popBatch(2)
+	if n := r.TryPushBatch(mk(4)); n != 4 {
+		t.Fatalf("TryPushBatch = %d, want 4", n)
+	}
+	popOne()
+	popBatch(5)
+	if !r.TryPush(mk(1)[0]) {
+		t.Fatal("TryPush on non-full ring failed")
+	}
+	popOne()
+
+	if len(got) != int(next) {
+		t.Fatalf("popped %d messages, pushed %d", len(got), next)
+	}
+	for i, s := range got {
+		if s != uint32(i) {
+			t.Fatalf("pop order: got[%d] = %d, want %d (full order %v)", i, s, i, got)
+		}
+	}
+}
+
+// TestTryPushBatchPartial checks that a nearly full ring accepts exactly
+// the messages that fit and leaves ownership of the rest with the caller.
+func TestTryPushBatchPartial(t *testing.T) {
+	r := New(4)
+	r.TryPush(mkMsg(100))
+	r.TryPush(mkMsg(101))
+	ms := []*message.Msg{mkMsg(0), mkMsg(1), mkMsg(2), mkMsg(3)}
+	if n := r.TryPushBatch(ms); n != 2 {
+		t.Fatalf("TryPushBatch on ring with 2 free slots = %d, want 2", n)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	// The unaccepted tail is untouched and still owned by the caller.
+	for i, m := range ms[2:] {
+		if m.Refs() != 1 {
+			t.Errorf("unaccepted ms[%d] refs = %d, want 1", i+2, m.Refs())
+		}
+	}
+	if n := r.TryPushBatch(ms[2:]); n != 0 {
+		t.Fatalf("TryPushBatch on full ring = %d, want 0", n)
+	}
+	want := []uint32{100, 101, 0, 1}
+	dst := make([]*message.Msg, 8)
+	if n := r.TryPopBatch(dst); n != 4 {
+		t.Fatalf("TryPopBatch = %d, want 4", n)
+	}
+	for i, m := range dst[:4] {
+		if m.Seq() != want[i] {
+			t.Fatalf("pop order: got %d at %d, want %d", m.Seq(), i, want[i])
+		}
+	}
+}
+
+// TestPopBatchPartial checks that PopBatch returns what is buffered rather
+// than waiting to fill dst.
+func TestPopBatchPartial(t *testing.T) {
+	r := New(8)
+	r.TryPush(mkMsg(0))
+	r.TryPush(mkMsg(1))
+	dst := make([]*message.Msg, 8)
+	n, err := r.PopBatch(dst)
+	if err != nil || n != 2 {
+		t.Fatalf("PopBatch = %d, %v; want 2, nil", n, err)
+	}
+	if dst[0].Seq() != 0 || dst[1].Seq() != 1 {
+		t.Fatalf("PopBatch order: %d, %d", dst[0].Seq(), dst[1].Seq())
+	}
+}
+
+// TestPushBatchBlocksAndCompletes checks that an oversized PushBatch
+// blocks on a full ring and delivers every message as space frees up.
+func TestPushBatchBlocksAndCompletes(t *testing.T) {
+	r := New(2)
+	ms := make([]*message.Msg, 5)
+	for i := range ms {
+		ms[i] = mkMsg(uint32(i))
+	}
+	done := make(chan int, 1)
+	go func() {
+		n, err := r.PushBatch(ms)
+		if err != nil {
+			t.Errorf("PushBatch: %v", err)
+		}
+		done <- n
+	}()
+	var got []uint32
+	for len(got) < 5 {
+		m, err := r.Pop()
+		if err != nil {
+			t.Fatalf("Pop: %v", err)
+		}
+		got = append(got, m.Seq())
+	}
+	select {
+	case n := <-done:
+		if n != 5 {
+			t.Fatalf("PushBatch accepted %d, want 5", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PushBatch did not complete")
+	}
+	for i, s := range got {
+		if s != uint32(i) {
+			t.Fatalf("order: got[%d] = %d", i, s)
+		}
+	}
+}
+
+// TestCloseMidPushBatch closes the ring while a blocked PushBatch has
+// accepted part of its batch; ownership of the unaccepted tail must stay
+// with the caller so it can release those messages.
+func TestCloseMidPushBatch(t *testing.T) {
+	r := New(2)
+	ms := make([]*message.Msg, 5)
+	for i := range ms {
+		ms[i] = mkMsg(uint32(i))
+	}
+	type result struct {
+		n   int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		n, err := r.PushBatch(ms)
+		done <- result{n, err}
+	}()
+	// Let the batch fill the ring (2 accepted) and block, then free one
+	// slot so a third is accepted, then close mid-flight.
+	time.Sleep(10 * time.Millisecond)
+	if _, err := r.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	select {
+	case res := <-done:
+		if !errors.Is(res.err, ErrClosed) {
+			t.Fatalf("PushBatch after Close: err = %v, want ErrClosed", res.err)
+		}
+		if res.n != 3 {
+			t.Fatalf("PushBatch accepted %d before Close, want 3", res.n)
+		}
+		// ms[res.n:] still belongs to the caller: release them.
+		for i, m := range ms[res.n:] {
+			if m.Refs() != 1 {
+				t.Errorf("unaccepted ms[%d] refs = %d, want 1", res.n+i, m.Refs())
+			}
+			m.Release()
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not wake blocked PushBatch")
+	}
+	// 3 accepted, 1 popped above: 2 remain buffered.
+	if drained := r.Drain(); drained != 2 {
+		t.Fatalf("Drain released %d accepted messages, want 2", drained)
+	}
+}
+
+// TestConcurrentBatchProducersConsumers stresses mixed-size batch pushes
+// against batch pops and checks exactly-once delivery; run with -race this
+// also exercises the batch paths for data races.
+func TestConcurrentBatchProducersConsumers(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 500
+	)
+	r := New(16)
+	var wg sync.WaitGroup
+	seen := make(chan uint32, producers*perProd)
+
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			dst := make([]*message.Msg, 1+c%5)
+			for {
+				n, err := r.PopBatch(dst)
+				if err != nil {
+					return
+				}
+				for _, m := range dst[:n] {
+					seen <- m.Seq()
+				}
+			}
+		}(c)
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			seq := uint32(p * perProd)
+			sent := 0
+			for sent < perProd {
+				k := 1 + (sent+p)%7
+				if k > perProd-sent {
+					k = perProd - sent
+				}
+				batch := make([]*message.Msg, k)
+				for i := range batch {
+					batch[i] = mkMsg(seq)
+					seq++
+				}
+				if n, err := r.PushBatch(batch); err != nil {
+					t.Errorf("PushBatch: %v (accepted %d)", err, n)
+					return
+				}
+				sent += k
+			}
+		}(p)
+	}
+	pwg.Wait()
+	for r.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	r.Close()
+	wg.Wait()
+	close(seen)
+
+	got := make(map[uint32]int)
+	for s := range seen {
+		got[s]++
+	}
+	if len(got) != producers*perProd {
+		t.Fatalf("delivered %d distinct messages, want %d", len(got), producers*perProd)
+	}
+	for s, n := range got {
+		if n != 1 {
+			t.Fatalf("message %d delivered %d times", s, n)
+		}
+	}
+}
+
 // TestFIFOProperty checks, via testing/quick, that for any interleaving of
 // a bounded push sequence, single-consumer pop order equals push order.
 func TestFIFOProperty(t *testing.T) {

@@ -34,6 +34,13 @@ type pipe struct {
 	notFull  *sync.Cond
 	notEmpty *sync.Cond
 
+	// Waiter counts gate every condvar broadcast: the data path signals a
+	// pipe far more often than anyone sleeps on it, and an ungated
+	// Broadcast per transfer thrashes futexes. A waiter increments its
+	// count under mu before sleeping, so gated wakeups can never be lost.
+	readWaiters  int
+	writeWaiters int
+
 	buf    []byte
 	head   int
 	length int
@@ -86,6 +93,34 @@ func (p *pipe) arrivedLocked(now time.Time) (avail int, next time.Time) {
 	return int(a), next
 }
 
+// wakeReadersLocked wakes blocked readers, if any.
+func (p *pipe) wakeReadersLocked() {
+	if p.readWaiters > 0 {
+		p.notEmpty.Broadcast()
+	}
+}
+
+// wakeWritersLocked wakes blocked writers, if any.
+func (p *pipe) wakeWritersLocked() {
+	if p.writeWaiters > 0 {
+		p.notFull.Broadcast()
+	}
+}
+
+// waitNotEmptyLocked sleeps on notEmpty with the waiter count maintained.
+func (p *pipe) waitNotEmptyLocked() {
+	p.readWaiters++
+	p.notEmpty.Wait()
+	p.readWaiters--
+}
+
+// waitNotFullLocked sleeps on notFull with the waiter count maintained.
+func (p *pipe) waitNotFullLocked() {
+	p.writeWaiters++
+	p.notFull.Wait()
+	p.writeWaiters--
+}
+
 // deadlineTimer arranges a broadcast wake-up at deadline so blocked
 // readers/writers can observe expiry. Returns a stop function.
 func (p *pipe) deadlineTimer(deadline time.Time) func() {
@@ -99,8 +134,8 @@ func (p *pipe) deadlineTimer(deadline time.Time) func() {
 	t := time.AfterFunc(d, func() {
 		p.mu.Lock()
 		defer p.mu.Unlock()
-		p.notFull.Broadcast()
-		p.notEmpty.Broadcast()
+		p.wakeWritersLocked()
+		p.wakeReadersLocked()
 	})
 	return func() { t.Stop() }
 }
@@ -114,7 +149,7 @@ func (p *pipe) Write(b []byte) (int, error) {
 	written := 0
 	for len(b) > 0 {
 		for p.length == len(p.buf) && !p.writeClosed && !p.broken && !expired(p.writeDeadline) {
-			p.notFull.Wait()
+			p.waitNotFullLocked()
 		}
 		if p.broken || p.writeClosed {
 			return written, ErrPipeClosed
@@ -132,7 +167,45 @@ func (p *pipe) Write(b []byte) (int, error) {
 				at:    time.Now().Add(p.latency),
 			})
 		}
-		p.notEmpty.Broadcast()
+		p.wakeReadersLocked()
+	}
+	return written, nil
+}
+
+// writeBuffers appends the concatenation of bufs, blocking while full
+// exactly like sequential Writes but under a single lock acquisition —
+// the vectored fast path that lets a sender flush a whole message batch
+// in one pipe operation.
+func (p *pipe) writeBuffers(bufs [][]byte) (int64, error) {
+	p.mu.Lock()
+	stop := p.deadlineTimer(p.writeDeadline)
+	defer stop()
+	defer p.mu.Unlock()
+
+	var written int64
+	for _, b := range bufs {
+		for len(b) > 0 {
+			for p.length == len(p.buf) && !p.writeClosed && !p.broken && !expired(p.writeDeadline) {
+				p.waitNotFullLocked()
+			}
+			if p.broken || p.writeClosed {
+				return written, ErrPipeClosed
+			}
+			if expired(p.writeDeadline) {
+				return written, errTimeout{}
+			}
+			n := p.copyIn(b)
+			b = b[n:]
+			written += int64(n)
+			p.totalWritten += int64(n)
+			if p.latency > 0 {
+				p.marks = append(p.marks, watermark{
+					total: p.totalWritten,
+					at:    time.Now().Add(p.latency),
+				})
+			}
+			p.wakeReadersLocked()
+		}
 	}
 	return written, nil
 }
@@ -162,7 +235,10 @@ func (p *pipe) Read(b []byte) (int, error) {
 		if p.broken {
 			return 0, ErrPipeClosed
 		}
-		avail, next := p.arrivedLocked(time.Now())
+		avail, next := p.length, time.Time{}
+		if p.latency > 0 { // zero-latency pipes skip the clock entirely
+			avail, next = p.arrivedLocked(time.Now())
+		}
 		if avail > 0 {
 			n := len(b)
 			if n > avail {
@@ -175,7 +251,7 @@ func (p *pipe) Read(b []byte) (int, error) {
 			p.head = (p.head + n) % len(p.buf)
 			p.length -= n
 			p.totalRead += int64(n)
-			p.notFull.Broadcast()
+			p.wakeWritersLocked()
 			return n, nil
 		}
 		if p.length == 0 && p.writeClosed {
@@ -188,13 +264,13 @@ func (p *pipe) Read(b []byte) (int, error) {
 			// Bytes are in flight: wake when they land.
 			t := time.AfterFunc(time.Until(next), func() {
 				p.mu.Lock()
-				p.notEmpty.Broadcast()
+				p.wakeReadersLocked()
 				p.mu.Unlock()
 			})
-			p.notEmpty.Wait()
+			p.waitNotEmptyLocked()
 			t.Stop()
 		} else {
-			p.notEmpty.Wait()
+			p.waitNotEmptyLocked()
 		}
 	}
 }
@@ -205,8 +281,8 @@ func (p *pipe) closeWrite() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.writeClosed = true
-	p.notFull.Broadcast()
-	p.notEmpty.Broadcast()
+	p.wakeWritersLocked()
+	p.wakeReadersLocked()
 }
 
 // breakPipe simulates an abrupt failure (node crash, severed link):
@@ -216,22 +292,22 @@ func (p *pipe) breakPipe() {
 	defer p.mu.Unlock()
 	p.broken = true
 	p.length = 0
-	p.notFull.Broadcast()
-	p.notEmpty.Broadcast()
+	p.wakeWritersLocked()
+	p.wakeReadersLocked()
 }
 
 func (p *pipe) setReadDeadline(t time.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.readDeadline = t
-	p.notEmpty.Broadcast()
+	p.wakeReadersLocked()
 }
 
 func (p *pipe) setWriteDeadline(t time.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.writeDeadline = t
-	p.notFull.Broadcast()
+	p.wakeWritersLocked()
 }
 
 func expired(deadline time.Time) bool {

@@ -304,6 +304,12 @@ func (c *Conn) Read(b []byte) (int, error) { return c.rd.Read(b) }
 // Write writes to the outbound pipe, blocking under back-pressure.
 func (c *Conn) Write(b []byte) (int, error) { return c.wr.Write(b) }
 
+// WriteBuffers writes every buffer in order under a single pipe lock
+// acquisition — the vectored-write (writev-like) fast path used by engine
+// senders to flush a whole batch of wire images in one operation. It
+// blocks under back-pressure exactly like sequential Writes.
+func (c *Conn) WriteBuffers(bufs [][]byte) (int64, error) { return c.wr.writeBuffers(bufs) }
+
 // Close gracefully closes the connection: the peer drains buffered bytes
 // and then observes EOF, like a TCP FIN.
 func (c *Conn) Close() error {
