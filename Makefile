@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci build test vet race bench
+.PHONY: ci build test vet race chaos bench
 
 # ci is the tier-1 gate: everything here must pass before a change lands.
-ci: vet build test race
+ci: vet build test race chaos
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,11 @@ test:
 # pipes are where a lost wakeup or torn batch would hide.
 race:
 	$(GO) test -race ./internal/queue ./internal/engine ./internal/vnet
+
+# The fault-injection soak: a seeded chaos schedule (kills, restarts,
+# partitions, flaky links) against a live 16-node multicast session.
+chaos:
+	$(GO) test -race -run Chaos ./internal/chaos/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -26,14 +26,15 @@ import (
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 5,6,7,8,9,11,12,14,15,16,17,18,19 (empty = all)")
 	table := flag.String("table", "", "table to regenerate: 3 (empty = all)")
+	exp := flag.String("exp", "", "named experiment to regenerate: churn (empty = all)")
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
 	flag.Parse()
 
 	want := func(name string) bool {
-		if *fig == "" && *table == "" {
+		if *fig == "" && *table == "" && *exp == "" {
 			return true
 		}
-		return name == "fig"+*fig || name == "table"+*table
+		return name == "fig"+*fig || name == "table"+*table || name == *exp
 	}
 	start := time.Now()
 	ok := true
@@ -106,6 +107,21 @@ func main() {
 		fmt.Print(experiments.RenderTable3(rows))
 		fmt.Println()
 		fmt.Print(experiments.RenderFig9(figs))
+		fmt.Println()
+		return nil
+	})
+
+	runStep([]string{"churn"}, func() error {
+		cfg := experiments.Fig9ChurnConfig{}
+		if !*full {
+			cfg.N = 20
+			cfg.MaxConcurrent = 4
+		}
+		points, err := experiments.Fig9Churn(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig9Churn(points))
 		fmt.Println()
 		return nil
 	})

@@ -1,0 +1,194 @@
+// Package chaos drives fault-injection schedules against a live overlay
+// cluster. A schedule is a seeded, reproducible sequence of kill,
+// restart, partition, heal and link-degradation events; the Runner
+// applies each event through caller-supplied operations, then polls the
+// caller's steady-state invariant (tree reconnected, delivery resumed)
+// and records per-event recovery latency and loss.
+//
+// The package deliberately knows nothing about engines, observers or
+// experiment harnesses: every action and probe is a closure. That keeps
+// the dependency arrow pointing one way — experiment code imports chaos,
+// never the reverse — and lets the same runner exercise any topology a
+// test can express.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Kind enumerates fault-injection event types.
+type Kind int
+
+const (
+	// Kill crashes the listed nodes abruptly (socket death, no goodbye).
+	Kill Kind = iota
+	// Restart brings previously killed nodes back.
+	Restart
+	// Partition splits the cluster into disconnected groups.
+	Partition
+	// Heal clears every standing fault (partitions, cuts, flaky links).
+	Heal
+	// Flaky degrades one link with probabilistic frame loss and/or a
+	// delivery stall, without closing it.
+	Flaky
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case Kill:
+		return "kill"
+	case Restart:
+		return "restart"
+	case Partition:
+		return "partition"
+	case Heal:
+		return "heal"
+	case Flaky:
+		return "flaky"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one step of a chaos schedule. Node identities are small
+// integer indices; the Runner's operations map them onto real addresses.
+type Event struct {
+	// After is how long to wait after the previous event completed
+	// (applied and recovered) before firing this one.
+	After time.Duration
+	// Kind selects the fault.
+	Kind Kind
+	// Nodes lists the victims for Kill/Restart.
+	Nodes []int
+	// Groups lists the partition sides for Partition.
+	Groups [][]int
+	// Link is the degraded (a, b) pair for Flaky.
+	Link [2]int
+	// DropProb is the per-frame loss probability for Flaky.
+	DropProb float64
+	// Stall is the delivery stall duration for Flaky.
+	Stall time.Duration
+}
+
+// String renders a compact description for logs and reports.
+func (e Event) String() string {
+	switch e.Kind {
+	case Kill, Restart:
+		return fmt.Sprintf("%s %v", e.Kind, e.Nodes)
+	case Partition:
+		return fmt.Sprintf("partition %v", e.Groups)
+	case Flaky:
+		return fmt.Sprintf("flaky %d-%d drop=%.2f stall=%s",
+			e.Link[0], e.Link[1], e.DropProb, e.Stall)
+	default:
+		return e.Kind.String()
+	}
+}
+
+// ScheduleConfig parameterizes Generate.
+type ScheduleConfig struct {
+	// Seed fixes the schedule; equal seeds yield equal schedules.
+	Seed int64
+	// Nodes is the cluster size; victims are drawn from 1..Nodes-1 so
+	// that node 0 (by convention the source) always survives.
+	Nodes int
+	// Rounds is how many fault rounds to emit. Every round is a fault
+	// followed by the event that undoes it (kill→restart,
+	// partition→heal, flaky→heal), so the schedule always returns the
+	// cluster to a fully connected state.
+	Rounds int
+	// MaxKill caps how many nodes one kill round takes down at once.
+	MaxKill int
+	// Gap is the pause between events; a little jitter is added from the
+	// seed so rounds do not phase-lock with periodic timers.
+	Gap time.Duration
+}
+
+func (c *ScheduleConfig) applyDefaults() {
+	if c.Nodes < 4 {
+		c.Nodes = 4
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 6
+	}
+	if c.MaxKill <= 0 {
+		c.MaxKill = 2
+	}
+	if c.MaxKill > c.Nodes-2 {
+		c.MaxKill = c.Nodes - 2
+	}
+	if c.Gap <= 0 {
+		c.Gap = 200 * time.Millisecond
+	}
+}
+
+// Generate builds a reproducible schedule: a seeded mixture of
+// kill/restart pairs, partition/heal pairs and flaky-link rounds.
+func Generate(cfg ScheduleConfig) []Event {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gap := func() time.Duration {
+		return cfg.Gap + time.Duration(rng.Int63n(int64(cfg.Gap)/2+1))
+	}
+	var events []Event
+	for round := 0; round < cfg.Rounds; round++ {
+		switch rng.Intn(3) {
+		case 0: // kill a few nodes, then bring them back
+			k := 1 + rng.Intn(cfg.MaxKill)
+			victims := pickDistinct(rng, cfg.Nodes, k)
+			events = append(events,
+				Event{After: gap(), Kind: Kill, Nodes: victims},
+				Event{After: gap(), Kind: Restart, Nodes: victims})
+		case 1: // split one random side off, then heal
+			side := pickDistinct(rng, cfg.Nodes, 1+rng.Intn(cfg.Nodes/3))
+			rest := complementOf(side, cfg.Nodes)
+			events = append(events,
+				Event{After: gap(), Kind: Partition, Groups: [][]int{rest, side}},
+				Event{After: gap(), Kind: Heal})
+		default: // degrade one link, then heal
+			pair := pickDistinct(rng, cfg.Nodes, 2)
+			ev := Event{
+				After:    gap(),
+				Kind:     Flaky,
+				Link:     [2]int{pair[0], pair[1]},
+				DropProb: 0.1 + 0.3*rng.Float64(),
+			}
+			if rng.Intn(2) == 0 {
+				ev.Stall = cfg.Gap + time.Duration(rng.Int63n(int64(cfg.Gap)))
+			}
+			events = append(events, ev, Event{After: gap(), Kind: Heal})
+		}
+	}
+	return events
+}
+
+// pickDistinct draws k distinct node indices from 1..n-1 (node 0 is the
+// protected source).
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	perm := rng.Perm(n - 1)
+	if k > len(perm) {
+		k = len(perm)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = perm[i] + 1
+	}
+	return out
+}
+
+// complementOf lists the indices of 0..n-1 not present in side.
+func complementOf(side []int, n int) []int {
+	in := make(map[int]bool, len(side))
+	for _, s := range side {
+		in[s] = true
+	}
+	out := make([]int, 0, n-len(side))
+	for i := 0; i < n; i++ {
+		if !in[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

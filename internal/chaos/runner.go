@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Ops are the cluster operations a Runner drives. Kill, Restart,
+// Partition, Heal and Flaky apply faults; Mark and Recovered express the
+// caller's steady-state invariant; Dropped samples cumulative loss.
+// Only the operations a schedule actually uses need to be set.
+type Ops struct {
+	// Kill crashes one node (all its sockets die at once).
+	Kill func(node int)
+	// Restart brings a killed node back and re-admits it to the overlay.
+	Restart func(node int) error
+	// Partition installs a network split.
+	Partition func(groups [][]int)
+	// Heal clears all standing network faults.
+	Heal func()
+	// Flaky degrades the a<->b link.
+	Flaky func(a, b int, dropProb float64, stall time.Duration)
+
+	// Mark is called immediately after an event is applied, before
+	// recovery polling starts; callers snapshot delivery baselines here.
+	Mark func(ev Event)
+	// Recovered reports whether the cluster is back in steady state:
+	// the dissemination structure has repaired itself and every node
+	// that should be receiving is receiving again.
+	Recovered func() bool
+	// Dropped samples cumulative bytes lost to failures across the
+	// cluster (monotone non-decreasing).
+	Dropped func() int64
+}
+
+// EventResult records one event's outcome.
+type EventResult struct {
+	Event Event
+	// Recovery is how long the cluster took to satisfy Recovered after
+	// the event was applied.
+	Recovery time.Duration
+	// Recovered is false when the recovery timeout expired first.
+	Recovered bool
+	// DroppedDelta is the loss attributed to this event (bytes).
+	DroppedDelta int64
+}
+
+// Report aggregates a schedule run.
+type Report struct {
+	Results      []EventResult
+	TotalDropped int64
+	// Unrecovered counts events whose invariant never came back.
+	Unrecovered  int
+	MaxRecovery  time.Duration
+	MeanRecovery time.Duration
+}
+
+// Render formats the report as text.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos schedule: %d events, %d unrecovered, dropped %d bytes\n",
+		len(r.Results), r.Unrecovered, r.TotalDropped)
+	for _, res := range r.Results {
+		state := "ok"
+		if !res.Recovered {
+			state = "TIMEOUT"
+		}
+		fmt.Fprintf(&b, "  %-36s recovery %8s  dropped %8d  %s\n",
+			res.Event, res.Recovery.Round(time.Millisecond), res.DroppedDelta, state)
+	}
+	fmt.Fprintf(&b, "  max recovery %s, mean %s\n",
+		r.MaxRecovery.Round(time.Millisecond), r.MeanRecovery.Round(time.Millisecond))
+	return b.String()
+}
+
+// Runner executes schedules against one cluster.
+type Runner struct {
+	Ops Ops
+	// RecoveryTimeout bounds the wait for the invariant after each
+	// event; zero defaults to 10s.
+	RecoveryTimeout time.Duration
+	// Poll is the invariant polling period; zero defaults to 10ms.
+	Poll time.Duration
+	// Logf, when set, narrates the run (tests pass t.Logf).
+	Logf func(format string, args ...any)
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Run applies the schedule event by event: wait the event's After gap,
+// apply the fault, then poll the steady-state invariant and charge the
+// observed loss delta to the event. The run is sequential by design —
+// each event fires against a recovered cluster, so per-event recovery
+// latency is well defined.
+func (r *Runner) Run(schedule []Event) Report {
+	timeout := r.RecoveryTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	poll := r.Poll
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	var rep Report
+	var totalRecovery time.Duration
+	for _, ev := range schedule {
+		time.Sleep(ev.After)
+		droppedBefore := r.sampleDropped()
+		r.apply(ev)
+		if r.Ops.Mark != nil {
+			r.Ops.Mark(ev)
+		}
+		start := time.Now()
+		res := EventResult{Event: ev}
+		deadline := start.Add(timeout)
+		for {
+			if r.Ops.Recovered == nil || r.Ops.Recovered() {
+				res.Recovered = true
+				break
+			}
+			if !time.Now().Before(deadline) {
+				break
+			}
+			time.Sleep(poll)
+		}
+		res.Recovery = time.Since(start)
+		res.DroppedDelta = r.sampleDropped() - droppedBefore
+		r.logf("chaos: %s: recovered=%v in %s (dropped %d)",
+			ev, res.Recovered, res.Recovery.Round(time.Millisecond), res.DroppedDelta)
+		rep.Results = append(rep.Results, res)
+		if !res.Recovered {
+			rep.Unrecovered++
+		}
+		totalRecovery += res.Recovery
+		if res.Recovery > rep.MaxRecovery {
+			rep.MaxRecovery = res.Recovery
+		}
+		rep.TotalDropped += res.DroppedDelta
+	}
+	if len(rep.Results) > 0 {
+		rep.MeanRecovery = totalRecovery / time.Duration(len(rep.Results))
+	}
+	return rep
+}
+
+func (r *Runner) sampleDropped() int64 {
+	if r.Ops.Dropped == nil {
+		return 0
+	}
+	return r.Ops.Dropped()
+}
+
+func (r *Runner) apply(ev Event) {
+	switch ev.Kind {
+	case Kill:
+		for _, n := range ev.Nodes {
+			if r.Ops.Kill != nil {
+				r.Ops.Kill(n)
+			}
+		}
+	case Restart:
+		for _, n := range ev.Nodes {
+			if r.Ops.Restart != nil {
+				if err := r.Ops.Restart(n); err != nil {
+					r.logf("chaos: restart %d: %v", n, err)
+				}
+			}
+		}
+	case Partition:
+		if r.Ops.Partition != nil {
+			r.Ops.Partition(ev.Groups)
+		}
+	case Heal:
+		if r.Ops.Heal != nil {
+			r.Ops.Heal()
+		}
+	case Flaky:
+		if r.Ops.Flaky != nil {
+			r.Ops.Flaky(ev.Link[0], ev.Link[1], ev.DropProb, ev.Stall)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff produces capped exponential retry delays with jitter. One
+// instance paces one retry loop (an observer reconnect, a sender's dial
+// attempts); it is not safe for concurrent use. Jitter spreads a cluster's
+// simultaneous reconnections after a shared failure — without it, every
+// node that lost the same peer redials in lockstep.
+type backoff struct {
+	base    time.Duration
+	max     time.Duration
+	attempt int
+	rng     *rand.Rand
+}
+
+// newBackoff builds a retry pacer; seed makes the jitter sequence
+// reproducible so chaos schedules replay deterministically.
+func newBackoff(base, max time.Duration, seed int64) *backoff {
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	if max <= 0 {
+		max = DefaultRetryMax
+	}
+	return &backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// next returns the delay before the following attempt: base doubled per
+// attempt, capped at max, with ±25% jitter.
+func (b *backoff) next() time.Duration {
+	d := b.base << uint(b.attempt)
+	if d <= 0 || d > b.max { // <= 0 catches shift overflow
+		d = b.max
+	}
+	if b.attempt < 62 {
+		b.attempt++
+	}
+	jitter := 0.75 + 0.5*b.rng.Float64()
+	return time.Duration(float64(d) * jitter)
+}
+
+// reset restarts the progression after a successful attempt.
+func (b *backoff) reset() { b.attempt = 0 }
+
+// newBackoff derives a retry pacer from the engine's retry configuration,
+// seeded from the node identity and a caller-chosen salt so concurrent
+// loops on one node don't share a jitter sequence.
+func (e *Engine) newBackoff(salt int64) *backoff {
+	seed := int64(e.id.IP)<<32 | int64(e.id.Port) ^ salt
+	return newBackoff(e.cfg.RetryBase, e.cfg.RetryMax, seed)
+}

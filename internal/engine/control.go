@@ -24,6 +24,10 @@ func (e *Engine) process(cm ctrlMsg) {
 		m.Release()
 		go e.Stop() // Stop waits for the engine goroutine; run it aside
 		return
+	case protocol.TypeDepart:
+		m.Release()
+		go e.Depart() // graceful: deregister and drain before stopping
+		return
 	case protocol.TypeSetBandwidth:
 		e.applyBandwidth(m)
 		m.Release()
@@ -84,6 +88,18 @@ func (e *Engine) Snapshot() protocol.Report {
 		})
 	}
 	for peer, s := range e.senders {
+		// A sender still dialing (or whose dial failed and is being torn
+		// down) is not an established link: with dial retries a sender to
+		// an unreachable peer can linger through its backoff window, and
+		// reporting it would present a phantom downstream edge.
+		select {
+		case <-s.connReady:
+			if s.conn == nil {
+				continue
+			}
+		default:
+			continue
+		}
 		rp.Downstream = append(rp.Downstream, protocol.LinkStatus{
 			Peer:       peer,
 			Rate:       s.meter.Rate(),

@@ -32,13 +32,19 @@ import (
 
 // Defaults applied by New when Config leaves fields zero.
 const (
-	DefaultRecvBuf        = 64
-	DefaultSendBuf        = 64
-	DefaultMaxPayload     = 1 << 20
-	DefaultStatusInterval = 500 * time.Millisecond
-	DefaultMaxParked      = 256
-	DefaultSwitchBudget   = 512
-	DefaultBatchSize      = 32
+	DefaultRecvBuf          = 64
+	DefaultSendBuf          = 64
+	DefaultMaxPayload       = 1 << 20
+	DefaultStatusInterval   = 500 * time.Millisecond
+	DefaultMaxParked        = 256
+	DefaultSwitchBudget     = 512
+	DefaultBatchSize        = 32
+	DefaultHandshakeTimeout = 10 * time.Second
+	DefaultDialTimeout      = 10 * time.Second
+	DefaultDialAttempts     = 3
+	DefaultRetryBase        = 100 * time.Millisecond
+	DefaultRetryMax         = 5 * time.Second
+	DefaultDepartureGrace   = 2 * time.Second
 )
 
 // Config parameterizes an Engine.
@@ -84,6 +90,21 @@ type Config struct {
 	// parked-backlog headroom, so a full ring still blocks the receiver
 	// and back-pressure semantics are unchanged. 1 disables batching.
 	BatchSize int
+	// HandshakeTimeout bounds how long a new inbound connection may take
+	// to identify itself with a hello message.
+	HandshakeTimeout time.Duration
+	// DialTimeout bounds each outgoing connection attempt.
+	DialTimeout time.Duration
+	// DialAttempts is how many times a sender tries to reach a peer
+	// (with backoff between attempts) before the link is declared down.
+	DialAttempts int
+	// RetryBase and RetryMax bound the capped exponential backoff (with
+	// jitter) that paces sender redials and observer reconnects.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// DepartureGrace bounds how long Depart waits for queued outgoing
+	// messages to drain before the node shuts down.
+	DepartureGrace time.Duration
 	// LocalTrace, when set, receives every Trace record as a text line in
 	// addition to the observer — the paper's alternative of logging
 	// traces locally at each node when the volume is large. The writer
@@ -114,6 +135,24 @@ func (c *Config) applyDefaults() {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = DefaultBatchSize
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.DialAttempts <= 0 {
+		c.DialAttempts = DefaultDialAttempts
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = DefaultRetryBase
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = DefaultRetryMax
+	}
+	if c.DepartureGrace <= 0 {
+		c.DepartureGrace = DefaultDepartureGrace
 	}
 }
 
@@ -245,20 +284,20 @@ func (e *Engine) Start() error {
 	return nil
 }
 
-// observerRetryInterval paces reconnection attempts to a lost observer.
-const observerRetryInterval = 500 * time.Millisecond
-
 // scheduleObserverReconnect keeps trying to restore the observer link in
-// the background until it succeeds or the engine stops.
+// the background until it succeeds or the engine stops, pacing attempts
+// with capped exponential backoff so a crashed observer is not hammered
+// by its whole cluster at a fixed interval.
 func (e *Engine) scheduleObserverReconnect() {
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
+		bo := e.newBackoff(int64(e.cfg.Observer.IP))
 		for {
 			select {
 			case <-e.done:
 				return
-			case <-time.After(observerRetryInterval):
+			case <-time.After(bo.next()):
 			}
 			if err := e.connectObserver(); err == nil {
 				return
@@ -274,7 +313,7 @@ func (e *Engine) connectObserver() error {
 		return nil
 	}
 	e.mu.Unlock()
-	conn, err := e.cfg.Transport.DialFrom(e.id.Addr(), e.cfg.Observer.Addr())
+	conn, err := e.cfg.Transport.DialFrom(e.id.Addr(), e.cfg.Observer.Addr(), e.cfg.DialTimeout)
 	if err != nil {
 		return err
 	}
@@ -296,6 +335,75 @@ func (e *Engine) connectObserver() error {
 		boot.Release()
 	}
 	return nil
+}
+
+// Depart leaves the overlay gracefully — the paper's deregistration,
+// distinct from a crash. The node first tells the observer it is leaving
+// (so bootstrap stops handing out its address and monitoring records a
+// departure rather than a failure), halts its local sources, waits up to
+// Config.DepartureGrace for queued outgoing messages to drain to
+// downstream peers, and only then stops. Peers still observe LinkDown
+// when the connections close, but no queued data is lost to the
+// departure. Safe to call from any goroutine; idempotent with Stop.
+func (e *Engine) Depart() {
+	e.mu.Lock()
+	if e.stopping {
+		e.mu.Unlock()
+		return
+	}
+	obs := e.obs
+	sources := make([]*source, 0, len(e.localApps))
+	for _, s := range e.localApps {
+		sources = append(sources, s)
+	}
+	e.mu.Unlock()
+
+	if obs != nil {
+		dep := message.New(protocol.TypeDepart, e.id, 0, 0, nil)
+		if !obs.ring.TryPush(dep) {
+			dep.Release()
+		}
+	}
+	for _, s := range sources {
+		s.halt()
+	}
+	// Wait for the pipeline to drain: local injections, sender rings and
+	// in-flight writes all empty (or the grace period expires, so a
+	// congested or dead downstream cannot hold the departure hostage).
+	// Two consecutive drained samples are required: a single one can
+	// catch a sender between popping its ring and marking the batch
+	// in flight.
+	deadline := time.Now().Add(e.cfg.DepartureGrace)
+	for drained := 0; drained < 2 && time.Now().Before(deadline); {
+		if e.drainedForDeparture() {
+			drained++
+		} else {
+			drained = 0
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	e.Stop()
+}
+
+// drainedForDeparture reports whether no queued outgoing data remains.
+func (e *Engine) drainedForDeparture() bool {
+	if e.localRing.Len() > 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopping {
+		return true
+	}
+	for _, s := range e.senders {
+		if s.ring.Len() > 0 || s.inflight.Load() > 0 {
+			return false
+		}
+	}
+	if e.obs != nil && e.obs.ring.Len() > 0 {
+		return false
+	}
+	return true
 }
 
 // Stop terminates the node gracefully: sources stop, buffers close, all

@@ -3,6 +3,7 @@ package engine
 import (
 	"bufio"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bandwidth"
@@ -207,6 +208,10 @@ type sender struct {
 	meter     *metrics.Meter
 	linkLimit *bandwidth.Limiter  // per-link emulated bandwidth
 	apps      map[uint32]struct{} // data apps forwarded; engine goroutine only
+	// inflight counts messages popped from the ring but not yet fully
+	// written, so a graceful departure can tell an empty buffer from a
+	// drained link.
+	inflight atomic.Int32
 }
 
 func newSender(peer message.NodeID, bufMsgs int, linkRate int64) *sender {
@@ -222,9 +227,13 @@ func newSender(peer message.NodeID, bufMsgs int, linkRate int64) *sender {
 
 // runSender is the sender thread body. It dials lazily: messages queued
 // while the connection is being established are delivered once it is up.
+// A failed dial is retried with capped exponential backoff up to
+// Config.DialAttempts times — transient refusals during churn (a peer
+// mid-restart, a healing partition) no longer kill the link on the first
+// try — before the link is declared down.
 func (e *Engine) runSender(s *sender) {
 	defer e.wg.Done()
-	conn, err := e.cfg.Transport.DialFrom(e.id.Addr(), s.peer.Addr())
+	conn, err := e.dialPeer(s)
 	if err != nil {
 		e.logf("dial %s: %v", s.peer, err)
 		close(s.connReady)
@@ -237,6 +246,7 @@ func (e *Engine) runSender(s *sender) {
 
 	hello := message.New(protocol.TypeHello, e.id, 0, 0, nil)
 	if _, err := hello.WriteTo(conn); err != nil {
+		_ = conn.Close()
 		e.dropQueued(s)
 		e.postEvent(func() { e.senderGone(s) })
 		return
@@ -262,6 +272,7 @@ func (e *Engine) runSender(s *sender) {
 			_ = conn.Close()
 			return
 		}
+		s.inflight.Store(int32(n))
 		// Flush per message only on shaped links: when bandwidth emulation
 		// paces this sender, holding messages in the write buffer would
 		// turn a smooth emulated rate into large bursts downstream.
@@ -270,10 +281,7 @@ func (e *Engine) runSender(s *sender) {
 		// operation — no intermediate buffer, no copy; other unshaped
 		// links buffer and flush once per drained batch.
 		shapedLink := e.senderShaped(s)
-		var total, sent int64
-		for i := 0; i < n; i++ {
-			total += int64(batch[i].WireLen())
-		}
+		var sent int64
 		var werr error
 		if canVec && !shapedLink {
 			if bufw.Buffered() > 0 { // shaped leftovers precede this batch
@@ -326,20 +334,65 @@ func (e *Engine) runSender(s *sender) {
 				werr = bufw.Flush()
 			}
 		}
+		if werr != nil {
+			// Loss accounting covers the message in flight at failure
+			// time: a partially written frame never becomes deliverable,
+			// so every message whose wire image did not fully land counts
+			// as dropped in full — one counter hit per lost message, not
+			// one lump for the unsent byte remainder. Bytes stranded in
+			// the write buffer never reached the wire either.
+			if sent -= int64(bufw.Buffered()); sent < 0 {
+				sent = 0
+			}
+			var off int64
+			for i := 0; i < n; i++ {
+				wl := int64(batch[i].WireLen())
+				if off+wl > sent {
+					e.counters.AddDropped(wl)
+				}
+				off += wl
+			}
+		}
 		for i := 0; i < n; i++ {
 			batch[i].Release()
 			batch[i] = nil
 		}
 		if werr != nil {
-			e.counters.AddDropped(total - sent)
+			// Close promptly so the peer's receiver observes the failure
+			// now rather than at its inactivity timeout.
+			_ = conn.Close()
 			e.dropQueued(s)
 			e.postEvent(func() { e.senderGone(s) })
 			return
 		}
+		s.inflight.Store(0)
 		// One wakeup per drained batch: the engine retries parked messages
 		// destined to this (now less full) buffer promptly.
 		e.signalWork()
 	}
+}
+
+// dialPeer attempts the outgoing connection to s.peer, retrying with
+// backoff until it succeeds, the attempt budget is exhausted, or the
+// engine stops.
+func (e *Engine) dialPeer(s *sender) (net.Conn, error) {
+	bo := e.newBackoff(int64(s.peer.IP)<<16 ^ int64(s.peer.Port))
+	var lastErr error
+	for attempt := 0; attempt < e.cfg.DialAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-e.done:
+				return nil, lastErr
+			case <-time.After(bo.next()):
+			}
+		}
+		conn, err := e.cfg.Transport.DialFrom(e.id.Addr(), s.peer.Addr(), e.cfg.DialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 // buffersWriter is the vectored-write fast path vnet connections provide:
@@ -381,15 +434,13 @@ func (e *Engine) acceptLoop(l net.Listener) {
 	}
 }
 
-// handshakeTimeout bounds how long a new connection may take to identify
-// itself.
-const handshakeTimeout = 10 * time.Second
-
 // handshake reads the mandatory hello message that carries the dialing
 // node's identity, then registers the connection as a receiver link.
+// Config.HandshakeTimeout bounds how long the connection may take to
+// identify itself.
 func (e *Engine) handshake(conn net.Conn) {
 	defer e.wg.Done()
-	_ = conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	_ = conn.SetReadDeadline(time.Now().Add(e.cfg.HandshakeTimeout))
 	m, err := message.Read(conn, nil, 256)
 	if err != nil || m.Type() != protocol.TypeHello {
 		_ = conn.Close()

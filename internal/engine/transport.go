@@ -2,6 +2,7 @@ package engine
 
 import (
 	"net"
+	"time"
 
 	"repro/internal/vnet"
 )
@@ -15,8 +16,9 @@ type Transport interface {
 	Listen(addr string) (net.Listener, error)
 	// DialFrom opens a connection to addr. local is the dialing node's
 	// publicized address; transports that cannot bind it (TCP) ignore it,
-	// since the hello handshake carries the identity in-band.
-	DialFrom(local, addr string) (net.Conn, error)
+	// since the hello handshake carries the identity in-band. timeout
+	// bounds connection establishment; zero means no bound.
+	DialFrom(local, addr string, timeout time.Duration) (net.Conn, error)
 }
 
 // TCP is the real-network transport.
@@ -30,7 +32,10 @@ func (TCP) Listen(addr string) (net.Listener, error) {
 }
 
 // DialFrom dials over TCP; the local address hint is ignored.
-func (TCP) DialFrom(_, addr string) (net.Conn, error) {
+func (TCP) DialFrom(_, addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout > 0 {
+		return net.DialTimeout("tcp", addr, timeout)
+	}
 	return net.Dial("tcp", addr)
 }
 
@@ -47,7 +52,8 @@ func (v VNet) Listen(addr string) (net.Listener, error) {
 }
 
 // DialFrom dials through the virtual network, preserving the local
-// address so traffic is attributable in tests.
-func (v VNet) DialFrom(local, addr string) (net.Conn, error) {
+// address so traffic is attributable in tests. Virtual dials complete (or
+// are refused) instantly, so the timeout never binds.
+func (v VNet) DialFrom(local, addr string, _ time.Duration) (net.Conn, error) {
 	return v.Net.DialFrom(local, addr)
 }

@@ -46,6 +46,14 @@ func (o *Observer) TerminateNode(node message.NodeID) bool {
 	return o.Command(node, protocol.TypeTerminateNode, nil)
 }
 
+// Depart asks a node to leave the overlay gracefully: the node
+// deregisters with the observer, drains its queued outgoing messages,
+// and only then shuts down — the paper's departure, distinct from both
+// a crash and an immediate termination.
+func (o *Observer) Depart(node message.NodeID) bool {
+	return o.Command(node, protocol.TypeDepart, nil)
+}
+
 // SetBandwidth adjusts a node's emulated bandwidth at runtime, producing
 // or relieving artificial bottlenecks on the fly.
 func (o *Observer) SetBandwidth(node message.NodeID, cmd protocol.SetBandwidth) bool {
@@ -113,6 +121,22 @@ func (o *Observer) Alive() []message.NodeID {
 	ids := make([]message.NodeID, 0, len(o.nodes))
 	for id, n := range o.nodes {
 		if n.out != nil && n.lastSeen.After(cutoff) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	return ids
+}
+
+// Departed lists nodes that deregistered gracefully (and have not come
+// back), sorted — the monitoring distinction between departure and
+// failure.
+func (o *Observer) Departed() []message.NodeID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ids := make([]message.NodeID, 0, len(o.nodes))
+	for id, n := range o.nodes {
+		if n.departed {
 			ids = append(ids, id)
 		}
 	}

@@ -72,6 +72,7 @@ type nodeState struct {
 	lastSeen   time.Time
 	lastReport protocol.Report
 	hasReport  bool
+	departed   bool // deregistered gracefully, as opposed to failed
 }
 
 // Observer is the centralized monitoring and control server.
@@ -242,6 +243,18 @@ func (o *Observer) handle(m *message.Msg, out *route) {
 			n.hasReport = true
 		}
 		o.mu.Unlock()
+	case protocol.TypeDepart:
+		// Graceful deregistration — the paper's departure, distinct from
+		// a crash: the node is removed from the bootstrap set immediately
+		// instead of lingering until its silence goes stale, and the
+		// departed mark tells monitoring this was intentional.
+		o.mu.Lock()
+		if n, ok := o.nodes[from]; ok {
+			n.out = nil
+			n.departed = true
+		}
+		o.mu.Unlock()
+		o.logf("node %s departed", from)
 	case protocol.TypeTrace:
 		rec := TraceRecord{When: time.Now(), Node: from, Body: string(m.Payload())}
 		o.mu.Lock()
@@ -270,6 +283,7 @@ func (o *Observer) register(id message.NodeID, out *route) {
 	}
 	n.out = out
 	n.lastSeen = time.Now()
+	n.departed = false // a node heard from again has (re)joined
 }
 
 func (o *Observer) markGone(id message.NodeID) {

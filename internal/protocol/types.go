@@ -18,6 +18,7 @@ const (
 	TypeReport    message.Type = 5 // node -> observer: status update
 	TypeTrace     message.Type = 6 // node -> observer: debugging/trace record
 	TypeRelay     message.Type = 7 // observer -> proxy: enveloped command for a node
+	TypeDepart    message.Type = 8 // node -> observer: graceful deregistration; observer -> node: depart now
 
 	// Observer control panel actions.
 	TypeDeploy        message.Type = 10 // sDeploy: deploy an application source
@@ -64,6 +65,8 @@ func TypeName(t message.Type) string {
 		return "trace"
 	case TypeRelay:
 		return "relay"
+	case TypeDepart:
+		return "depart"
 	case TypeDeploy:
 		return "sDeploy"
 	case TypeTerminateApp:

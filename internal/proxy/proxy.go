@@ -65,7 +65,7 @@ func New(cfg Config) (*Proxy, error) {
 // Start connects the trunk to the observer and begins accepting node
 // connections.
 func (p *Proxy) Start() error {
-	trunk, err := p.cfg.Transport.DialFrom(p.cfg.ID.Addr(), p.cfg.Observer.Addr())
+	trunk, err := p.cfg.Transport.DialFrom(p.cfg.ID.Addr(), p.cfg.Observer.Addr(), engine.DefaultDialTimeout)
 	if err != nil {
 		return fmt.Errorf("proxy: dial observer: %w", err)
 	}

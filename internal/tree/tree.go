@@ -269,6 +269,8 @@ func (t *Tree) Process(m *message.Msg) engine.Verdict {
 		t.onTick(m)
 	case protocol.TypeLinkDown:
 		t.onLinkDown(m)
+	case protocol.TypeBrokenSource:
+		t.onBrokenSource(m)
 	default:
 		if m.IsData() {
 			t.onData(m)
@@ -551,6 +553,45 @@ func (t *Tree) onData(m *message.Msg) {
 	t.mu.Unlock()
 	for _, c := range children {
 		t.API.Send(m, c)
+	}
+}
+
+// onBrokenSource reacts to the engine's domino cascade: somewhere above
+// this node the supply of the session broke, so the whole subtree is
+// starved even though its own links are healthy. Dropping out of the
+// session here matters for repair correctness, not just bookkeeping —
+// a starved node that still believed it was in session would keep
+// accepting joiners, and a rejoining ancestor that attached to its own
+// starved descendant would form a cycle no later event untangles.
+// Detaching the entire subtree (each member got the cascade) makes every
+// member rejoin through nodes that actually reach the source.
+func (t *Tree) onBrokenSource(m *message.Msg) {
+	bs, err := protocol.DecodeBrokenSource(m.Payload())
+	if err != nil || bs.App != t.App {
+		return
+	}
+	t.mu.Lock()
+	if t.isSource {
+		t.mu.Unlock()
+		return
+	}
+	t.parent = message.NodeID{}
+	t.hasParent = false
+	t.inSession = false
+	rejoin := t.AutoRejoin
+	arm := rejoin && !t.retryArmed
+	if rejoin {
+		t.wantJoin = true
+		if arm {
+			t.retryArmed = true
+		}
+	}
+	t.mu.Unlock()
+	if rejoin {
+		t.sendQuery(message.NodeID{})
+		if arm {
+			t.API.After(DefaultJoinRetry, tickRetryJoin)
+		}
 	}
 }
 

@@ -331,6 +331,44 @@ func TestAutoRejoinAfterParentLoss(t *testing.T) {
 	}
 }
 
+func TestBrokenSourceDetachesAndRejoins(t *testing.T) {
+	tr, api := newTree(Random, nid(1), 100<<10)
+	tr.AutoRejoin = true
+	tr.Known.Add(nid(7))
+	deliver(t, tr, message.New(TypeQueryAck, nid(0), app, 0,
+		Query{App: app, Joiner: nid(1)}.Encode()))
+	if !tr.InSession() {
+		t.Fatal("not in session after ack")
+	}
+	api.Reset()
+
+	// The supply broke somewhere above the parent: the link to the parent
+	// is still up, but the subtree is starved. The node must drop out of
+	// the session (so it stops accepting joiners into a dead subtree) and
+	// immediately try to rejoin.
+	deliver(t, tr, message.New(protocol.TypeBrokenSource, nid(0), 0, 0,
+		protocol.BrokenSource{App: app, Upstream: nid(9)}.Encode()))
+	if tr.InSession() {
+		t.Error("still in session after BrokenSource")
+	}
+	if _, ok := tr.Parent(); ok {
+		t.Error("parent kept after BrokenSource")
+	}
+	if q := api.SentOfType(TypeQuery); len(q) != 1 {
+		t.Errorf("rejoin queries = %d, want 1", len(q))
+	}
+
+	// A BrokenSource for some other app must be ignored.
+	tr2, _ := newTree(Random, nid(2), 100<<10)
+	deliver(t, tr2, message.New(TypeQueryAck, nid(0), app, 0,
+		Query{App: app, Joiner: nid(2)}.Encode()))
+	deliver(t, tr2, message.New(protocol.TypeBrokenSource, nid(0), 0, 0,
+		protocol.BrokenSource{App: app + 1, Upstream: nid(9)}.Encode()))
+	if !tr2.InSession() {
+		t.Error("BrokenSource for another app detached the tree")
+	}
+}
+
 func TestJoinedAtTimestampOrdering(t *testing.T) {
 	tr, _ := newTree(Random, nid(1), 100<<10)
 	before := time.Now().UnixNano()

@@ -1,0 +1,178 @@
+package vnet
+
+import "time"
+
+// Fault injection: the chaos layer of the virtual network. All faults
+// surface to the applications above exactly the way real network trouble
+// does — cut and crashed links fail with the same abrupt error path a TCP
+// RST takes, while flaky links stay open but stall or silently lose
+// frames, which is precisely the failure mode the engine's traffic
+// inactivity detector exists to catch.
+
+// pairKey identifies an unordered address pair.
+type pairKey struct{ a, b string }
+
+func pairOf(a, b string) pairKey {
+	if b < a {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// flakySpec is the fault profile of one link: each whole frame written is
+// black-holed with probability dropProb, and no bytes are readable before
+// stallUntil.
+type flakySpec struct {
+	dropProb   float64
+	stallUntil time.Time
+}
+
+// Cut severs every established connection between the two addresses and
+// blocks future dials in either direction until the cut is healed.
+// Existing connections fail abruptly (reads and writes error, in-flight
+// bytes lost), the same path a real socket death takes. It reports how
+// many connections were broken.
+func (n *Network) Cut(a, b string) int {
+	n.mu.Lock()
+	n.cuts[pairOf(a, b)] = struct{}{}
+	n.mu.Unlock()
+	// Sever counts endpoints; report logical connections.
+	return n.Sever(a, b) / 2
+}
+
+// Partition splits the network: an address listed in a group may only
+// talk to members of the same group until Heal. Connections crossing
+// group boundaries are broken abruptly and cross-group dials are refused.
+// Addresses not listed in any group are unaffected and remain reachable
+// from every group (an observer can ride out a data-plane partition this
+// way). It reports how many connections were broken.
+func (n *Network) Partition(groups ...[]string) int {
+	n.mu.Lock()
+	n.groups = make(map[string]int)
+	for gi, g := range groups {
+		for _, a := range g {
+			n.groups[a] = gi
+		}
+	}
+	seen := make(map[*Conn]struct{})
+	var victims []*Conn
+	for c := range n.conns {
+		if _, dup := seen[c.peer]; dup {
+			continue // one endpoint per logical connection suffices
+		}
+		if n.crossGroupLocked(c.local.String(), c.remote.String()) {
+			victims = append(victims, c)
+			seen[c] = struct{}{}
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.breakConn()
+	}
+	return len(victims)
+}
+
+// Flaky makes the link between a and b lossy without closing it: each
+// whole frame written is black-holed with probability dropProb, and for
+// stall > 0 the link additionally delivers nothing until the stall window
+// (measured from now) passes — writers fill the pipe buffer and then
+// block under ordinary back-pressure, readers see a silent link. The spec
+// applies to existing connections between the pair and to ones dialed
+// later, until Heal. It reports how many existing connections were
+// affected.
+func (n *Network) Flaky(a, b string, dropProb float64, stall time.Duration) int {
+	var stallUntil time.Time
+	if stall > 0 {
+		stallUntil = time.Now().Add(stall)
+	}
+	key := pairOf(a, b)
+	n.mu.Lock()
+	n.flaky[key] = flakySpec{dropProb: dropProb, stallUntil: stallUntil}
+	seen := make(map[*Conn]struct{})
+	var victims []*Conn
+	for c := range n.conns {
+		if _, dup := seen[c.peer]; dup {
+			continue // rd+wr of one endpoint cover both directions
+		}
+		if pairOf(c.local.String(), c.remote.String()) == key {
+			victims = append(victims, c)
+			seen[c] = struct{}{}
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.rd.setFault(n.dropFnFor(dropProb), stallUntil)
+		c.wr.setFault(n.dropFnFor(dropProb), stallUntil)
+	}
+	return len(victims)
+}
+
+// CrashNode kills the node at address: every pipe touching it breaks at
+// once, its listener is removed, and dials to or from the address are
+// refused until the node listens again (restart) or Heal is called. It
+// reports how many connections were broken.
+func (n *Network) CrashNode(address string) int {
+	n.mu.Lock()
+	n.crashed[address] = struct{}{}
+	n.mu.Unlock()
+	// SeverNode counts endpoints; report logical connections.
+	return n.SeverNode(address) / 2
+}
+
+// Heal lifts every injected fault: cuts, partitions, flaky specs, and
+// crash markers. Connections already broken stay dead — recovery is the
+// overlay's job, the network only stops misbehaving.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.cuts = make(map[pairKey]struct{})
+	n.flaky = make(map[pairKey]flakySpec)
+	n.groups = nil
+	n.crashed = make(map[string]struct{})
+	conns := make([]*Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.rd.setFault(nil, time.Time{})
+		c.wr.setFault(nil, time.Time{})
+	}
+}
+
+// blockedLocked reports whether a dial between the two addresses is
+// refused by an active fault. Callers hold n.mu.
+func (n *Network) blockedLocked(a, b string) bool {
+	if _, ok := n.crashed[a]; ok {
+		return true
+	}
+	if _, ok := n.crashed[b]; ok {
+		return true
+	}
+	if _, ok := n.cuts[pairOf(a, b)]; ok {
+		return true
+	}
+	return n.crossGroupLocked(a, b)
+}
+
+func (n *Network) crossGroupLocked(a, b string) bool {
+	if n.groups == nil {
+		return false
+	}
+	ga, oka := n.groups[a]
+	gb, okb := n.groups[b]
+	return oka && okb && ga != gb
+}
+
+// dropFnFor builds a per-frame drop decider backed by the network's
+// seeded random source, or nil when the probability is zero.
+func (n *Network) dropFnFor(prob float64) func(int) bool {
+	if prob <= 0 {
+		return nil
+	}
+	return func(int) bool {
+		n.rngMu.Lock()
+		v := n.rng.Float64()
+		n.rngMu.Unlock()
+		return v < prob
+	}
+}

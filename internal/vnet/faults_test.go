@@ -1,0 +1,240 @@
+package vnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pairFrom establishes a connection with fixed addresses on both ends, the
+// way engines dial (DialFrom with their node identity).
+func pairFrom(t *testing.T, n *Network, local, remote string) (client, server net.Conn) {
+	t.Helper()
+	accepted := make(chan net.Conn, 1)
+	if _, ok := n.listeners[remote]; !ok {
+		l, err := n.Listen(remote)
+		if err != nil {
+			t.Fatalf("Listen(%s): %v", remote, err)
+		}
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				accepted <- c
+			}
+		}()
+	} else {
+		t.Fatalf("pairFrom: %s already has a listener owned by another pair", remote)
+	}
+	client, err := n.DialFrom(local, remote)
+	if err != nil {
+		t.Fatalf("DialFrom(%s, %s): %v", local, remote, err)
+	}
+	select {
+	case server = <-accepted:
+	case <-time.After(time.Second):
+		t.Fatal("Accept timed out")
+	}
+	return client, server
+}
+
+func TestCutBreaksConnsAndBlocksDials(t *testing.T) {
+	n := New()
+	defer n.Close()
+	const a, b = "10.0.0.1:7000", "10.0.0.2:7000"
+	client, server := pairFrom(t, n, a, b)
+
+	if got := n.Cut(a, b); got != 1 {
+		t.Fatalf("Cut broke %d conns, want 1", got)
+	}
+	if _, err := client.Write([]byte("x")); err == nil {
+		t.Error("write on cut link succeeded")
+	}
+	if _, err := server.Read(make([]byte, 1)); err == nil {
+		t.Error("read on cut link succeeded")
+	}
+	// Dials are refused in both directions while the cut holds.
+	if _, err := n.DialFrom(a, b); !errors.Is(err, ErrConnectionRefused) {
+		t.Errorf("DialFrom(a,b) after cut: %v, want refused", err)
+	}
+	// b dialing a fails too (a has no listener, but the cut check fires
+	// first and reports the fault).
+	if _, err := n.DialFrom(b, a); !errors.Is(err, ErrConnectionRefused) {
+		t.Errorf("DialFrom(b,a) after cut: %v, want refused", err)
+	}
+
+	n.Heal()
+	if _, err := n.DialFrom(a, b); err != nil {
+		t.Errorf("DialFrom after Heal: %v", err)
+	}
+}
+
+func TestPartitionBlocksOnlyCrossGroupTraffic(t *testing.T) {
+	n := New()
+	defer n.Close()
+	const a, b, c, obs = "10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000", "10.255.0.1:9000"
+	ab1, ab2 := pairFrom(t, n, a, b) // same side of the partition
+	ac1, _ := pairFrom(t, n, a, c)   // will cross the partition
+	if _, err := n.Listen(obs); err != nil {
+		t.Fatal(err)
+	}
+
+	broken := n.Partition([]string{a, b}, []string{c})
+	if broken != 1 {
+		t.Fatalf("Partition broke %d conns, want 1 (only a<->c)", broken)
+	}
+	if _, err := ac1.Write([]byte("x")); err == nil {
+		t.Error("cross-partition conn still writable")
+	}
+	// Same-group traffic is untouched.
+	go ab1.Write([]byte("hi"))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(ab2, buf); err != nil {
+		t.Errorf("same-group read: %v", err)
+	}
+	if _, err := n.DialFrom(a, c); !errors.Is(err, ErrConnectionRefused) {
+		t.Errorf("cross-partition dial: %v, want refused", err)
+	}
+	// Unlisted addresses (the observer) remain reachable from every group.
+	if _, err := n.DialFrom(a, obs); err != nil {
+		t.Errorf("listed->unlisted dial: %v", err)
+	}
+	if _, err := n.DialFrom(c, obs); err != nil {
+		t.Errorf("listed->unlisted dial from other group: %v", err)
+	}
+
+	n.Heal()
+	if _, err := n.DialFrom(a, c); err != nil {
+		t.Errorf("cross-partition dial after Heal: %v", err)
+	}
+}
+
+func TestFlakyStallHidesBytesWithoutClosing(t *testing.T) {
+	n := New()
+	defer n.Close()
+	const a, b = "10.0.0.1:7000", "10.0.0.2:7000"
+	client, server := pairFrom(t, n, a, b)
+
+	const stall = 300 * time.Millisecond
+	start := time.Now()
+	n.Flaky(a, b, 0, stall)
+	if _, err := client.Write([]byte("delayed")); err != nil {
+		t.Fatalf("write during stall: %v", err)
+	}
+	// Nothing is readable while the stall holds.
+	server.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := server.Read(make([]byte, 8)); err == nil {
+		t.Fatal("read returned data during stall window")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("read during stall: %v, want timeout (link must stay open)", err)
+	}
+	// After the window the bytes land intact.
+	server.SetReadDeadline(time.Time{})
+	buf := make([]byte, 7)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatalf("read after stall: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Errorf("bytes arrived %v after stall start, want >= %v", elapsed, stall)
+	}
+	if string(buf) != "delayed" {
+		t.Errorf("got %q, want %q", buf, "delayed")
+	}
+}
+
+func TestFlakyDropBlackHolesWholeFrames(t *testing.T) {
+	n := New()
+	defer n.Close()
+	const a, b = "10.0.0.1:7000", "10.0.0.2:7000"
+	client, server := pairFrom(t, n, a, b)
+
+	n.Flaky(a, b, 1.0, 0) // every frame lost
+	if k, err := client.Write([]byte("gone")); err != nil || k != 4 {
+		t.Fatalf("write on lossy link: n=%d err=%v, want silent success", k, err)
+	}
+	n.Heal()
+	go client.Write([]byte("kept"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	// The dropped frame must not resurface ahead of the healthy one.
+	if string(buf) != "kept" {
+		t.Errorf("got %q, want %q (dropped frame leaked)", buf, "kept")
+	}
+}
+
+func TestFlakyAppliesToNewConnections(t *testing.T) {
+	n := New()
+	defer n.Close()
+	const a, b = "10.0.0.1:7000", "10.0.0.2:7000"
+	n.Flaky(a, b, 1.0, 0)
+	client, server := pairFrom(t, n, a, b)
+	if _, err := client.Write([]byte("gone")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	server.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := server.Read(make([]byte, 4)); err == nil {
+		t.Error("frame on pre-declared flaky link was delivered")
+	}
+}
+
+func TestSeededDropsReplayDeterministically(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		n := New(WithSeed(seed))
+		defer n.Close()
+		const a, b = "10.0.0.1:7000", "10.0.0.2:7000"
+		client, server := pairFrom(t, n, a, b)
+		n.Flaky(a, b, 0.5, 0)
+		var got []bool
+		for i := 0; i < 32; i++ {
+			client.Write([]byte{byte(i)})
+			server.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+			buf := make([]byte, 1)
+			_, err := io.ReadFull(server, buf)
+			got = append(got, err == nil)
+		}
+		return got
+	}
+	first, second := pattern(42), pattern(42)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("frame %d: delivery differs between identically seeded runs", i)
+		}
+	}
+}
+
+func TestCrashNodeRefusesDialsUntilRestart(t *testing.T) {
+	n := New()
+	defer n.Close()
+	const a, b, c = "10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000"
+	clientAB, _ := pairFrom(t, n, a, b)
+	if _, err := n.Listen(c); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := n.CrashNode(b); got != 1 {
+		t.Fatalf("CrashNode broke %d conns, want 1", got)
+	}
+	if _, err := clientAB.Write([]byte("x")); err == nil {
+		t.Error("write to crashed node succeeded")
+	}
+	if _, err := n.DialFrom(a, b); !errors.Is(err, ErrConnectionRefused) {
+		t.Errorf("dial to crashed node: %v, want refused", err)
+	}
+	if _, err := n.DialFrom(b, c); !errors.Is(err, ErrConnectionRefused) {
+		t.Errorf("dial from crashed node: %v, want refused", err)
+	}
+
+	// Listening again is the restart: the crash marker clears.
+	if _, err := n.Listen(b); err != nil {
+		t.Fatalf("re-Listen after crash: %v", err)
+	}
+	if _, err := n.DialFrom(a, b); err != nil {
+		t.Errorf("dial after restart: %v", err)
+	}
+}

@@ -54,6 +54,16 @@ type pipe struct {
 	readDeadline  time.Time
 	writeDeadline time.Time
 
+	// Fault injection (Network.Flaky). dropFn, when set, decides per
+	// Write call (and per buffer in writeBuffers) whether that frame is
+	// silently black-holed; callers must therefore write whole frames per
+	// call, which the engine's data path does. stallUntil, when in the
+	// future, hides buffered bytes from the reader without closing the
+	// pipe — the link looks alive but idle, exactly the case the engine's
+	// inactivity detector exists for.
+	dropFn     func(n int) bool
+	stallUntil time.Time
+
 	writeClosed bool // no more writes; reads drain then EOF
 	broken      bool // hard failure: reads and writes error immediately
 }
@@ -146,6 +156,12 @@ func (p *pipe) Write(b []byte) (int, error) {
 	defer stop()
 	defer p.mu.Unlock()
 
+	if p.dropFn != nil && !p.broken && !p.writeClosed && p.dropFn(len(b)) {
+		// Black-holed: report success without buffering, like a lossy
+		// link that ate the frame. Never blocks, so a dropping link
+		// exerts no back-pressure for the frames it loses.
+		return len(b), nil
+	}
 	written := 0
 	for len(b) > 0 {
 		for p.length == len(p.buf) && !p.writeClosed && !p.broken && !expired(p.writeDeadline) {
@@ -184,6 +200,12 @@ func (p *pipe) writeBuffers(bufs [][]byte) (int64, error) {
 
 	var written int64
 	for _, b := range bufs {
+		if p.dropFn != nil && !p.broken && !p.writeClosed && p.dropFn(len(b)) {
+			// Each buffer is one complete wire image on the engine's
+			// batch path, so per-buffer drops preserve framing.
+			written += int64(len(b))
+			continue
+		}
 		for len(b) > 0 {
 			for p.length == len(p.buf) && !p.writeClosed && !p.broken && !expired(p.writeDeadline) {
 				p.waitNotFullLocked()
@@ -238,6 +260,18 @@ func (p *pipe) Read(b []byte) (int, error) {
 		avail, next := p.length, time.Time{}
 		if p.latency > 0 { // zero-latency pipes skip the clock entirely
 			avail, next = p.arrivedLocked(time.Now())
+		}
+		if !p.stallUntil.IsZero() {
+			if now := time.Now(); now.Before(p.stallUntil) {
+				// Stalled link: bytes are buffered but none are
+				// readable until the stall window passes.
+				avail = 0
+				if next.IsZero() || p.stallUntil.Before(next) {
+					next = p.stallUntil
+				}
+			} else {
+				p.stallUntil = time.Time{}
+			}
 		}
 		if avail > 0 {
 			n := len(b)
@@ -294,6 +328,18 @@ func (p *pipe) breakPipe() {
 	p.length = 0
 	p.wakeWritersLocked()
 	p.wakeReadersLocked()
+}
+
+// setFault installs or clears (nil, zero) fault-injection state. Waking
+// both sides lets a blocked reader re-evaluate a newly installed or
+// lifted stall window immediately.
+func (p *pipe) setFault(dropFn func(n int) bool, stallUntil time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dropFn = dropFn
+	p.stallUntil = stallUntil
+	p.wakeReadersLocked()
+	p.wakeWritersLocked()
 }
 
 func (p *pipe) setReadDeadline(t time.Time) {

@@ -9,6 +9,7 @@ package vnet
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -38,6 +39,19 @@ type Network struct {
 	pipeCap   int
 	nextEphem int
 	closed    bool
+
+	// Fault-injection state (faults.go). cuts and flaky are keyed by the
+	// normalized address pair; groups maps an address to its partition
+	// group; crashed marks addresses whose node is down.
+	cuts    map[pairKey]struct{}
+	flaky   map[pairKey]flakySpec
+	groups  map[string]int
+	crashed map[string]struct{}
+
+	// rng drives probabilistic faults (Flaky drops); seeded so chaos
+	// schedules replay deterministically.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // Option configures a Network.
@@ -61,6 +75,12 @@ func WithPipeCapacity(c int) Option {
 	return func(n *Network) { n.pipeCap = c }
 }
 
+// WithSeed seeds the network's fault-injection random source so that
+// probabilistic faults (Flaky drops) replay deterministically.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
 // New constructs an empty virtual network.
 func New(opts ...Option) *Network {
 	n := &Network{
@@ -68,6 +88,10 @@ func New(opts ...Option) *Network {
 		conns:     make(map[*Conn]struct{}),
 		pipeCap:   DefaultPipeCapacity,
 		nextEphem: 40000,
+		cuts:      make(map[pairKey]struct{}),
+		flaky:     make(map[pairKey]flakySpec),
+		crashed:   make(map[string]struct{}),
+		rng:       rand.New(rand.NewSource(1)),
 	}
 	for _, o := range opts {
 		o(n)
@@ -91,6 +115,8 @@ func (n *Network) Listen(address string) (net.Listener, error) {
 	if _, ok := n.listeners[address]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, address)
 	}
+	// A crashed node that listens again has restarted.
+	delete(n.crashed, address)
 	l := &Listener{
 		net:     n,
 		address: address,
@@ -118,12 +144,17 @@ func (n *Network) DialFrom(local, address string) (net.Conn, error) {
 		n.mu.Unlock()
 		return nil, ErrNetworkDown
 	}
+	if n.blockedLocked(local, address) {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s (link fault)", ErrConnectionRefused, address)
+	}
 	l, ok := n.listeners[address]
 	latency := n.latency
 	if n.latencyFn != nil {
 		latency = n.latencyFn(local, address)
 	}
 	pipeCap := n.pipeCap
+	spec, hasFlaky := n.flaky[pairOf(local, address)]
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrConnectionRefused, address)
@@ -131,6 +162,13 @@ func (n *Network) DialFrom(local, address string) (net.Conn, error) {
 
 	a2b := newPipe(pipeCap, latency)
 	b2a := newPipe(pipeCap, latency)
+	if hasFlaky {
+		// New connections over a flaky link inherit its fault spec; the
+		// pipes are still private here, so plain assignment is safe.
+		drop := n.dropFnFor(spec.dropProb)
+		a2b.dropFn, a2b.stallUntil = drop, spec.stallUntil
+		b2a.dropFn, b2a.stallUntil = drop, spec.stallUntil
+	}
 	client := &Conn{net: n, local: addr(local), remote: addr(address), rd: b2a, wr: a2b}
 	server := &Conn{net: n, local: addr(address), remote: addr(local), rd: a2b, wr: b2a}
 	client.peer, server.peer = server, client
