@@ -1,9 +1,13 @@
 GO ?= go
 
-.PHONY: ci build test vet race chaos bench
+.PHONY: ci fmt build test vet race chaos bench
 
 # ci is the tier-1 gate: everything here must pass before a change lands.
-ci: vet build test race chaos
+ci: fmt vet build test race chaos
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -21,7 +25,9 @@ race:
 	$(GO) test -race ./internal/queue ./internal/engine ./internal/vnet
 
 # The fault-injection soak: a seeded chaos schedule (kills, restarts,
-# partitions, flaky links) against a live 16-node multicast session.
+# partitions, flaky links) against a live 16-node multicast session,
+# ending with a saturated round — interior kills while every receiver
+# uplink is throttled below the stream rate.
 chaos:
 	$(GO) test -race -run Chaos ./internal/chaos/...
 

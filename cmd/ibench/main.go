@@ -26,7 +26,7 @@ import (
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 5,6,7,8,9,11,12,14,15,16,17,18,19 (empty = all)")
 	table := flag.String("table", "", "table to regenerate: 3 (empty = all)")
-	exp := flag.String("exp", "", "named experiment to regenerate: churn (empty = all)")
+	exp := flag.String("exp", "", "named experiment to regenerate: churn, overload (empty = all)")
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
 	flag.Parse()
 
@@ -122,6 +122,21 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderFig9Churn(points))
+		fmt.Println()
+		return nil
+	})
+
+	runStep([]string{"overload"}, func() error {
+		cfg := experiments.OverloadConfig{}
+		if !*full {
+			cfg.N = 14
+			cfg.Kills = 2
+		}
+		res, err := experiments.Overload(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderOverload(res))
 		fmt.Println()
 		return nil
 	})

@@ -33,6 +33,11 @@ const (
 	// Flaky degrades one link with probabilistic frame loss and/or a
 	// delivery stall, without closing it.
 	Flaky
+	// Saturate throttles the listed nodes' uplinks to Rate bytes/sec so
+	// the session's stream overloads them (Rate 0 restores full
+	// bandwidth). Saturation is not undone by Heal: it is an engine-level
+	// load condition, not a network fault.
+	Saturate
 )
 
 // String names the event kind.
@@ -48,6 +53,8 @@ func (k Kind) String() string {
 		return "heal"
 	case Flaky:
 		return "flaky"
+	case Saturate:
+		return "saturate"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -70,6 +77,9 @@ type Event struct {
 	DropProb float64
 	// Stall is the delivery stall duration for Flaky.
 	Stall time.Duration
+	// Rate is the uplink throttle in bytes/sec for Saturate (0 restores
+	// full bandwidth).
+	Rate int64
 }
 
 // String renders a compact description for logs and reports.
@@ -82,6 +92,11 @@ func (e Event) String() string {
 	case Flaky:
 		return fmt.Sprintf("flaky %d-%d drop=%.2f stall=%s",
 			e.Link[0], e.Link[1], e.DropProb, e.Stall)
+	case Saturate:
+		if e.Rate == 0 {
+			return fmt.Sprintf("saturate %v off", e.Nodes)
+		}
+		return fmt.Sprintf("saturate %v rate=%d", e.Nodes, e.Rate)
 	default:
 		return e.Kind.String()
 	}

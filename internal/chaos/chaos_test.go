@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/message"
 	"repro/internal/observer"
+	"repro/internal/protocol"
 	"repro/internal/tree"
 	"repro/internal/vnet"
 )
@@ -147,6 +148,11 @@ func (sc *soakCluster) startNode(i int) error {
 		StatusInterval:    50 * time.Millisecond,
 		InactivityTimeout: 600 * time.Millisecond,
 		RetryBase:         50 * time.Millisecond,
+		// Overload protections, exercised by the saturated round: a
+		// backstop buffered-bytes budget and slow-peer shedding slow
+		// enough that healthy rounds never trip it.
+		MemoryBudget:   1 << 20,
+		StallThreshold: time.Second,
 	})
 	if err != nil {
 		return err
@@ -288,6 +294,14 @@ func (sc *soakCluster) ops() chaos.Ops {
 		Flaky: func(a, b int, dropProb float64, stall time.Duration) {
 			sc.net.Flaky(sc.ids[a].Addr(), sc.ids[b].Addr(), dropProb, stall)
 		},
+		Saturate: func(n int, rate int64) {
+			if !sc.alive[n] {
+				return
+			}
+			sc.engs[n].SetBandwidthLocal(protocol.SetBandwidth{
+				Class: protocol.BandwidthUp, Rate: rate,
+			})
+		},
 		Mark:      func(chaos.Event) { sc.markBaselines() },
 		Recovered: sc.steady,
 		Dropped: func() int64 {
@@ -330,6 +344,28 @@ func TestChaosSoakSurvivesChurn(t *testing.T) {
 	t.Logf("\n%s", rep.Render())
 	if rep.Unrecovered != 0 {
 		t.Errorf("%d events never recovered:\n%s", rep.Unrecovered, sc.describe())
+	}
+
+	// One saturated round: throttle every receiver's uplink to half the
+	// stream rate so interior forwarding queues stay full, then kill two
+	// high-fanout nodes mid-overload. Control traffic rides the priority
+	// lane, so the repair (failure detection, rejoin, re-adoption) must
+	// still complete instead of waiting behind the queued data.
+	receivers := make([]int, 0, 15)
+	for i := 1; i < 16; i++ {
+		receivers = append(receivers, i)
+	}
+	saturated := []chaos.Event{
+		{Kind: chaos.Saturate, Nodes: receivers, Rate: soakRate / 2},
+		{After: 500 * time.Millisecond, Kind: chaos.Kill, Nodes: []int{1, 2}},
+		{After: 150 * time.Millisecond, Kind: chaos.Restart, Nodes: []int{1, 2}},
+		{After: 150 * time.Millisecond, Kind: chaos.Saturate, Nodes: receivers, Rate: 0},
+	}
+	satRep := r.Run(saturated)
+	t.Logf("saturated round:\n%s", satRep.Render())
+	if satRep.Unrecovered != 0 {
+		t.Errorf("%d saturated events never recovered:\n%s",
+			satRep.Unrecovered, sc.describe())
 	}
 
 	// The schedule undoes every fault, so the full session must be intact.

@@ -21,6 +21,9 @@ type Ops struct {
 	Heal func()
 	// Flaky degrades the a<->b link.
 	Flaky func(a, b int, dropProb float64, stall time.Duration)
+	// Saturate throttles one node's uplink to rate bytes/sec (0 restores
+	// full bandwidth), so the session's own stream overloads it.
+	Saturate func(node int, rate int64)
 
 	// Mark is called immediately after an event is applied, before
 	// recovery polling starts; callers snapshot delivery baselines here.
@@ -182,6 +185,12 @@ func (r *Runner) apply(ev Event) {
 	case Flaky:
 		if r.Ops.Flaky != nil {
 			r.Ops.Flaky(ev.Link[0], ev.Link[1], ev.DropProb, ev.Stall)
+		}
+	case Saturate:
+		for _, n := range ev.Nodes {
+			if r.Ops.Saturate != nil {
+				r.Ops.Saturate(n, ev.Rate)
+			}
 		}
 	}
 }

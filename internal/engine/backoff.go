@@ -30,7 +30,9 @@ func newBackoff(base, max time.Duration, seed int64) *backoff {
 }
 
 // next returns the delay before the following attempt: base doubled per
-// attempt, capped at max, with ±25% jitter.
+// attempt, capped at max, with ±25% jitter. The jittered delay is clamped
+// back into [base, max]: jitter must never push a first retry below the
+// configured floor nor a capped retry past the configured ceiling.
 func (b *backoff) next() time.Duration {
 	d := b.base << uint(b.attempt)
 	if d <= 0 || d > b.max { // <= 0 catches shift overflow
@@ -40,7 +42,14 @@ func (b *backoff) next() time.Duration {
 		b.attempt++
 	}
 	jitter := 0.75 + 0.5*b.rng.Float64()
-	return time.Duration(float64(d) * jitter)
+	j := time.Duration(float64(d) * jitter)
+	if j < b.base {
+		j = b.base
+	}
+	if j > b.max {
+		j = b.max
+	}
+	return j
 }
 
 // reset restarts the progression after a successful attempt.

@@ -113,6 +113,20 @@ func (e *Engine) Snapshot() protocol.Report {
 	}
 	snap := e.counters.Snapshot()
 	rp.MsgsIn, rp.MsgsOut, rp.Dropped = snap.MsgsIn, snap.MsgsOut, snap.MsgsDropped
+	rp.Shed = snap.MsgsShed
+	rp.BufferedBytes = e.bufBytes.Load()
+	rp.MaxBufferedBytes = e.bufBytes.Max()
+	var ctrl, data time.Duration
+	for _, s := range e.senders {
+		c, d := s.ring.Delays()
+		if c > ctrl {
+			ctrl = c
+		}
+		if d > data {
+			data = d
+		}
+	}
+	rp.CtrlDelayNs, rp.DataDelayNs = int64(ctrl), int64(data)
 	return rp
 }
 
@@ -196,7 +210,9 @@ func (e *Engine) handleBrokenSource(cm ctrlMsg) {
 }
 
 // periodic runs at the status interval: deliver throughput measurements
-// to the algorithm and enforce the inactivity failure detector.
+// to the algorithm and run slow-peer protection. (Inactivity failure
+// detection is no longer scanned here — each receiver carries its own
+// monotonic deadline, see probe.go.)
 func (e *Engine) periodic() {
 	e.mu.Lock()
 	type linkInfo struct {
@@ -204,17 +220,14 @@ func (e *Engine) periodic() {
 		rate float64
 	}
 	ups := make([]linkInfo, 0, len(e.receivers))
-	var inactive []*receiver
 	for peer, r := range e.receivers {
 		ups = append(ups, linkInfo{peer, r.meter.Rate()})
-		if e.cfg.InactivityTimeout > 0 && len(r.apps) > 0 &&
-			r.meter.Idle() > e.cfg.InactivityTimeout {
-			inactive = append(inactive, r)
-		}
 	}
 	downs := make([]linkInfo, 0, len(e.senders))
+	senders := make([]*sender, 0, len(e.senders))
 	for peer, s := range e.senders {
 		downs = append(downs, linkInfo{peer, s.meter.Rate()})
+		senders = append(senders, s)
 	}
 	e.mu.Unlock()
 
@@ -226,16 +239,46 @@ func (e *Engine) periodic() {
 		e.notifyAlg(protocol.TypeDownThroughput, 0,
 			protocol.Throughput{Peer: d.peer, Rate: d.rate}.Encode())
 	}
-	// Inactivity-detected failures: close the socket; the receiver
-	// goroutine then reports the failure through the normal path.
-	for _, r := range inactive {
-		e.logf("inactivity timeout on upstream %s", r.peer)
-		_ = r.conn.Close()
-	}
+	e.scanSlowPeers(senders)
 	// Liveness kick: re-arm the switch unconditionally so that a missed
 	// work signal (however it was lost) stalls progress for at most one
 	// status interval instead of forever.
 	e.signalWork()
+}
+
+// scanSlowPeers applies slow-peer protection on the engine goroutine: a
+// sender whose data lane has stayed full past StallThreshold sheds the
+// oldest half of its queued data (drop-head, charged as loss), and after
+// slowPeerStrikes consecutive sheds the peer is reported to the algorithm
+// as a SlowPeer so it can reparent the overlay away from it.
+func (e *Engine) scanSlowPeers(senders []*sender) {
+	if e.cfg.StallThreshold <= 0 {
+		return
+	}
+	now := time.Now()
+	for _, s := range senders {
+		if !s.ring.DataFull() {
+			s.stallSince = time.Time{}
+			s.stallStrikes = 0
+			continue
+		}
+		if s.stallSince.IsZero() {
+			s.stallSince = now
+			continue
+		}
+		if now.Sub(s.stallSince) < e.cfg.StallThreshold {
+			continue
+		}
+		s.stallShed += e.shedFrom(s.ring, s.ring.Cap()/2+1, 0)
+		s.stallStrikes++
+		s.stallSince = now // restart the clock toward the next strike
+		e.logf("slow peer %s: shed %d bytes (strike %d)", s.peer, s.stallShed, s.stallStrikes)
+		if s.stallStrikes >= slowPeerStrikes {
+			s.stallStrikes = 0
+			e.notifyAlg(protocol.TypeSlowPeer, 0,
+				protocol.SlowPeer{Peer: s.peer, ShedBytes: s.stallShed}.Encode())
+		}
+	}
 }
 
 // ----- remaining API surface -----

@@ -21,6 +21,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bandwidth"
@@ -105,6 +106,23 @@ type Config struct {
 	// DepartureGrace bounds how long Depart waits for queued outgoing
 	// messages to drain before the node shuts down.
 	DepartureGrace time.Duration
+	// MemoryBudget, when nonzero, bounds the node's total buffered wire
+	// bytes across receiver, sender and local-source rings (plus parked
+	// messages). Above the high watermark (3/4 of the budget) new data
+	// admissions shed the oldest buffered data drop-head — charged to the
+	// shed and loss counters — instead of growing the buffers; shedding
+	// disengages once usage falls to the low watermark (1/2). Control
+	// messages are never shed. Zero disables the budget: producers block
+	// on full rings instead, the paper's back-pressure semantics that the
+	// Fig 6/7 experiments depend on.
+	MemoryBudget int64
+	// StallThreshold, when nonzero, enables slow-peer protection: a
+	// sender whose data lane stays full for longer than this sheds its
+	// oldest queued data, and after slowPeerStrikes consecutive sheds the
+	// engine reports the peer to the algorithm as a SlowPeer event so
+	// tree/multicast can reparent away from it. Zero disables shedding;
+	// a slow peer then exerts back-pressure indefinitely.
+	StallThreshold time.Duration
 	// LocalTrace, when set, receives every Trace record as a text line in
 	// addition to the observer — the paper's alternative of logging
 	// traces locally at each node when the volume is large. The writer
@@ -186,6 +204,12 @@ type Engine struct {
 	senders   map[message.NodeID]*sender
 	linkRates map[message.NodeID]int64 // pending per-link caps
 	stopping  bool
+	departing bool // Depart in progress: no observer reconnects
+
+	// bufBytes gauges the wire bytes buffered across every ring and the
+	// parked backlog; shedding latches the memory-budget hysteresis.
+	bufBytes metrics.Gauge
+	shedding atomic.Bool
 
 	localRing *queue.Ring // source-injected data, drained like a receiver
 	localApps map[uint32]*source
@@ -203,8 +227,8 @@ type Engine struct {
 	pingSent     map[uint32]time.Time
 	probeRecv    map[probeKey]*probeAgg
 	nextToken    uint32
-	localPass    float64          // stride virtual time of the local source ring
-	switchBuf    []*message.Msg   // scratch for per-quantum batched pops
+	localPass    float64        // stride virtual time of the local source ring
+	switchBuf    []*message.Msg // scratch for per-quantum batched pops
 
 	control chan ctrlMsg
 	events  chan func()
@@ -248,10 +272,111 @@ func New(cfg Config) (*Engine, error) {
 		work:         make(chan struct{}, 1),
 		done:         make(chan struct{}),
 	}
+	e.localRing.SetGauge(&e.bufBytes)
 	for peer, rate := range cfg.LinkBW {
 		e.linkRates[peer] = rate
 	}
 	return e, nil
+}
+
+// ----- memory budget -----
+
+// slowPeerStrikes is how many consecutive stall sheds a sender absorbs
+// before the peer is reported to the algorithm as a SlowPeer.
+const slowPeerStrikes = 3
+
+// overBudget reports whether overload shedding applies to an admission of
+// n more buffered bytes, latching hysteresis at the watermarks: shedding
+// engages when buffered bytes would cross 3/4 of the budget and stays on
+// until they fall to 1/2. Safe from any goroutine.
+func (e *Engine) overBudget(n int64) bool {
+	b := e.cfg.MemoryBudget
+	if b <= 0 {
+		return false
+	}
+	v := e.bufBytes.Load()
+	if e.shedding.Load() {
+		if v <= b/2 {
+			e.shedding.Store(false)
+			return false
+		}
+		return true
+	}
+	if v+n > b-b/4 {
+		e.shedding.Store(true)
+		return true
+	}
+	return false
+}
+
+// shedFrom drops up to maxMsgs of the oldest data messages from r —
+// stopping once minBytes of wire volume are freed when minBytes is
+// positive — charging each to the shed (and loss) counters. It reports the
+// bytes freed. Control messages are never shed.
+func (e *Engine) shedFrom(r *queue.Ring, maxMsgs int, minBytes int64) int64 {
+	var freed int64
+	for _, m := range r.ShedOldestData(maxMsgs, minBytes) {
+		wl := int64(m.WireLen())
+		freed += wl
+		e.counters.AddShed(wl)
+		m.Release()
+	}
+	return freed
+}
+
+// shedBatchForBudget applies drop-head admission control to a batch of
+// data messages about to enter ring: old buffered data is shed to make
+// room, and any remainder that could not be traded (the ring held too
+// little data) is shed from the batch's own tail so buffered bytes cannot
+// grow past the budget. It returns the admitted prefix-packed batch.
+func (e *Engine) shedBatchForBudget(ring *queue.Ring, batch []*message.Msg, bytes int64) []*message.Msg {
+	if !e.overBudget(bytes) {
+		return batch
+	}
+	freed := e.shedFrom(ring, ring.Cap(), bytes)
+	if freed >= bytes {
+		return batch
+	}
+	kept := 0
+	var keptBytes int64
+	for _, m := range batch {
+		wl := int64(m.WireLen())
+		if keptBytes+wl > freed {
+			e.counters.AddShed(wl)
+			m.Release()
+			continue
+		}
+		batch[kept] = m
+		kept++
+		keptBytes += wl
+	}
+	return batch[:kept]
+}
+
+// BufferedBytes reports the wire bytes currently buffered across the
+// node's rings and parked backlog. Safe from any goroutine.
+func (e *Engine) BufferedBytes() int64 { return e.bufBytes.Load() }
+
+// MaxBufferedBytes reports the high-water mark of BufferedBytes. Safe from
+// any goroutine.
+func (e *Engine) MaxBufferedBytes() int64 { return e.bufBytes.Max() }
+
+// QueueDelays reports the worst smoothed per-class queueing delay across
+// the node's sender rings — how long control and data messages sat queued
+// before reaching the wire. Safe from any goroutine.
+func (e *Engine) QueueDelays() (ctrl, data time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range e.senders {
+		c, d := s.ring.Delays()
+		if c > ctrl {
+			ctrl = c
+		}
+		if d > data {
+			data = d
+		}
+	}
+	return ctrl, data
 }
 
 // ID reports the node identity.
@@ -289,6 +414,15 @@ func (e *Engine) Start() error {
 // with capped exponential backoff so a crashed observer is not hammered
 // by its whole cluster at a fixed interval.
 func (e *Engine) scheduleObserverReconnect() {
+	e.mu.Lock()
+	if e.stopping || e.departing {
+		// A departing node deregistered on purpose; redialing the observer
+		// now would race the shutdown (and un-depart the node in the
+		// observer's eyes).
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
@@ -308,7 +442,7 @@ func (e *Engine) scheduleObserverReconnect() {
 
 func (e *Engine) connectObserver() error {
 	e.mu.Lock()
-	if e.obs != nil || e.stopping {
+	if e.obs != nil || e.stopping || e.departing {
 		e.mu.Unlock()
 		return nil
 	}
@@ -324,6 +458,14 @@ func (e *Engine) connectObserver() error {
 	}
 	o := &observerLink{ring: queue.New(256), conn: conn}
 	e.mu.Lock()
+	if e.obs != nil || e.stopping || e.departing {
+		// Shutdown (or a competing connect) won the race while this dial
+		// was in flight. Installing the link now would strand its writer
+		// goroutine on a ring nobody will ever close.
+		e.mu.Unlock()
+		_ = conn.Close()
+		return nil
+	}
 	e.obs = o
 	e.mu.Unlock()
 	e.wg.Add(2)
@@ -347,10 +489,11 @@ func (e *Engine) connectObserver() error {
 // departure. Safe to call from any goroutine; idempotent with Stop.
 func (e *Engine) Depart() {
 	e.mu.Lock()
-	if e.stopping {
+	if e.stopping || e.departing {
 		e.mu.Unlock()
 		return
 	}
+	e.departing = true // no new observer reconnect attempts from here on
 	obs := e.obs
 	sources := make([]*source, 0, len(e.localApps))
 	for _, s := range e.localApps {
@@ -472,6 +615,7 @@ func (e *Engine) Stop() {
 	e.wg.Wait()
 	// Release anything still parked or queued.
 	for _, p := range e.parked {
+		e.bufBytes.Add(-int64(p.m.WireLen()))
 		p.m.Release()
 	}
 	e.parked = nil
@@ -494,10 +638,32 @@ func (e *Engine) run() {
 		case fn := <-e.events:
 			fn()
 		case <-e.work:
+			// Control before data: a work signal competes fairly with the
+			// control channel in this select, so under saturation a pure
+			// select would serve data half the time. Draining pending
+			// control first keeps failure notifications ahead of payload.
+			e.drainControl()
 			e.switchOnce()
 		case <-ticker.C:
 			e.periodic()
 		case <-e.done:
+			return
+		}
+	}
+}
+
+// maxCtrlDrain bounds how many queued control messages one switch pass
+// consumes ahead of data, so a control storm cannot starve the switch.
+const maxCtrlDrain = 64
+
+// drainControl consumes pending control messages ahead of the next switch
+// pass. Engine goroutine only.
+func (e *Engine) drainControl() {
+	for i := 0; i < maxCtrlDrain; i++ {
+		select {
+		case cm := <-e.control:
+			e.process(cm)
+		default:
 			return
 		}
 	}
@@ -669,11 +835,15 @@ func (e *Engine) retryParked() {
 		s := e.senderLocked(p.dest)
 		if s == nil {
 			e.counters.AddDropped(int64(p.m.WireLen()))
+			e.bufBytes.Add(-int64(p.m.WireLen()))
 			p.m.Release()
 			e.parkedByDest[p.dest]--
 			continue
 		}
+		// The ring re-gauges the message on push, so the parked share is
+		// released either way.
 		if s.ring.TryPush(p.m) {
+			e.bufBytes.Add(-int64(p.m.WireLen()))
 			e.parkedByDest[p.dest]--
 		} else {
 			stillFull[p.dest] = true
@@ -726,14 +896,25 @@ func (e *Engine) Send(m *message.Msg, dest message.NodeID) {
 		}
 		e.lastDest, e.lastSender = dest, s
 	}
-	if m.IsData() {
-		s.apps[m.App()] = struct{}{}
+	if m.IsControl() {
+		// Control never waits behind parked data: the ring's priority lane
+		// preserves control-vs-control order on its own, and relaxing
+		// cross-class order is exactly the service-class contract. Parking
+		// happens only when the control lane itself is full.
+		if !s.ring.TryPush(m) {
+			e.parked = append(e.parked, parkedMsg{m: m, dest: dest})
+			e.parkedByDest[dest]++
+			e.bufBytes.Add(int64(m.WireLen()))
+		}
+		return
 	}
+	s.apps[m.App()] = struct{}{}
 	// Preserve per-destination order: anything already parked for dest
 	// must go first.
 	if e.parkedByDest[dest] > 0 || !s.ring.TryPush(m) {
 		e.parked = append(e.parked, parkedMsg{m: m, dest: dest})
 		e.parkedByDest[dest]++
+		e.bufBytes.Add(int64(m.WireLen()))
 	}
 }
 
@@ -771,7 +952,7 @@ func (e *Engine) ensureSender(peer message.NodeID) *sender {
 		return s
 	}
 	rate := e.linkRates[peer]
-	s := newSender(peer, e.cfg.SendBuf, rate)
+	s := newSender(peer, e.cfg.SendBuf, rate, &e.bufBytes)
 	e.senders[peer] = s
 	e.wg.Add(1)
 	go e.runSender(s)
@@ -792,6 +973,9 @@ func (e *Engine) receiverGone(r *receiver) {
 	delete(e.receivers, r.peer)
 	e.mu.Unlock()
 
+	if r.inactivity != nil {
+		r.inactivity.Stop()
+	}
 	_ = r.conn.Close()
 	r.ring.Close()
 	for {
@@ -873,6 +1057,7 @@ func (e *Engine) senderGone(s *sender) {
 	for _, p := range e.parked {
 		if p.dest == s.peer {
 			e.counters.AddDropped(int64(p.m.WireLen()))
+			e.bufBytes.Add(-int64(p.m.WireLen()))
 			p.m.Release()
 			e.parkedByDest[p.dest]--
 			continue
@@ -926,6 +1111,7 @@ func (e *Engine) CloseLink(peer message.NodeID) {
 	kept := e.parked[:0]
 	for _, p := range e.parked {
 		if p.dest == peer {
+			e.bufBytes.Add(-int64(p.m.WireLen()))
 			p.m.Release()
 			e.parkedByDest[p.dest]--
 			continue

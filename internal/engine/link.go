@@ -26,10 +26,14 @@ type receiver struct {
 	weight int                 // weighted share; engine goroutine only
 	pass   float64             // stride-scheduling virtual time
 	apps   map[uint32]struct{} // data apps seen on this link; engine goroutine only
+	// inactivity is the monotonic staleness deadline: armed at
+	// InactivityTimeout past the last observed traffic, fired on the
+	// engine goroutine. Engine goroutine only after arming.
+	inactivity *time.Timer
 }
 
-func newReceiver(peer message.NodeID, conn net.Conn, bufMsgs int) *receiver {
-	return &receiver{
+func newReceiver(peer message.NodeID, conn net.Conn, bufMsgs int, gauge *metrics.Gauge) *receiver {
+	r := &receiver{
 		peer:   peer,
 		conn:   conn,
 		ring:   queue.New(bufMsgs),
@@ -38,6 +42,8 @@ func newReceiver(peer message.NodeID, conn net.Conn, bufMsgs int) *receiver {
 		pass:   -1, // joins the stride scheduler at the current minimum
 		apps:   make(map[uint32]struct{}),
 	}
+	r.ring.SetGauge(gauge)
+	return r
 }
 
 // runReceiver is the receiver thread body. Each iteration performs one
@@ -75,14 +81,21 @@ func (e *Engine) runReceiver(r *receiver) {
 		// are per-message costs worth amortizing at these message rates.
 		r.meter.Add(bytes)
 		e.counters.AddIn(bytes)
+		// Memory budget: above the high watermark the batch trades places
+		// with the oldest buffered data instead of growing the buffers
+		// (drop-head), so this push blocks neither the upstream connection
+		// nor the budget.
+		toPush := e.shedBatchForBudget(r.ring, batch, bytes)
 		bytes = 0
-		n, err := r.ring.PushBatch(batch)
-		if err != nil {
-			for _, rest := range batch[n:] {
-				rest.Release()
+		if len(toPush) > 0 {
+			n, err := r.ring.PushBatch(toPush)
+			if err != nil {
+				for _, rest := range toPush[n:] {
+					rest.Release()
+				}
+				batch = batch[:0]
+				return false
 			}
-			batch = batch[:0]
-			return false
 		}
 		batch = batch[:0]
 		e.signalWork()
@@ -212,10 +225,17 @@ type sender struct {
 	// written, so a graceful departure can tell an empty buffer from a
 	// drained link.
 	inflight atomic.Int32
+	// Slow-peer detection state, engine goroutine only (periodic):
+	// stallSince marks when the data lane was first observed full,
+	// stallStrikes counts consecutive threshold sheds, stallShed sums the
+	// bytes shed from this ring.
+	stallSince   time.Time
+	stallStrikes int
+	stallShed    int64
 }
 
-func newSender(peer message.NodeID, bufMsgs int, linkRate int64) *sender {
-	return &sender{
+func newSender(peer message.NodeID, bufMsgs int, linkRate int64, gauge *metrics.Gauge) *sender {
+	s := &sender{
 		peer:      peer,
 		connReady: make(chan struct{}),
 		ring:      queue.New(bufMsgs),
@@ -223,6 +243,8 @@ func newSender(peer message.NodeID, bufMsgs int, linkRate int64) *sender {
 		linkLimit: bandwidth.NewLimiter(linkRate),
 		apps:      make(map[uint32]struct{}),
 	}
+	s.ring.SetGauge(gauge)
+	return s
 }
 
 // runSender is the sender thread body. It dials lazily: messages queued
@@ -329,6 +351,26 @@ func (e *Engine) runSender(s *sender) {
 				s.meter.Add(wn)
 				e.counters.AddOut(wn)
 				sent += wn
+				// Control before data holds inside an in-flight batch too:
+				// a shaped batch can take seconds to drain, and a failure
+				// notification pushed meanwhile must not wait it out. Any
+				// control buffered right now overtakes the batch's
+				// remaining data messages.
+				for werr == nil {
+					cm, ok := s.ring.TryPopCtrl()
+					if !ok {
+						break
+					}
+					cn, e3 := cm.WriteTo(shaped)
+					werr = e3
+					if werr == nil && shapedLink {
+						werr = bufw.Flush()
+					}
+					s.meter.Add(cn)
+					e.counters.AddOut(cn)
+					sent += cn
+					cm.Release()
+				}
 			}
 			if werr == nil && !shapedLink && s.ring.Len() == 0 {
 				werr = bufw.Flush()
@@ -450,7 +492,7 @@ func (e *Engine) handshake(conn net.Conn) {
 	peer := m.Sender()
 	m.Release()
 
-	r := newReceiver(peer, conn, e.cfg.RecvBuf)
+	r := newReceiver(peer, conn, e.cfg.RecvBuf, &e.bufBytes)
 	e.mu.Lock()
 	if e.stopping {
 		e.mu.Unlock()
@@ -465,6 +507,7 @@ func (e *Engine) handshake(conn net.Conn) {
 		_ = old.conn.Close()
 		old.ring.Close()
 	}
+	e.armInactivity(r)
 	e.wg.Add(1)
 	go e.runReceiver(r)
 	e.postEvent(func() {

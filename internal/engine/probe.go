@@ -102,3 +102,54 @@ func (e *Engine) completeProbe(cm ctrlMsg) {
 	payload := protocol.Throughput{Peer: cm.from, Rate: ack.Rate}.Encode()
 	e.notifyAlg(protocol.TypeBandwidthEst, 0, payload)
 }
+
+// ----- inactivity failure detection -----
+//
+// The paper detects upstream failures partly by "long consecutive periods
+// of traffic inactivity". Each receiver carries a monotonic deadline: a
+// timer armed for InactivityTimeout past the last observed traffic. When
+// it fires, the engine goroutine compares the meter's idle time against
+// the timeout — a link stalled mid-interval (a Flaky-stalled vnet link, a
+// peer wedged behind a dead NAT binding) is declared dead within one
+// timeout of its last byte, not whenever a periodic scan happens to run.
+
+// armInactivity schedules the staleness deadline for r; a no-op when the
+// detector is disabled.
+func (e *Engine) armInactivity(r *receiver) {
+	if e.cfg.InactivityTimeout <= 0 {
+		return
+	}
+	r.inactivity = time.AfterFunc(e.cfg.InactivityTimeout, func() {
+		// r.apps is engine-goroutine state; hop there for the check.
+		e.postEvent(func() { e.checkInactivity(r) })
+	})
+}
+
+// checkInactivity runs on the engine goroutine when r's deadline fires:
+// either the link really has been silent for the whole timeout — close it
+// so the receiver goroutine reports the failure through the normal path —
+// or traffic arrived in the meantime and the deadline re-arms for the
+// remainder.
+func (e *Engine) checkInactivity(r *receiver) {
+	e.mu.Lock()
+	current := e.receivers[r.peer] == r && !e.stopping
+	e.mu.Unlock()
+	if !current {
+		return
+	}
+	timeout := e.cfg.InactivityTimeout
+	idle := r.meter.Idle()
+	// Links that never carried data are exempt, as in the original
+	// periodic scan: pure control links (an observer proxy, a joiner mid
+	// handshake) legitimately go quiet.
+	if len(r.apps) > 0 && idle >= timeout {
+		e.logf("inactivity timeout on upstream %s", r.peer)
+		_ = r.conn.Close()
+		return
+	}
+	next := timeout - idle
+	if next < timeout/8 {
+		next = timeout / 8 // bound re-arm churn near the deadline
+	}
+	r.inactivity.Reset(next)
+}

@@ -88,17 +88,25 @@ func (e *Engine) runSource(s *source, msgSize int) {
 		default:
 		}
 		batch = batch[:0]
+		var bytes int64
 		for i := 0; i < batchN; i++ {
 			m := e.pool.Get(message.FirstDataType, e.id, s.app, seq, msgSize)
 			s.limiter.Wait(m.WireLen())
 			batch = append(batch, m)
+			bytes += int64(m.WireLen())
 			seq++
 		}
-		if n, err := e.localRing.PushBatch(batch); err != nil {
-			for _, m := range batch[n:] {
-				m.Release()
+		// Memory budget: locally generated data obeys the same drop-head
+		// admission as network arrivals, so a saturated node stops
+		// amplifying its own overload.
+		toPush := e.shedBatchForBudget(e.localRing, batch, bytes)
+		if len(toPush) > 0 {
+			if n, err := e.localRing.PushBatch(toPush); err != nil {
+				for _, m := range toPush[n:] {
+					m.Release()
+				}
+				return
 			}
-			return
 		}
 		e.signalWork()
 	}

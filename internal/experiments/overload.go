@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/engine"
+	"repro/internal/protocol"
+	"repro/internal/tree"
+)
+
+// OverloadConfig parameterizes the control-plane-isolation experiment: the
+// churn scenario (kill interior nodes mid-stream, measure repair latency)
+// is run twice on identical sessions — once unloaded and once with every
+// receiver's uplink throttled to a fraction of the stream rate so the
+// forwarding queues stay saturated. With control and data sharing FIFO
+// rings, the loaded round's failure notifications would wait behind the
+// queued payload; with the priority lane plus slow-peer shedding and the
+// memory budget, recovery must stay within a small factor of the unloaded
+// baseline.
+type OverloadConfig struct {
+	// N is the session size including the source (default 20).
+	N int
+	// Kills is how many interior nodes are crashed at once (default 3).
+	Kills int
+	// Rate is the source's send rate in bytes/sec (default 256 KBps).
+	Rate int64
+	// MsgSize is the data payload size (default 1 KB).
+	MsgSize int
+	// SaturateBW is the per-receiver uplink throttle during the loaded
+	// round (default Rate/2, so interior fan-out is ~4x oversubscribed).
+	SaturateBW int64
+	// MemoryBudget bounds each engine's buffered wire bytes (default 1 MiB).
+	MemoryBudget int64
+	// StallThreshold enables slow-peer shedding (default 500ms).
+	StallThreshold time.Duration
+	// RecoveryTimeout bounds the wait for the session to heal (default 30s).
+	RecoveryTimeout time.Duration
+	// InactivityTimeout is the engines' passive failure detection window
+	// (default 600ms); sub-timeout recoveries are dominated by it.
+	InactivityTimeout time.Duration
+}
+
+func (c *OverloadConfig) applyDefaults() {
+	if c.N <= 0 {
+		c.N = 20
+	}
+	if c.Kills <= 0 {
+		c.Kills = 3
+	}
+	if c.Rate <= 0 {
+		c.Rate = 256 << 10
+	}
+	if c.MsgSize <= 0 {
+		c.MsgSize = 1 << 10
+	}
+	if c.SaturateBW <= 0 {
+		c.SaturateBW = c.Rate / 2
+	}
+	if c.MemoryBudget <= 0 {
+		c.MemoryBudget = 1 << 20
+	}
+	if c.StallThreshold <= 0 {
+		c.StallThreshold = 500 * time.Millisecond
+	}
+	if c.RecoveryTimeout <= 0 {
+		c.RecoveryTimeout = 30 * time.Second
+	}
+	if c.InactivityTimeout <= 0 {
+		c.InactivityTimeout = 600 * time.Millisecond
+	}
+}
+
+// OverloadPoint is one round's outcome.
+type OverloadPoint struct {
+	// Saturated reports whether the data plane was overloaded when the
+	// failure burst fired.
+	Saturated bool
+	// Failures/Interior/Orphaned mirror Fig9ChurnPoint.
+	Failures, Interior, Orphaned int
+	// Recovery is the time until every surviving receiver was back in
+	// the tree and receiving; Recovered is false on timeout.
+	Recovery  time.Duration
+	Recovered bool
+	// BytesLost counts bytes dropped across the cluster by the burst.
+	BytesLost int64
+	// CtrlDelay/DataDelay are the worst smoothed per-class queueing
+	// delays across all sender rings, sampled just before the kill.
+	CtrlDelay, DataDelay time.Duration
+	// MaxBuffered is the cluster-wide peak of any engine's buffered
+	// bytes over the whole round; it must stay within the budget.
+	MaxBuffered int64
+	// BytesShed is the total data shed by budget/slow-peer protection.
+	BytesShed int64
+}
+
+// OverloadResult pairs the two rounds.
+type OverloadResult struct {
+	Unloaded, Loaded OverloadPoint
+	// Budget echoes the per-engine memory budget the rounds ran under.
+	Budget int64
+}
+
+// Overload runs the unloaded baseline and the saturated round.
+func Overload(cfg OverloadConfig) (*OverloadResult, error) {
+	cfg.applyDefaults()
+	res := &OverloadResult{Budget: cfg.MemoryBudget}
+	unloaded, err := overloadOne(cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("unloaded round: %w", err)
+	}
+	res.Unloaded = *unloaded
+	loaded, err := overloadOne(cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("saturated round: %w", err)
+	}
+	res.Loaded = *loaded
+	return res, nil
+}
+
+func overloadOne(cfg OverloadConfig, saturate bool) (*OverloadPoint, error) {
+	c, err := NewCluster(true)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Stop()
+
+	algs := make([]*tree.Tree, cfg.N)
+	alive := make([]bool, cfg.N)
+	baseline := make([]int64, cfg.N)
+	for i := cfg.N - 1; i >= 0; i-- {
+		algs[i] = &tree.Tree{
+			Variant:    tree.Random,
+			App:        treeApp,
+			LastMile:   1 << 20,
+			AutoRejoin: true,
+		}
+		_, err := c.AddNode(nodeID(i), algs[i], func(conf *engine.Config) {
+			conf.StatusInterval = 50 * time.Millisecond
+			conf.InactivityTimeout = cfg.InactivityTimeout
+			conf.RetryBase = 50 * time.Millisecond
+			conf.MemoryBudget = cfg.MemoryBudget
+			conf.StallThreshold = cfg.StallThreshold
+		})
+		if err != nil {
+			return nil, err
+		}
+		alive[i] = true
+	}
+	if !c.Obs.WaitForNodes(cfg.N, 10*time.Second) {
+		return nil, fmt.Errorf("bootstrap incomplete (%d alive)", len(c.Obs.Alive()))
+	}
+	time.Sleep(200 * time.Millisecond)
+	c.Obs.Deploy(nodeID(0), treeApp, cfg.Rate, uint32(cfg.MsgSize))
+	time.Sleep(300 * time.Millisecond) // announce flood
+	// Contact-shaped joins build a deep tree with real interior nodes
+	// (see fig9.go): those are both the saturation bottlenecks and the
+	// kill victims.
+	for i := 1; i < cfg.N; i++ {
+		c.Obs.Join(nodeID(i), treeApp, nodeID((i-1)/2))
+		if err := waitJoin(algs[i], 10*time.Second); err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+
+	steady := func() bool {
+		for i := 1; i < cfg.N; i++ {
+			if !alive[i] {
+				continue
+			}
+			if !algs[i].InSession() || algs[i].ReceivedBytes() <= baseline[i] {
+				return false
+			}
+		}
+		return true
+	}
+	mark := func() {
+		for i := 1; i < cfg.N; i++ {
+			baseline[i] = algs[i].ReceivedBytes()
+		}
+	}
+	mark()
+	deadline := time.Now().Add(15 * time.Second)
+	for !steady() {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("session never reached steady state")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	shedBytes := func() int64 {
+		var total int64
+		for _, e := range c.Engines {
+			total += e.Counters().BytesShed
+		}
+		return total
+	}
+	if saturate {
+		// Throttle every receiver's uplink below the stream rate; the
+		// source keeps pumping at full rate, so interior forwarding
+		// queues fill and stay full.
+		for i := 1; i < cfg.N; i++ {
+			c.Engines[nodeID(i)].SetBandwidthLocal(protocol.SetBandwidth{
+				Class: protocol.BandwidthUp, Rate: cfg.SaturateBW,
+			})
+		}
+		// Let the overload bite before measuring: the first slow-peer
+		// shed proves the queues have been full past StallThreshold.
+		overloadBy := time.Now().Add(10 * time.Second)
+		for shedBytes() == 0 {
+			if time.Now().After(overloadBy) {
+				return nil, fmt.Errorf("saturation never engaged shedding")
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	point := &OverloadPoint{Saturated: saturate, Failures: cfg.Kills}
+	for _, e := range c.Engines {
+		ctrl, data := e.QueueDelays()
+		if ctrl > point.CtrlDelay {
+			point.CtrlDelay = ctrl
+		}
+		if data > point.DataDelay {
+			point.DataDelay = data
+		}
+	}
+
+	// Interior nodes, most children first, are the victims (as in fig9).
+	type interior struct{ idx, children int }
+	var ints []interior
+	for i := 1; i < cfg.N; i++ {
+		if n := len(algs[i].Children()); n > 0 {
+			ints = append(ints, interior{i, n})
+		}
+	}
+	sort.Slice(ints, func(a, b int) bool {
+		if ints[a].children != ints[b].children {
+			return ints[a].children > ints[b].children
+		}
+		return ints[a].idx < ints[b].idx
+	})
+	k := cfg.Kills
+	if k > len(ints) {
+		k = len(ints)
+	}
+	victims := make([]int, k)
+	for i := 0; i < k; i++ {
+		victims[i] = ints[i].idx
+	}
+	point.Failures = k
+	point.Interior = len(ints)
+	point.Orphaned = countOrphaned(algs, victims, cfg.N)
+
+	ops := chaos.Ops{
+		Kill: func(n int) {
+			alive[n] = false
+			c.Net.CrashNode(nodeID(n).Addr())
+			c.Engines[nodeID(n)].Stop()
+		},
+		Mark:      func(chaos.Event) { mark() },
+		Recovered: steady,
+		Dropped: func() int64 {
+			var total int64
+			for _, e := range c.Engines {
+				total += e.Counters().BytesDropped
+			}
+			return total
+		},
+	}
+	r := &chaos.Runner{Ops: ops, RecoveryTimeout: cfg.RecoveryTimeout}
+	rep := r.Run([]chaos.Event{{Kind: chaos.Kill, Nodes: victims}})
+	res := rep.Results[0]
+	point.Recovery = res.Recovery
+	point.Recovered = res.Recovered
+	point.BytesLost = res.DroppedDelta
+	point.BytesShed = shedBytes()
+	for _, e := range c.Engines {
+		if m := e.MaxBufferedBytes(); m > point.MaxBuffered {
+			point.MaxBuffered = m
+		}
+	}
+	return point, nil
+}
+
+// RenderOverload formats the paired rounds.
+func RenderOverload(res *OverloadResult) string {
+	var b strings.Builder
+	b.WriteString("Overload: interior-kill recovery, unloaded vs saturated data plane\n")
+	b.WriteString("  round      kills  orphaned   recovery  ctrl-delay  data-delay   maxbuf  shed(bytes)  lost(bytes)  state\n")
+	row := func(name string, p OverloadPoint) {
+		state := "recovered"
+		if !p.Recovered {
+			state = "TIMEOUT"
+		}
+		fmt.Fprintf(&b, "  %-9s  %5d  %8d  %9s  %10s  %10s  %7d  %11d  %11d  %s\n",
+			name, p.Failures, p.Orphaned, p.Recovery.Round(time.Millisecond),
+			p.CtrlDelay.Round(time.Millisecond), p.DataDelay.Round(time.Millisecond),
+			p.MaxBuffered, p.BytesShed, p.BytesLost, state)
+	}
+	row("unloaded", res.Unloaded)
+	row("saturated", res.Loaded)
+	base := res.Unloaded.Recovery
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	fmt.Fprintf(&b, "  loaded/unloaded recovery ratio: %.2f  (per-engine budget %d bytes)\n",
+		float64(res.Loaded.Recovery)/float64(base), res.Budget)
+	return b.String()
+}

@@ -37,6 +37,47 @@ type Type uint32
 // engine's switch; everything below it is delivered on the control path.
 const FirstDataType Type = 1000
 
+// classControl is the explicit service-class tag: a type with this bit set
+// travels in the control class regardless of its numeric value. The bit
+// lives inside the type field of the wire header, so the class survives
+// every path a message can take — including pre-rendered contiguous wire
+// images handed to vectored batch writes, where no out-of-band metadata
+// accompanies the bytes.
+const classControl Type = 1 << 31
+
+// Class is a message's service class: control messages bypass queued data
+// end to end (priority ring lane, switch, sender) and are never shed by
+// overload protection; data messages ride the bulk path.
+type Class uint8
+
+// Service classes.
+const (
+	ClassControl Class = iota
+	ClassData
+)
+
+// String names the class for logs and reports.
+func (c Class) String() string {
+	if c == ClassControl {
+		return "control"
+	}
+	return "data"
+}
+
+// AsControl tags t with the control class, letting algorithms lift one of
+// their own data-range protocol types into the priority lane.
+func (t Type) AsControl() Type { return t | classControl }
+
+// Class reports the service class encoded by t: reserved types below
+// FirstDataType are inherently control, and the explicit class bit lifts
+// any other type into the control class.
+func (t Type) Class() Class {
+	if t&classControl != 0 || t&^classControl < FirstDataType {
+		return ClassControl
+	}
+	return ClassData
+}
+
 // Errors returned by the decoding functions.
 var (
 	ErrPayloadTooLarge = errors.New("message: payload exceeds limit")
@@ -116,8 +157,20 @@ func New(typ Type, sender NodeID, app, seq uint32, payload []byte) *Msg {
 	return m
 }
 
-// Type reports the message type.
-func (m *Msg) Type() Type { return m.typ }
+// Type reports the message type with the service-class tag stripped, so
+// protocol switches compare against their plain type constants. WireType
+// exposes the tagged value.
+func (m *Msg) Type() Type { return m.typ &^ classControl }
+
+// WireType reports the type exactly as encoded on the wire, including the
+// service-class tag.
+func (m *Msg) WireType() Type { return m.typ }
+
+// Class reports the message's service class.
+func (m *Msg) Class() Class { return m.typ.Class() }
+
+// IsControl reports whether the message travels in the control class.
+func (m *Msg) IsControl() bool { return m.typ.Class() == ClassControl }
 
 // Sender reports the original sender recorded in the header.
 func (m *Msg) Sender() NodeID { return m.sender }
@@ -151,7 +204,7 @@ func (m *Msg) WireLen() int { return HeaderSize + len(m.payload) }
 
 // IsData reports whether the engine's switch should treat the message as
 // application data (as opposed to a control or protocol message).
-func (m *Msg) IsData() bool { return m.typ >= FirstDataType }
+func (m *Msg) IsData() bool { return m.typ.Class() == ClassData }
 
 // Retain increments the reference count. It is safe for concurrent use.
 func (m *Msg) Retain() *Msg {

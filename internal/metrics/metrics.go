@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -133,6 +134,35 @@ func (m *Meter) Reset() {
 	m.start = time.Now()
 }
 
+// Gauge is an atomic byte-count gauge with a high-water mark; the engine
+// uses one to track its total buffered bytes against the memory budget.
+// All methods are safe for concurrent use.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Add moves the gauge by n (negative to release) and returns the new
+// value, folding positive movements into the high-water mark.
+func (g *Gauge) Add(n int64) int64 {
+	v := g.v.Add(n)
+	if n > 0 {
+		for {
+			m := g.max.Load()
+			if v <= m || g.max.CompareAndSwap(m, v) {
+				break
+			}
+		}
+	}
+	return v
+}
+
+// Load reports the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Max reports the highest value the gauge ever reached.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
 // Counters aggregates the loss and volume statistics the engine reports
 // per link. All methods are safe for concurrent use.
 type Counters struct {
@@ -143,6 +173,8 @@ type Counters struct {
 	bytesOut     int64
 	msgsDropped  int64
 	bytesDropped int64
+	msgsShed     int64
+	bytesShed    int64
 }
 
 // CountersSnapshot is an immutable copy of Counters.
@@ -151,6 +183,8 @@ type CountersSnapshot struct {
 	BytesIn, BytesOut int64
 	MsgsDropped       int64
 	BytesDropped      int64
+	MsgsShed          int64
+	BytesShed         int64
 }
 
 // AddIn records a received message of n bytes.
@@ -178,6 +212,18 @@ func (c *Counters) AddDropped(n int64) {
 	c.bytesDropped += n
 }
 
+// AddShed records a data message of n bytes deliberately shed by overload
+// protection (memory-budget or slow-peer drop-head). Shed traffic is loss
+// the node chose, so it is charged to the loss counters as well as its own.
+func (c *Counters) AddShed(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgsShed++
+	c.bytesShed += n
+	c.msgsDropped++
+	c.bytesDropped += n
+}
+
 // Snapshot copies the counters.
 func (c *Counters) Snapshot() CountersSnapshot {
 	c.mu.Lock()
@@ -186,6 +232,7 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		MsgsIn: c.msgsIn, MsgsOut: c.msgsOut,
 		BytesIn: c.bytesIn, BytesOut: c.bytesOut,
 		MsgsDropped: c.msgsDropped, BytesDropped: c.bytesDropped,
+		MsgsShed: c.msgsShed, BytesShed: c.bytesShed,
 	}
 }
 

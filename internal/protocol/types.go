@@ -45,6 +45,7 @@ const (
 	TypeNodeShutdown   message.Type = 36 // engine is terminating gracefully
 	TypeLatency        message.Type = 37 // measured RTT result for the algorithm
 	TypeBandwidthEst   message.Type = 38 // measured available bandwidth result
+	TypeSlowPeer       message.Type = 39 // a downstream peer persistently cannot keep up
 )
 
 // TypeName renders a reserved type for traces; unknown and data types are
@@ -107,6 +108,8 @@ func TypeName(t message.Type) string {
 		return "latency"
 	case TypeBandwidthEst:
 		return "bandwidthEst"
+	case TypeSlowPeer:
+		return "slowPeer"
 	default:
 		if t >= message.FirstDataType {
 			return "data"
@@ -251,11 +254,23 @@ type Report struct {
 	MsgsIn     int64
 	MsgsOut    int64
 	Dropped    int64
+	// Shed counts data messages deliberately dropped by overload
+	// protection (included in Dropped as well).
+	Shed int64
+	// BufferedBytes is the engine's current buffered-bytes gauge;
+	// MaxBufferedBytes its lifetime high-water mark against the budget.
+	BufferedBytes    int64
+	MaxBufferedBytes int64
+	// CtrlDelayNs and DataDelayNs are the worst smoothed per-class
+	// queueing delays across the node's sender buffers — the measured gap
+	// between the service classes.
+	CtrlDelayNs int64
+	DataDelayNs int64
 }
 
 // Encode serializes the report.
 func (rp Report) Encode() []byte {
-	w := NewWriter(64 + 36*(len(rp.Upstreams)+len(rp.Downstream)))
+	w := NewWriter(104 + 36*(len(rp.Upstreams)+len(rp.Downstream)))
 	w.ID(rp.Node)
 	encodeLinks := func(links []LinkStatus) {
 		w.U32(uint32(len(links)))
@@ -270,6 +285,8 @@ func (rp Report) Encode() []byte {
 		w.U32(a)
 	}
 	w.I64(rp.MsgsIn).I64(rp.MsgsOut).I64(rp.Dropped)
+	w.I64(rp.Shed).I64(rp.BufferedBytes).I64(rp.MaxBufferedBytes)
+	w.I64(rp.CtrlDelayNs).I64(rp.DataDelayNs)
 	return w.Bytes()
 }
 
@@ -303,6 +320,11 @@ func DecodeReport(b []byte) (Report, error) {
 	rp.MsgsIn = r.I64()
 	rp.MsgsOut = r.I64()
 	rp.Dropped = r.I64()
+	rp.Shed = r.I64()
+	rp.BufferedBytes = r.I64()
+	rp.MaxBufferedBytes = r.I64()
+	rp.CtrlDelayNs = r.I64()
+	rp.DataDelayNs = r.I64()
 	return rp, r.Err()
 }
 
@@ -397,6 +419,28 @@ func DecodeLinkEvent(b []byte) (LinkEvent, error) {
 	r := NewReader(b)
 	le := LinkEvent{Peer: r.ID(), Upstream: r.U32() == 1}
 	return le, r.Err()
+}
+
+// SlowPeer is the payload of TypeSlowPeer: the engine's slow-peer detector
+// found the outgoing buffer toward Peer persistently full past the stall
+// threshold and has been shedding its oldest data. ShedBytes is the data
+// volume shed from that buffer so far; algorithms typically respond by
+// routing the session away from the peer (CloseLink, reparent).
+type SlowPeer struct {
+	Peer      message.NodeID
+	ShedBytes int64
+}
+
+// Encode serializes the notification.
+func (sp SlowPeer) Encode() []byte {
+	return NewWriter(16).ID(sp.Peer).I64(sp.ShedBytes).Bytes()
+}
+
+// DecodeSlowPeer parses a SlowPeer payload.
+func DecodeSlowPeer(b []byte) (SlowPeer, error) {
+	r := NewReader(b)
+	sp := SlowPeer{Peer: r.ID(), ShedBytes: r.I64()}
+	return sp, r.Err()
 }
 
 // Probe is the payload of TypeProbe: one message of a back-to-back burst

@@ -3,102 +3,230 @@
 // receiver/sender goroutines, as in the paper's engine design: receivers
 // block when their buffer is full, senders sleep when their buffer is
 // empty and are signaled by the engine.
+//
+// Every ring carries two service-class lanes. Control messages (heartbeats,
+// Join/Depart, BrokenSource cascades — anything message.ClassControl) ride
+// a priority lane that consumers always drain first, and control pushes
+// never block on a data-full ring: under data-plane overload a failure
+// notification overtakes megabytes of queued payload instead of waiting
+// behind it. Per-lane FIFO order is preserved; only cross-class order is
+// relaxed, which is the point.
 package queue
 
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"repro/internal/message"
+	"repro/internal/metrics"
 )
 
 // ErrClosed is returned by operations on a closed queue once it has
 // drained.
 var ErrClosed = errors.New("queue: closed")
 
-// Ring is a bounded FIFO of message references with blocking and
+// delayAlpha weights new queueing-delay samples in the per-lane EWMA,
+// mirroring TCP's SRTT smoothing.
+const delayAlpha = 0.125
+
+// lane is one service class's bounded FIFO within a Ring. Push timestamps
+// ride alongside the message references so consumers can measure per-class
+// queueing delay without touching the messages themselves.
+type lane struct {
+	buf    []*message.Msg
+	times  []time.Time
+	head   int // index of the oldest element
+	length int
+	delay  float64 // smoothed queueing delay, nanoseconds
+}
+
+func (l *lane) full() bool { return l.length == len(l.buf) }
+
+func (l *lane) push(m *message.Msg, now time.Time) {
+	i := (l.head + l.length) % len(l.buf)
+	l.buf[i] = m
+	l.times[i] = now
+	l.length++
+}
+
+func (l *lane) pop(now time.Time) *message.Msg {
+	m := l.buf[l.head]
+	l.buf[l.head] = nil
+	d := float64(now.Sub(l.times[l.head]))
+	if l.delay == 0 {
+		l.delay = d
+	} else {
+		l.delay += delayAlpha * (d - l.delay)
+	}
+	l.head = (l.head + 1) % len(l.buf)
+	l.length--
+	return m
+}
+
+// Ring is a bounded two-lane FIFO of message references with blocking and
 // non-blocking endpoints. The zero value is not usable; construct with
 // New. All methods are safe for concurrent use by any number of
 // goroutines.
 type Ring struct {
-	mu       sync.Mutex
-	notFull  *sync.Cond
-	notEmpty *sync.Cond
+	mu          sync.Mutex
+	dataNotFull *sync.Cond
+	ctrlNotFull *sync.Cond
+	notEmpty    *sync.Cond
 
-	buf    []*message.Msg
-	head   int // index of the oldest element
-	length int
+	data   lane
+	ctrl   lane
 	closed bool
+
+	// gauge, when set, tracks the wire bytes buffered across every ring
+	// sharing it — the engine's memory-budget accounting. Updated inside
+	// push/pop so no admission or drain path can escape it.
+	gauge *metrics.Gauge
 }
 
-// New returns a ring holding at most capacity messages. Capacity must be
-// positive.
+// New returns a ring holding at most capacity messages per lane. Capacity
+// must be positive.
 func New(capacity int) *Ring {
 	if capacity <= 0 {
 		panic("queue: capacity must be positive")
 	}
-	r := &Ring{buf: make([]*message.Msg, capacity)}
-	r.notFull = sync.NewCond(&r.mu)
+	r := &Ring{
+		data: lane{buf: make([]*message.Msg, capacity), times: make([]time.Time, capacity)},
+		ctrl: lane{buf: make([]*message.Msg, capacity), times: make([]time.Time, capacity)},
+	}
+	r.dataNotFull = sync.NewCond(&r.mu)
+	r.ctrlNotFull = sync.NewCond(&r.mu)
 	r.notEmpty = sync.NewCond(&r.mu)
 	return r
 }
 
-// Cap reports the fixed capacity.
-func (r *Ring) Cap() int { return len(r.buf) }
+// SetGauge attaches the shared buffered-bytes gauge. Must be called before
+// the ring is used; all subsequent pushes and pops move the gauge by the
+// message wire length.
+func (r *Ring) SetGauge(g *metrics.Gauge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauge = g
+}
 
-// Len reports the current number of buffered messages.
+// laneOf routes a message to its service-class lane.
+func (r *Ring) laneOf(m *message.Msg) *lane {
+	if m.IsControl() {
+		return &r.ctrl
+	}
+	return &r.data
+}
+
+// Cap reports the fixed per-lane capacity.
+func (r *Ring) Cap() int { return len(r.data.buf) }
+
+// Len reports the current number of buffered messages across both lanes.
 func (r *Ring) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.length
+	return r.data.length + r.ctrl.length
 }
 
-// Free reports the current number of unoccupied slots.
+// DataLen reports the number of buffered data-class messages.
+func (r *Ring) DataLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.data.length
+}
+
+// CtrlLen reports the number of buffered control-class messages.
+func (r *Ring) CtrlLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ctrl.length
+}
+
+// Free reports the current number of unoccupied data-lane slots.
 func (r *Ring) Free() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.buf) - r.length
+	return len(r.data.buf) - r.data.length
 }
 
-// Push appends m, blocking while the ring is full. It returns ErrClosed if
-// the ring is (or becomes) closed before the message is accepted; the
-// caller retains ownership of m in that case.
-func (r *Ring) Push(m *message.Msg) error {
+// DataFull reports whether the data lane is at capacity — the slow-peer
+// detector's stall signal.
+func (r *Ring) DataFull() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for r.length == len(r.buf) && !r.closed {
-		r.notFull.Wait()
+	return r.data.full()
+}
+
+// Delays reports the smoothed per-class queueing delays: how long popped
+// messages of each class sat buffered. Zero until a class has been popped.
+func (r *Ring) Delays() (ctrl, data time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.ctrl.delay), time.Duration(r.data.delay)
+}
+
+// Push appends m to its class lane, blocking while that lane is full — a
+// control push never waits on queued data. It returns ErrClosed if the
+// ring is (or becomes) closed before the message is accepted; the caller
+// retains ownership of m in that case.
+func (r *Ring) Push(m *message.Msg) error {
+	l := r.laneOf(m)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for l.full() && !r.closed {
+		r.notFullCond(l).Wait()
 	}
 	if r.closed {
 		return ErrClosed
 	}
-	r.pushLocked(m)
+	r.pushLocked(l, m, time.Now())
+	r.notEmpty.Signal()
 	return nil
 }
 
-// TryPush appends m without blocking. It reports whether the message was
-// accepted; a full or closed ring rejects it.
+// TryPush appends m to its class lane without blocking. It reports whether
+// the message was accepted; a full lane or closed ring rejects it.
 func (r *Ring) TryPush(m *message.Msg) bool {
+	l := r.laneOf(m)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed || r.length == len(r.buf) {
+	if r.closed || l.full() {
 		return false
 	}
-	r.pushLocked(m)
+	r.pushLocked(l, m, time.Now())
+	r.notEmpty.Signal()
 	return true
 }
 
-func (r *Ring) pushLocked(m *message.Msg) {
-	r.buf[(r.head+r.length)%len(r.buf)] = m
-	r.length++
-	r.notEmpty.Signal()
+func (r *Ring) notFullCond(l *lane) *sync.Cond {
+	if l == &r.ctrl {
+		return r.ctrlNotFull
+	}
+	return r.dataNotFull
 }
 
-// PushBatch appends every message of ms in order, blocking while the ring
-// is full, moving as many messages as fit under each lock acquisition and
-// issuing one consumer wakeup per transfer instead of one per message. It
-// returns the number of messages accepted; on ErrClosed the caller retains
-// ownership of ms[n:]. A nil or empty batch is a no-op.
+func (r *Ring) pushLocked(l *lane, m *message.Msg, now time.Time) {
+	l.push(m, now)
+	if r.gauge != nil {
+		r.gauge.Add(int64(m.WireLen()))
+	}
+}
+
+// popLocked removes the oldest message of l, updating the gauge; the
+// caller issues consumer/producer wakeups.
+func (r *Ring) popLocked(l *lane, now time.Time) *message.Msg {
+	m := l.pop(now)
+	if r.gauge != nil {
+		r.gauge.Add(-int64(m.WireLen()))
+	}
+	return m
+}
+
+// PushBatch appends every message of ms in order, each to its class lane,
+// blocking while a message's lane is full, moving as many messages as fit
+// under each lock acquisition and issuing one consumer wakeup per transfer
+// instead of one per message. It returns the number of messages accepted;
+// on ErrClosed the caller retains ownership of ms[n:]. A nil or empty
+// batch is a no-op.
 func (r *Ring) PushBatch(ms []*message.Msg) (int, error) {
 	if len(ms) == 0 {
 		return 0, nil
@@ -107,20 +235,51 @@ func (r *Ring) PushBatch(ms []*message.Msg) (int, error) {
 	defer r.mu.Unlock()
 	pushed := 0
 	for pushed < len(ms) {
-		for r.length == len(r.buf) && !r.closed {
-			r.notFull.Wait()
+		l := r.laneOf(ms[pushed])
+		for l.full() && !r.closed {
+			r.ctrlFirstWake() // consumers may be asleep on work pushed so far
+			r.notFullCond(l).Wait()
 		}
 		if r.closed {
 			return pushed, ErrClosed
 		}
-		pushed += r.pushBatchLocked(ms[pushed:])
+		now := time.Now()
+		moved := 0
+		for pushed < len(ms) {
+			l = r.laneOf(ms[pushed])
+			if l.full() {
+				break
+			}
+			r.pushLocked(l, ms[pushed], now)
+			pushed++
+			moved++
+		}
+		r.wakeConsumers(moved)
 	}
 	return pushed, nil
 }
 
-// TryPushBatch appends as many messages of ms as currently fit, in order,
-// without blocking, and reports how many were accepted. A full or closed
-// ring accepts none; the caller retains ownership of ms[n:].
+// ctrlFirstWake signals one consumer if anything is buffered; used before
+// a producer goes to sleep mid-batch so prior pushes are not stranded.
+func (r *Ring) ctrlFirstWake() {
+	if r.data.length+r.ctrl.length > 0 {
+		r.notEmpty.Signal()
+	}
+}
+
+func (r *Ring) wakeConsumers(n int) {
+	switch {
+	case n == 1:
+		r.notEmpty.Signal()
+	case n > 1:
+		r.notEmpty.Broadcast()
+	}
+}
+
+// TryPushBatch appends as many leading messages of ms as currently fit
+// their lanes, in order, without blocking, and reports how many were
+// accepted. The transfer stops at the first message whose lane is full so
+// the caller retains a contiguous tail ms[n:]; a closed ring accepts none.
 func (r *Ring) TryPushBatch(ms []*message.Msg) int {
 	if len(ms) == 0 {
 		return 0
@@ -130,76 +289,101 @@ func (r *Ring) TryPushBatch(ms []*message.Msg) int {
 	if r.closed {
 		return 0
 	}
-	return r.pushBatchLocked(ms)
+	now := time.Now()
+	pushed := 0
+	for pushed < len(ms) {
+		l := r.laneOf(ms[pushed])
+		if l.full() {
+			break
+		}
+		r.pushLocked(l, ms[pushed], now)
+		pushed++
+	}
+	r.wakeConsumers(pushed)
+	return pushed
 }
 
-// pushBatchLocked moves up to len(ms) messages into free slots and wakes
-// consumers once for the whole transfer.
-func (r *Ring) pushBatchLocked(ms []*message.Msg) int {
-	n := len(r.buf) - r.length
-	if n > len(ms) {
-		n = len(ms)
-	}
-	for i := 0; i < n; i++ {
-		r.buf[(r.head+r.length+i)%len(r.buf)] = ms[i]
-	}
-	r.length += n
-	switch {
-	case n == 1:
-		r.notEmpty.Signal()
-	case n > 1:
-		r.notEmpty.Broadcast()
-	}
-	return n
-}
-
-// Pop removes and returns the oldest message, blocking while the ring is
-// empty. Once the ring is closed and drained, Pop returns ErrClosed.
+// Pop removes and returns the oldest buffered message, control lane first,
+// blocking while the ring is empty. Once the ring is closed and drained,
+// Pop returns ErrClosed.
 func (r *Ring) Pop() (*message.Msg, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for r.length == 0 && !r.closed {
+	for r.data.length+r.ctrl.length == 0 && !r.closed {
 		r.notEmpty.Wait()
 	}
-	if r.length == 0 {
+	if r.data.length+r.ctrl.length == 0 {
 		return nil, ErrClosed
 	}
-	return r.popLocked(), nil
+	now := time.Now()
+	if r.ctrl.length > 0 {
+		m := r.popLocked(&r.ctrl, now)
+		r.ctrlNotFull.Signal()
+		return m, nil
+	}
+	m := r.popLocked(&r.data, now)
+	r.dataNotFull.Signal()
+	return m, nil
 }
 
-// TryPop removes and returns the oldest message without blocking; ok is
-// false when the ring is empty.
+// TryPop removes and returns the oldest buffered message, control lane
+// first, without blocking; ok is false when the ring is empty.
 func (r *Ring) TryPop() (m *message.Msg, ok bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.length == 0 {
-		return nil, false
+	now := time.Now()
+	if r.ctrl.length > 0 {
+		m := r.popLocked(&r.ctrl, now)
+		r.ctrlNotFull.Signal()
+		return m, true
 	}
-	return r.popLocked(), true
+	if r.data.length > 0 {
+		m := r.popLocked(&r.data, now)
+		r.dataNotFull.Signal()
+		return m, true
+	}
+	return nil, false
 }
 
-// PopBatch removes up to len(dst) of the oldest messages into dst under a
-// single lock acquisition with a single producer wakeup, blocking while
-// the ring is empty. It returns the number of messages popped (at least
-// one). Once the ring is closed and drained, PopBatch returns ErrClosed.
+// TryPopCtrl removes and returns the oldest buffered control message
+// without blocking and without touching the data lane. The per-sender
+// writers use it between individual shaped writes so control that arrives
+// while a data batch is draining jumps ahead of the batch's remaining
+// messages instead of waiting out the whole transfer.
+func (r *Ring) TryPopCtrl() (m *message.Msg, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ctrl.length == 0 {
+		return nil, false
+	}
+	m = r.popLocked(&r.ctrl, time.Now())
+	r.ctrlNotFull.Signal()
+	return m, true
+}
+
+// PopBatch removes up to len(dst) of the oldest messages into dst —
+// control lane exhausted first — under a single lock acquisition with a
+// single producer wakeup per lane, blocking while the ring is empty. It
+// returns the number of messages popped (at least one). Once the ring is
+// closed and drained, PopBatch returns ErrClosed.
 func (r *Ring) PopBatch(dst []*message.Msg) (int, error) {
 	if len(dst) == 0 {
 		return 0, nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for r.length == 0 && !r.closed {
+	for r.data.length+r.ctrl.length == 0 && !r.closed {
 		r.notEmpty.Wait()
 	}
-	if r.length == 0 {
+	if r.data.length+r.ctrl.length == 0 {
 		return 0, ErrClosed
 	}
 	return r.popBatchLocked(dst), nil
 }
 
-// TryPopBatch removes up to len(dst) of the oldest messages into dst
-// without blocking and reports how many were popped; zero when the ring is
-// empty.
+// TryPopBatch removes up to len(dst) of the oldest messages into dst —
+// control lane first — without blocking and reports how many were popped;
+// zero when the ring is empty.
 func (r *Ring) TryPopBatch(dst []*message.Msg) int {
 	if len(dst) == 0 {
 		return 0
@@ -209,35 +393,62 @@ func (r *Ring) TryPopBatch(dst []*message.Msg) int {
 	return r.popBatchLocked(dst)
 }
 
-// popBatchLocked moves up to len(dst) messages out of the ring and wakes
-// producers once for the whole transfer.
+// popBatchLocked moves up to len(dst) messages out of the ring, control
+// before data, and wakes each lane's producers once for the transfer.
 func (r *Ring) popBatchLocked(dst []*message.Msg) int {
-	n := r.length
-	if n > len(dst) {
-		n = len(dst)
+	now := time.Now()
+	n := 0
+	fromCtrl := 0
+	for r.ctrl.length > 0 && n < len(dst) {
+		dst[n] = r.popLocked(&r.ctrl, now)
+		n++
+		fromCtrl++
 	}
-	for i := 0; i < n; i++ {
-		dst[i] = r.buf[r.head]
-		r.buf[r.head] = nil
-		r.head = (r.head + 1) % len(r.buf)
+	fromData := 0
+	for r.data.length > 0 && n < len(dst) {
+		dst[n] = r.popLocked(&r.data, now)
+		n++
+		fromData++
 	}
-	r.length -= n
-	switch {
-	case n == 1:
-		r.notFull.Signal()
-	case n > 1:
-		r.notFull.Broadcast()
-	}
+	r.wakeProducers(r.ctrlNotFull, fromCtrl)
+	r.wakeProducers(r.dataNotFull, fromData)
 	return n
 }
 
-func (r *Ring) popLocked() *message.Msg {
-	m := r.buf[r.head]
-	r.buf[r.head] = nil
-	r.head = (r.head + 1) % len(r.buf)
-	r.length--
-	r.notFull.Signal()
-	return m
+func (r *Ring) wakeProducers(c *sync.Cond, n int) {
+	switch {
+	case n == 1:
+		c.Signal()
+	case n > 1:
+		c.Broadcast()
+	}
+}
+
+// ShedOldestData removes and returns up to maxMsgs of the oldest buffered
+// data messages, stopping early once at least minBytes of wire volume have
+// been shed. Control messages are never touched. The caller owns the
+// returned messages (release them and charge loss counters); drop-head
+// shedding keeps the freshest data under overload, as the engine's memory
+// budget and slow-peer protection require.
+func (r *Ring) ShedOldestData(maxMsgs int, minBytes int64) []*message.Msg {
+	if maxMsgs <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	var shed []*message.Msg
+	var bytes int64
+	for r.data.length > 0 && len(shed) < maxMsgs {
+		m := r.popLocked(&r.data, now)
+		shed = append(shed, m)
+		bytes += int64(m.WireLen())
+		if minBytes > 0 && bytes >= minBytes {
+			break
+		}
+	}
+	r.wakeProducers(r.dataNotFull, len(shed))
+	return shed
 }
 
 // Close marks the ring closed, waking all blocked producers and consumers.
@@ -250,7 +461,8 @@ func (r *Ring) Close() {
 		return
 	}
 	r.closed = true
-	r.notFull.Broadcast()
+	r.dataNotFull.Broadcast()
+	r.ctrlNotFull.Broadcast()
 	r.notEmpty.Broadcast()
 }
 
@@ -261,16 +473,25 @@ func (r *Ring) Closed() bool {
 	return r.closed
 }
 
-// Drain removes and releases every buffered message; the engine uses it
-// when tearing down a link so that no payload buffers leak. It returns the
-// number of messages released.
+// Drain removes and releases every buffered message in both lanes; the
+// engine uses it when tearing down a link so that no payload buffers leak.
+// It returns the number of messages released.
 func (r *Ring) Drain() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	now := time.Now()
 	n := 0
-	for r.length > 0 {
-		r.popLocked().Release()
+	for r.ctrl.length > 0 {
+		r.popLocked(&r.ctrl, now).Release()
 		n++
+	}
+	for r.data.length > 0 {
+		r.popLocked(&r.data, now).Release()
+		n++
+	}
+	if n > 0 {
+		r.ctrlNotFull.Broadcast()
+		r.dataNotFull.Broadcast()
 	}
 	return n
 }
