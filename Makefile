@@ -1,16 +1,25 @@
 GO ?= go
 
-.PHONY: ci fmt build test vet race chaos bench
+.PHONY: ci fmt build test vet lint fuzz race chaos bench
 
 # ci is the tier-1 gate: everything here must pass before a change lands.
-ci: fmt vet build test race chaos
+ci: fmt vet lint build test fuzz race chaos
 
+# Linter fixtures under internal/lint/testdata deliberately contain
+# rule-violating code; they are exercised by the linter's own tests, not
+# by the formatting gate.
 fmt:
-	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@out="$$(find . -name '*.go' -not -path './internal/lint/testdata/*' -print0 | xargs -0 gofmt -l)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
+
+# lint runs ioverlayvet, the repo's own invariant linter: algorithm
+# purity, control-lane discipline, lock ordering, and hot-path hygiene.
+# Findings are build breaks.
+lint:
+	$(GO) run ./cmd/ioverlayvet ./...
 
 build:
 	$(GO) build ./...
@@ -18,18 +27,31 @@ build:
 test:
 	$(GO) test ./...
 
+# fuzz replays the committed seed corpora (already covered by `test`) and
+# then gives each wire-format fuzzer a short randomized smoke. Crashers
+# land in testdata/fuzz and must be committed as regression inputs.
+FUZZTIME ?= 10s
+fuzz:
+	@for f in FuzzAllPayloadDecoders FuzzReaderPrimitives; do \
+		$(GO) test ./internal/protocol -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) || exit 1; done
+	@for f in FuzzDecode FuzzRead FuzzReadContinued FuzzWireRoundTrip; do \
+		$(GO) test ./internal/message -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) || exit 1; done
+
 # The concurrency-heavy data-path packages additionally run under the race
 # detector: the batched ring handoffs, engine switch, and virtual-network
-# pipes are where a lost wakeup or torn batch would hide.
+# pipes are where a lost wakeup or torn batch would hide. The
+# ioverlay_debug tag arms the internal/invariant runtime assertions
+# (engine-goroutine ownership, gauge non-negativity, watermark ordering)
+# so a violated invariant fails the run instead of corrupting it.
 race:
-	$(GO) test -race ./internal/queue ./internal/engine ./internal/vnet
+	$(GO) test -race -tags ioverlay_debug ./internal/queue ./internal/engine ./internal/vnet
 
 # The fault-injection soak: a seeded chaos schedule (kills, restarts,
 # partitions, flaky links) against a live 16-node multicast session,
 # ending with a saturated round — interior kills while every receiver
-# uplink is throttled below the stream rate.
+# uplink is throttled below the stream rate. Runs with assertions armed.
 chaos:
-	$(GO) test -race -run Chaos ./internal/chaos/...
+	$(GO) test -race -tags ioverlay_debug -run Chaos ./internal/chaos/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

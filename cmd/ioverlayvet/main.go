@@ -1,0 +1,72 @@
+// Command ioverlayvet runs the repo-specific invariant linter over the
+// module. It checks the middleware contracts the engine's correctness
+// depends on — algorithm purity, control-lane discipline, lock
+// discipline, and hot-path hygiene — and exits nonzero on any finding.
+//
+// Usage:
+//
+//	ioverlayvet [packages]
+//
+// Package arguments are directories; the Go-style "./..." wildcard
+// expands to every package under the current directory, skipping
+// testdata (the linter's own fixtures are seeded violations).
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	for _, a := range args {
+		if strings.HasSuffix(a, "...") {
+			root := strings.TrimSuffix(strings.TrimSuffix(a, "..."), "/")
+			if root == "" || root == "." {
+				root = "."
+			}
+			expanded, err := lint.ExpandPackages(root)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ioverlayvet: %v\n", err)
+				os.Exit(2)
+			}
+			dirs = append(dirs, expanded...)
+			continue
+		}
+		dirs = append(dirs, a)
+	}
+	sort.Strings(dirs)
+
+	if len(dirs) == 0 {
+		return
+	}
+	loader, err := lint.NewLoader(dirs[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ioverlayvet: %v\n", err)
+		os.Exit(2)
+	}
+	var pkgs []*lint.Package
+	for _, d := range dirs {
+		p, err := loader.Load(d)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ioverlayvet: %v\n", err)
+			os.Exit(2)
+		}
+		pkgs = append(pkgs, p)
+	}
+	diags := lint.Run(loader, pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

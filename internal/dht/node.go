@@ -496,8 +496,9 @@ func (n *Node) onNotify(candidate message.NodeID) {
 
 // fixNextFinger refreshes one finger per tick via a routed lookup.
 func (n *Node) fixNextFinger() {
+	self := n.API.ID()
 	n.mu.Lock()
-	if n.succ == n.API.ID() {
+	if n.succ == self {
 		n.mu.Unlock()
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/invariant"
 	"repro/internal/message"
 	"repro/internal/metrics"
 	"repro/internal/protocol"
@@ -53,6 +54,10 @@ func (e *Engine) process(cm ctrlMsg) {
 }
 
 func (e *Engine) deliverToAlg(m *message.Msg) {
+	if invariant.Enabled {
+		invariant.Assert(e.debugGID == 0 || invariant.GoroutineID() == e.debugGID,
+			"deliverToAlg off the engine goroutine: Process ownership violated")
+	}
 	if e.alg.Process(m) == Done {
 		m.Release()
 	}

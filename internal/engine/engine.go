@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/bandwidth"
+	"repro/internal/invariant"
 	"repro/internal/message"
 	"repro/internal/metrics"
 	"repro/internal/protocol"
@@ -211,6 +212,11 @@ type Engine struct {
 	bufBytes metrics.Gauge
 	shedding atomic.Bool
 
+	// debugGID records the engine goroutine's ID in ioverlay_debug
+	// builds so algorithm upcalls can assert single-threaded ownership;
+	// zero (never set) in release builds.
+	debugGID int64
+
 	localRing *queue.Ring // source-injected data, drained like a receiver
 	localApps map[uint32]*source
 	obs       *observerLink
@@ -295,6 +301,10 @@ func (e *Engine) overBudget(n int64) bool {
 		return false
 	}
 	v := e.bufBytes.Load()
+	if invariant.Enabled {
+		invariant.Assert(v >= 0, "buffered-bytes gauge negative: %d", v)
+		invariant.Assert(b-b/4 >= b/2, "shed watermarks inverted: high %d < low %d", b-b/4, b/2)
+	}
 	if e.shedding.Load() {
 		if v <= b/2 {
 			e.shedding.Store(false)
@@ -622,6 +632,13 @@ func (e *Engine) Stop() {
 	for _, s := range senders {
 		s.ring.Drain()
 	}
+	if invariant.Enabled {
+		// Every gauge-tracked ring is drained and the parked backlog
+		// released: the memory budget must reconcile to exactly zero
+		// buffered bytes, or some path lost track of a message.
+		invariant.Assert(e.bufBytes.Load() == 0,
+			"buffered-bytes gauge %d after Stop drained everything", e.bufBytes.Load())
+	}
 }
 
 // run is the engine goroutine: the Go analogue of the paper's engine
@@ -629,6 +646,9 @@ func (e *Engine) Stop() {
 // periodic measurement.
 func (e *Engine) run() {
 	defer e.wg.Done()
+	if invariant.Enabled {
+		e.debugGID = invariant.GoroutineID()
+	}
 	ticker := time.NewTicker(e.cfg.StatusInterval)
 	defer ticker.Stop()
 	for {
@@ -711,6 +731,10 @@ func (e *Engine) logf(format string, args ...any) {
 
 // notifyAlg delivers an engine-produced notification to the algorithm.
 func (e *Engine) notifyAlg(typ message.Type, app uint32, payload []byte) {
+	if invariant.Enabled {
+		invariant.Assert(e.debugGID == 0 || invariant.GoroutineID() == e.debugGID,
+			"notifyAlg off the engine goroutine: Process ownership violated")
+	}
 	m := message.New(typ, e.id, app, 0, payload)
 	if e.alg.Process(m) == Done {
 		m.Release()

@@ -169,8 +169,13 @@ func TestFlakyLinkPastInactivityTimeoutCascadesOnce(t *testing.T) {
 	// Stall far past the timeout, and stop the source so A does not
 	// immediately redial and replace the link the moment the detector
 	// kills it. The connection stays open — only the inactivity detector
-	// can notice, and it must fire exactly once.
-	n.Flaky(nid(1).Addr(), nid(2).Addr(), 0, 2*time.Second)
+	// can notice, and it must fire exactly once. The stall must outlast
+	// the whole measurement window below: A still redials to flush its
+	// queued backlog, and if the stall expired mid-test that second link
+	// would complete its handshake, flush, go idle, and trip the detector
+	// again — a legitimate second LinkDown the exactly-once count here is
+	// not about.
+	n.Flaky(nid(1).Addr(), nid(2).Addr(), 0, 30*time.Second)
 	a.StopSource(app)
 	waitFor(t, 10*time.Second, "inactivity LinkDown at B", func() bool {
 		return mid.count(protocol.TypeLinkDown) > 0

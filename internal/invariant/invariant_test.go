@@ -1,0 +1,48 @@
+package invariant
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAssert exercises whichever twin of the package is compiled in:
+// under ioverlay_debug a false condition must panic and a true one must
+// not; in release builds Assert must always be a no-op.
+func TestAssert(t *testing.T) {
+	Assert(true, "true must never fire")
+	fired := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		Assert(false, "seeded failure %d", 42)
+		return
+	}()
+	if fired != Enabled {
+		t.Fatalf("Assert(false) panicked=%v, want %v (Enabled=%v)", fired, Enabled, Enabled)
+	}
+}
+
+func TestGoroutineID(t *testing.T) {
+	if !Enabled {
+		if got := GoroutineID(); got != 0 {
+			t.Fatalf("release GoroutineID = %d, want 0", got)
+		}
+		return
+	}
+	self := GoroutineID()
+	if self <= 0 {
+		t.Fatalf("GoroutineID = %d, want positive", self)
+	}
+	if again := GoroutineID(); again != self {
+		t.Fatalf("GoroutineID not stable: %d then %d", self, again)
+	}
+	var other int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		other = GoroutineID()
+	}()
+	wg.Wait()
+	if other == self {
+		t.Fatalf("distinct goroutines share ID %d", self)
+	}
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"io/fs"
+	"path/filepath"
+	"strings"
+)
+
+// ExpandPackages walks root for directories containing non-test Go
+// files, skipping testdata trees (the linter's own fixtures are seeded
+// violations), hidden directories, and _-prefixed directories, mirroring
+// the go tool's "./..." package matching.
+func ExpandPackages(root string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	return dirs, err
+}

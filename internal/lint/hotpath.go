@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// checkHotPath keeps allocation- and syscall-heavy constructs out of the
+// per-message paths. The hot set is the engine's switch loop, the sender
+// and receiver loops (their for-loop bodies — setup and teardown outside
+// the loop are cold), and the whole of Send/retryParked, which run once
+// per switched message:
+//
+//   - fmt.* formats allocate and reflect per call;
+//   - time.Now is a syscall-class call — the loops batch timestamps and
+//     use the monotonic deadline helpers instead;
+//   - passing *message.Msg to a variadic ...any (fmt or logf) boxes the
+//     pointer into an interface, allocating per message.
+const checkNameHotPath = "hotpath"
+
+// hotWholeBody functions are hot from the first statement.
+var hotWholeBody = map[string]bool{"Send": true, "retryParked": true}
+
+// hotLoopsOnly functions are hot inside their for loops only.
+var hotLoopsOnly = map[string]bool{"switchOnce": true, "runSender": true, "runReceiver": true}
+
+func checkHotPath(l *Loader, p *Package, report reportFunc) {
+	if p.Name != "engine" {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			var regions []*ast.BlockStmt
+			switch {
+			case hotWholeBody[name]:
+				regions = []*ast.BlockStmt{fd.Body}
+			case hotLoopsOnly[name]:
+				regions = forLoopBodies(fd.Body)
+			default:
+				continue
+			}
+			for _, region := range regions {
+				scanHotRegion(p, name, region, report)
+			}
+		}
+	}
+}
+
+func scanHotRegion(p *Package, fn string, region *ast.BlockStmt, report reportFunc) {
+	ast.Inspect(region, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgPath, name, ok := pkgQualifiedCallee(p.Info, call); ok {
+			switch {
+			case pkgPath == "fmt":
+				report(call.Pos(), checkNameHotPath,
+					"fmt.%s on the hot path in %s: formatting allocates per message", name, fn)
+			case pkgPath == "time" && name == "Now":
+				report(call.Pos(), checkNameHotPath,
+					"time.Now on the hot path in %s: batch timestamps or use the monotonic deadline helpers", fn)
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "logf" {
+			report(call.Pos(), checkNameHotPath,
+				"logf on the hot path in %s: log outside the per-message loop", fn)
+		}
+		for _, arg := range call.Args {
+			if tv, ok := p.Info.Types[arg]; ok && tv.Type != nil {
+				if strings.HasSuffix(tv.Type.String(), "message.Msg") && isFormatCall(p, call) {
+					report(arg.Pos(), checkNameHotPath,
+						"*message.Msg boxed into ...any in %s: interface conversion allocates per message", fn)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFormatCall reports whether call is a variadic ...any sink (fmt.* or
+// a logf method) where a pointer argument would be boxed.
+func isFormatCall(p *Package, call *ast.CallExpr) bool {
+	if pkgPath, _, ok := pkgQualifiedCallee(p.Info, call); ok {
+		return pkgPath == "fmt"
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name == "logf"
+	}
+	return false
+}

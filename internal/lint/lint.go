@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned so editors can jump to it.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
+}
+
+// Run executes every check against the given packages (which must have
+// been produced by the same Loader, so the call-graph index is shared)
+// and returns findings sorted by position.
+func Run(l *Loader, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, check, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     l.Fset.Position(pos),
+			Check:   check,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	checkPurity(l, pkgs, report)
+	for _, p := range pkgs {
+		checkCtrlLane(l, p, report)
+		checkLockDiscipline(l, p, report)
+		checkHotPath(l, p, report)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	// The same node can be reached from several roots; report it once.
+	out := diags[:0]
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d:%s:%s", d.Pos.Filename, d.Pos.Line, d.Check, d.Message)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+type reportFunc func(pos token.Pos, check, format string, args ...any)
+
+// pkgQualifiedCallee resolves a call of the form pkg.Func where pkg is an
+// imported package (standard library or otherwise). It returns the
+// package path and function name, or ok=false for anything else.
+func pkgQualifiedCallee(info *types.Info, call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// methodCallee resolves a method call to its declaration, if the method
+// belongs to a module-local type the loader has seen.
+func methodCallee(l *Loader, info *types.Info, call *ast.CallExpr) *Fn {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[fun]; obj != nil {
+			return l.FuncOf[obj]
+		}
+	case *ast.SelectorExpr:
+		if obj := info.Uses[fun.Sel]; obj != nil {
+			return l.FuncOf[obj]
+		}
+	}
+	return nil
+}
+
+// recvTypeString renders the receiver type of a method call, e.g.
+// "*repro/internal/queue.Ring", or "" when types are unresolved.
+func recvTypeString(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if s := info.Selections[sel]; s != nil {
+		return types.TypeString(s.Recv(), nil)
+	}
+	if tv, ok := info.Types[sel.X]; ok && tv.Type != nil {
+		return types.TypeString(tv.Type, nil)
+	}
+	return ""
+}
+
+// exprText renders a (small) expression for matching; only the selector
+// spine is preserved.
+func exprText(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return exprText(t.X) + "." + t.Sel.Name
+	case *ast.StarExpr:
+		return exprText(t.X)
+	case *ast.UnaryExpr:
+		return exprText(t.X)
+	case *ast.ParenExpr:
+		return exprText(t.X)
+	case *ast.CallExpr:
+		return exprText(t.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprText(t.X) + "[]"
+	default:
+		return "?"
+	}
+}
+
+// lastComponent returns the final selector component of an expression
+// ("e.mu" -> "mu").
+func lastComponent(e ast.Expr) string {
+	t := exprText(e)
+	if i := strings.LastIndex(t, "."); i >= 0 {
+		return t[i+1:]
+	}
+	return t
+}
+
+// looksLikeMutex reports whether an expression plausibly names a mutex
+// (a field or variable whose name mentions "mu" or "lock").
+func looksLikeMutex(e ast.Expr) bool {
+	n := strings.ToLower(lastComponent(e))
+	return strings.Contains(n, "mu") || strings.Contains(n, "lock")
+}
+
+// lockEvent is one entry in the linear lock-region scan of a body.
+type lockEvent struct {
+	pos  token.Pos
+	kind int // +1 lock, -1 unlock, 0 candidate call
+	call *ast.CallExpr
+}
+
+// scanLockRegions walks a function body in source order, tracking mutex
+// acquire/release pairs, and invokes flag for every call for which
+// candidate returns true while at least one mutex is held. A deferred
+// unlock keeps the mutex held for the remainder of the body (which is
+// exactly the property the checks care about). The scan is linear over
+// source positions — branchy early-unlock patterns can yield false
+// negatives, never false positives on straight-line hold regions.
+func scanLockRegions(body *ast.BlockStmt, candidate func(*ast.CallExpr) bool, flag func(*ast.CallExpr)) {
+	var events []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if sel, ok := st.Call.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				if (name == "Unlock" || name == "RUnlock") && looksLikeMutex(sel.X) {
+					// Deferred unlock: the mutex stays held to the end of
+					// the body, so no release event is recorded.
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok && looksLikeMutex(sel.X) {
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					events = append(events, lockEvent{pos: st.Pos(), kind: +1})
+					return true
+				case "Unlock", "RUnlock":
+					events = append(events, lockEvent{pos: st.Pos(), kind: -1})
+					return true
+				}
+			}
+			if candidate(st) {
+				events = append(events, lockEvent{pos: st.Pos(), kind: 0, call: st})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	depth := 0
+	for _, ev := range events {
+		switch ev.kind {
+		case +1:
+			depth++
+		case -1:
+			if depth > 0 {
+				depth--
+			}
+		default:
+			if depth > 0 {
+				flag(ev.call)
+			}
+		}
+	}
+}
+
+// forLoopBodies returns the bodies of all for/range loops inside body.
+func forLoopBodies(body *ast.BlockStmt) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ForStmt:
+			out = append(out, st.Body)
+		case *ast.RangeStmt:
+			out = append(out, st.Body)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation substrings from "// want \"...\""
+// markers; several markers may share a line.
+var wantRe = regexp.MustCompile(`want "([^"]+)"`)
+
+// TestFixturesFlagSeededViolations runs the analyzer over every fixture
+// package under testdata/src and checks the findings against the // want
+// markers exactly: each marker must be matched by a diagnostic on its
+// line, and each diagnostic must be covered by a marker on its line.
+func TestFixturesFlagSeededViolations(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtureRoot := filepath.Join("testdata", "src")
+	entries, err := os.ReadDir(fixtureRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	wants := make(map[string]map[int][]string) // file -> line -> substrings
+	total := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(fixtureRoot, e.Name())
+		p, err := loader.Load(dir)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", dir, err)
+		}
+		pkgs = append(pkgs, p)
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			abs, _ := filepath.Abs(f)
+			for i, line := range strings.Split(string(src), "\n") {
+				for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+					if wants[abs] == nil {
+						wants[abs] = make(map[int][]string)
+					}
+					wants[abs][i+1] = append(wants[abs][i+1], m[1])
+					total++
+				}
+			}
+		}
+	}
+	if len(pkgs) < 8 {
+		t.Fatalf("expected at least 8 fixture packages (2 per check), found %d", len(pkgs))
+	}
+	if total == 0 {
+		t.Fatal("no want markers found in fixtures")
+	}
+
+	diags := Run(loader, pkgs)
+	got := make(map[string]map[int][]string)
+	for _, d := range diags {
+		if got[d.Pos.Filename] == nil {
+			got[d.Pos.Filename] = make(map[int][]string)
+		}
+		got[d.Pos.Filename][d.Pos.Line] = append(got[d.Pos.Filename][d.Pos.Line], d.Message)
+	}
+
+	for file, lines := range wants {
+		for line, subs := range lines {
+			for _, sub := range subs {
+				matched := false
+				for _, msg := range got[file][line] {
+					if strings.Contains(msg, sub) {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("%s:%d: seeded violation not flagged: want diagnostic containing %q, got %v",
+						file, line, sub, got[file][line])
+				}
+			}
+		}
+	}
+	for file, lines := range got {
+		for line, msgs := range lines {
+			for _, msg := range msgs {
+				covered := false
+				for _, sub := range wants[file][line] {
+					if strings.Contains(msg, sub) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Errorf("%s:%d: unexpected diagnostic (no want marker): %s", file, line, msg)
+				}
+			}
+		}
+	}
+}
+
+// TestShippedTreeClean is the acceptance gate for false positives: the
+// analyzer must report nothing on the real module. This is also the
+// in-test form of `make lint`.
+func TestShippedTreeClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ExpandPackages(loader.ModuleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, d := range dirs {
+		p, err := loader.Load(d)
+		if err != nil {
+			t.Fatalf("load %s: %v", d, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("expected to load the whole module, got only %d packages", len(pkgs))
+	}
+	for _, d := range Run(loader, pkgs) {
+		t.Errorf("false positive on shipped tree: %s", d)
+	}
+}

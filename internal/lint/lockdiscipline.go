@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// checkLockDiscipline enforces two self-deadlock rules:
+//
+//   - queue: a Ring method that acquires the ring mutex must not call
+//     another exported Ring method through the receiver while holding it
+//     (every exported method takes the same mutex — the call would
+//     deadlock, since sync.Mutex is not reentrant).
+//
+//   - engine: no algorithm upcall (alg.Process, notifyAlg, deliverToAlg)
+//     may run with an engine lock held. Process may reenter the engine
+//     through the API, which retakes engine locks.
+const checkNameLock = "lockorder"
+
+func checkLockDiscipline(l *Loader, p *Package, report reportFunc) {
+	switch p.Name {
+	case "queue":
+		checkRingLocks(p, report)
+	case "engine":
+		checkEngineUpcalls(p, report)
+	}
+}
+
+func checkRingLocks(p *Package, report reportFunc) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if base := strings.TrimPrefix(typeText(fd.Recv.List[0].Type), "*"); base != "Ring" {
+				continue
+			}
+			recvName := ""
+			if names := fd.Recv.List[0].Names; len(names) > 0 {
+				recvName = names[0].Name
+			}
+			if recvName == "" {
+				continue
+			}
+			scanLockRegions(fd.Body,
+				func(call *ast.CallExpr) bool {
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || !ast.IsExported(sel.Sel.Name) {
+						return false
+					}
+					id, ok := sel.X.(*ast.Ident)
+					return ok && id.Name == recvName
+				},
+				func(call *ast.CallExpr) {
+					report(call.Pos(), checkNameLock,
+						"%s calls exported Ring method %s while holding the ring mutex: sync.Mutex is not reentrant", fd.Name.Name, exprText(call.Fun))
+				})
+		}
+	}
+}
+
+func checkEngineUpcalls(p *Package, report reportFunc) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanLockRegions(fd.Body,
+				func(call *ast.CallExpr) bool { return isAlgUpcall(call) },
+				func(call *ast.CallExpr) {
+					report(call.Pos(), checkNameLock,
+						"%s invokes the algorithm callback %s with an engine lock held: Process may reenter the engine and deadlock", fd.Name.Name, exprText(call.Fun))
+				})
+		}
+	}
+}
+
+// isAlgUpcall recognizes the three ways engine code hands control to the
+// algorithm: the direct interface call and the two internal wrappers.
+func isAlgUpcall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "notifyAlg", "deliverToAlg":
+		return true
+	case "Process", "Attach":
+		return strings.HasSuffix(exprText(sel.X), "alg")
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkPurity enforces the paper's single-threaded algorithm guarantee:
+// Algorithm.Process runs on the engine goroutine and must never block or
+// spawn concurrency. Transitively over the module-local call graph from
+// every Process implementation, the check forbids goroutine spawns,
+// channel operations (send, receive, select, range-over-channel),
+// time.Sleep, network dial/listen calls, blocking waits on unresolved
+// receivers, and engine.API calls made while a mutex is held (a lock
+// held across a reentrant upcall is a deadlock in waiting).
+//
+// Traversal stops at engine.API interface methods naturally (interfaces
+// have no bodies) and is prevented from descending into the runtime-side
+// packages, whose internal concurrency is their own business.
+const checkNamePurity = "algpurity"
+
+// runtimePkgNames are packages the purity walk must not descend into:
+// they ARE the concurrent runtime. An algorithm reaching one directly
+// (rather than through the engine.API interface) is itself suspect, but
+// flagging every goroutine inside the engine would drown the signal.
+var runtimePkgNames = map[string]bool{
+	"engine": true, "queue": true, "vnet": true, "bandwidth": true,
+	"chaos": true, "simnet": true, "flowsim": true, "observer": true,
+	"proxy": true, "metrics": true, "experiments": true,
+}
+
+func checkPurity(l *Loader, pkgs []*Package, report reportFunc) {
+	type item struct {
+		fn   *Fn
+		root string
+	}
+	var work []item
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if ok && isProcessImpl(fd) {
+					fn := &Fn{Pkg: p, Decl: fd}
+					work = append(work, item{fn: fn, root: fn.Name()})
+				}
+			}
+		}
+	}
+	visited := make(map[*ast.FuncDecl]bool)
+	for len(work) > 0 {
+		it := work[0]
+		work = work[1:]
+		if visited[it.fn.Decl] {
+			continue
+		}
+		visited[it.fn.Decl] = true
+		callees := scanPureBody(l, it.fn, it.root, report)
+		for _, c := range callees {
+			if runtimePkgNames[c.Pkg.Name] {
+				continue
+			}
+			work = append(work, item{fn: c, root: it.root})
+		}
+	}
+}
+
+// isProcessImpl recognizes an Algorithm.Process implementation by shape:
+// a method named Process taking a single *...Msg parameter and returning
+// a single Verdict.
+func isProcessImpl(fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Process" || fd.Recv == nil || fd.Body == nil {
+		return false
+	}
+	ft := fd.Type
+	if ft.Params == nil || len(ft.Params.List) != 1 || ft.Results == nil || len(ft.Results.List) != 1 {
+		return false
+	}
+	return strings.HasSuffix(typeText(ft.Params.List[0].Type), "Msg") &&
+		strings.HasSuffix(typeText(ft.Results.List[0].Type), "Verdict")
+}
+
+// blockingExternals maps package path -> forbidden function prefixes.
+var blockingExternals = map[string][]string{
+	"time": {"Sleep"},
+	"net":  {"Dial", "Listen"},
+	"os":   {"Pipe"},
+}
+
+// scanPureBody reports purity violations in fn's body and returns the
+// module-local callees to continue the walk through.
+func scanPureBody(l *Loader, fn *Fn, root string, report reportFunc) []*Fn {
+	info := fn.Pkg.Info
+	where := ""
+	if fn.Name() != root {
+		where = " via " + fn.Name()
+	}
+	var callees []*Fn
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.GoStmt:
+			report(st.Pos(), checkNamePurity,
+				"goroutine spawn reachable from %s%s: Process must stay on the engine goroutine", root, where)
+		case *ast.SendStmt:
+			report(st.Pos(), checkNamePurity,
+				"channel send reachable from %s%s: Process must never block", root, where)
+		case *ast.UnaryExpr:
+			if st.Op.String() == "<-" {
+				report(st.Pos(), checkNamePurity,
+					"channel receive reachable from %s%s: Process must never block", root, where)
+			}
+		case *ast.SelectStmt:
+			report(st.Pos(), checkNamePurity,
+				"select reachable from %s%s: Process must never block", root, where)
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[st.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					report(st.Pos(), checkNamePurity,
+						"range over channel reachable from %s%s: Process must never block", root, where)
+				}
+			}
+		case *ast.CallExpr:
+			if pkgPath, name, ok := pkgQualifiedCallee(info, st); ok {
+				for _, prefix := range blockingExternals[pkgPath] {
+					if strings.HasPrefix(name, prefix) {
+						report(st.Pos(), checkNamePurity,
+							"%s.%s reachable from %s%s: Process must never block or touch the network", pkgPath, name, root, where)
+					}
+				}
+				return true
+			}
+			if callee := methodCallee(l, info, st); callee != nil {
+				callees = append(callees, callee)
+				return true
+			}
+			// Unresolved method call (receiver type outside the module):
+			// a bare .Wait() is a blocking sync.WaitGroup/sync.Cond wait.
+			if sel, isSel := st.Fun.(*ast.SelectorExpr); isSel && sel.Sel.Name == "Wait" {
+				report(st.Pos(), checkNamePurity,
+					"blocking Wait reachable from %s%s: Process must never block", root, where)
+			}
+		}
+		return true
+	})
+	// Second pass: engine.API upcalls made while a mutex is held. The
+	// engine may call back into the algorithm; holding an algorithm lock
+	// across the upcall inverts the lock order and can deadlock.
+	scanLockRegions(fn.Decl.Body,
+		func(call *ast.CallExpr) bool { return isAPICall(info, call) },
+		func(call *ast.CallExpr) {
+			report(call.Pos(), checkNamePurity,
+				"engine.API call %s while holding a lock, reachable from %s%s: release before calling the engine", exprText(call.Fun), root, where)
+		})
+	return callees
+}
+
+// isAPICall reports whether call invokes a method through the engine.API
+// interface, by resolved receiver type when available and by the
+// conventional field spelling (x.API.Method) otherwise.
+func isAPICall(info *types.Info, call *ast.CallExpr) bool {
+	if rt := recvTypeString(info, call); strings.HasSuffix(rt, "engine.API") {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return strings.HasSuffix(exprText(sel.X), ".API") || exprText(sel.X) == "API"
+}

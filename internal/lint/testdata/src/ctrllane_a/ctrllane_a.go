@@ -1,0 +1,23 @@
+// Package engine (fixture ctrllane_a) seeds control-lane violations on
+// the engine side: a blocking Ring.Push where only the non-blocking
+// push APIs are allowed, and a shed path that drains the control lane.
+package engine
+
+import (
+	"repro/internal/message"
+	"repro/internal/queue"
+)
+
+type relaySender struct {
+	ring *queue.Ring
+}
+
+func (s *relaySender) enqueue(m *message.Msg) error {
+	return s.ring.Push(m) // want "blocking Ring.Push"
+}
+
+func (s *relaySender) shedBacklog() {
+	if m, ok := s.ring.TryPopCtrl(); ok { // want "control lane"
+		m.Release()
+	}
+}

@@ -1,0 +1,27 @@
+// Package queue (fixture ctrllane_b) seeds control-lane violations on
+// the queue side: a consumer that serves the data lane before the
+// control lane, and a shed path that touches the control lane.
+package queue
+
+type miniLane struct{ n int }
+
+type Spool struct {
+	data miniLane
+	ctrl miniLane
+}
+
+func (s *Spool) popLocked(l *miniLane) int {
+	l.n--
+	return l.n
+}
+
+func (s *Spool) PopWrong() int {
+	if n := s.popLocked(&s.data); n >= 0 { // want "data lane before the control lane"
+		return n
+	}
+	return s.popLocked(&s.ctrl)
+}
+
+func (s *Spool) ShedAll() {
+	s.ctrl.n = 0 // want "never shed"
+}

@@ -1,0 +1,26 @@
+// Package engine (fixture hotpath_a) seeds hot-path hygiene violations
+// inside the switch loop: per-pass formatting and per-pass time.Now.
+// The same constructs outside the loop are cold and must not be flagged.
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+type Switcher struct{ passes int }
+
+func (s *Switcher) switchOnce() int {
+	n := 0
+	for i := 0; i < 8; i++ {
+		tag := fmt.Sprintf("pass-%d", i) // want "fmt.Sprintf"
+		n += len(tag)
+		start := time.Now() // want "time.Now"
+		_ = start
+	}
+	return n
+}
+
+func (s *Switcher) setup() string {
+	return fmt.Sprintf("cold-%d", s.passes)
+}

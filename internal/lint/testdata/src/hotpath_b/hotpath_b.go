@@ -1,0 +1,21 @@
+// Package engine (fixture hotpath_b) seeds hot-path hygiene violations
+// in the per-message send path: logging per message and boxing a
+// *message.Msg into a variadic ...any argument list.
+package engine
+
+import "repro/internal/message"
+
+type Shipper struct{}
+
+func (s *Shipper) logf(format string, args ...any) {}
+
+func (s *Shipper) Send(m *message.Msg) bool {
+	s.logf("sending %v", m) // want "logf on the hot path" // want "boxed into"
+	return true
+}
+
+func (s *Shipper) runSender(ms []*message.Msg) {
+	for _, m := range ms {
+		s.logf("wrote %d", len(m.Payload())) // want "logf on the hot path"
+	}
+}

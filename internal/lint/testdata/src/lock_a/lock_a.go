@@ -1,0 +1,31 @@
+// Package queue (fixture lock_a) seeds ring lock-discipline violations:
+// Ring methods that call exported Ring methods while holding the ring
+// mutex, both with an inline unlock and a deferred one.
+package queue
+
+import "sync"
+
+type Ring struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+func (r *Ring) Grow() {
+	r.mu.Lock()
+	if r.Len() > 0 { // want "while holding the ring mutex"
+		r.n *= 2
+	}
+	r.mu.Unlock()
+}
+
+func (r *Ring) Shrink() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n = r.Len() / 2 // want "while holding the ring mutex"
+}

@@ -1,0 +1,31 @@
+// Package engine (fixture lock_b) seeds engine upcall violations: the
+// algorithm callback invoked while an engine lock is held, both through
+// the direct interface call and through the notifyAlg wrapper.
+package engine
+
+import "sync"
+
+type algIface interface {
+	Process(v int) int
+}
+
+type Core struct {
+	mu  sync.Mutex
+	alg algIface
+}
+
+func (c *Core) notifyAlg(v int) {
+	c.alg.Process(v)
+}
+
+func (c *Core) dispatch(v int) {
+	c.mu.Lock()
+	c.alg.Process(v) // want "engine lock held"
+	c.mu.Unlock()
+}
+
+func (c *Core) flush(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.notifyAlg(v) // want "engine lock held"
+}

@@ -1,0 +1,31 @@
+// Package purity_a seeds algorithm-purity violations: goroutine spawns
+// and channel operations directly inside Process, plus a blocking sleep
+// reached transitively through a helper.
+package purity_a
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/message"
+)
+
+type Alg struct {
+	ch chan int
+}
+
+func (a *Alg) Attach(api engine.API) {}
+
+func (a *Alg) Process(m *message.Msg) engine.Verdict {
+	go a.pump() // want "goroutine spawn"
+	a.ch <- 1   // want "channel send"
+	<-a.ch      // want "channel receive"
+	a.nap()
+	return engine.Done
+}
+
+func (a *Alg) pump() {}
+
+func (a *Alg) nap() {
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+}

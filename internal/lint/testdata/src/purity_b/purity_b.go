@@ -1,0 +1,39 @@
+// Package purity_b seeds algorithm-purity violations reached through
+// deeper call chains: network dialing, select, a blocking WaitGroup
+// wait, and an engine.API call made while holding the algorithm mutex.
+package purity_b
+
+import (
+	"net"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/message"
+)
+
+type Relay struct {
+	mu  sync.Mutex
+	API engine.API
+	wg  sync.WaitGroup
+}
+
+func (r *Relay) Attach(api engine.API) { r.API = api }
+
+func (r *Relay) Process(m *message.Msg) engine.Verdict {
+	r.dialOut()
+	r.settle()
+	r.mu.Lock()
+	r.API.Finish(m) // want "while holding a lock"
+	r.mu.Unlock()
+	return engine.Done
+}
+
+func (r *Relay) dialOut() {
+	c, _ := net.Dial("tcp", "localhost:0") // want "net.Dial"
+	_ = c
+	select {} // want "select"
+}
+
+func (r *Relay) settle() {
+	r.wg.Wait() // want "blocking Wait"
+}

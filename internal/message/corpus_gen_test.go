@@ -1,0 +1,67 @@
+package message
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeCorpusFile renders one seed in the "go test fuzz v1" file format
+// the fuzzing engine reads from testdata/fuzz/<FuzzName>/.
+func writeCorpusFile(t *testing.T, fuzzName, seedName string, values ...any) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", fuzzName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	body := "go test fuzz v1\n"
+	for _, v := range values {
+		switch x := v.(type) {
+		case []byte:
+			body += fmt.Sprintf("[]byte(%q)\n", x)
+		case uint32:
+			body += fmt.Sprintf("uint32(%d)\n", x)
+		case bool:
+			body += fmt.Sprintf("bool(%v)\n", x)
+		default:
+			t.Fatalf("unsupported corpus value type %T", v)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, seedName), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegenerateSeedCorpus rewrites the committed seed corpora under
+// testdata/fuzz from the current wire encoder. Run with
+// IOVERLAY_REGEN_CORPUS=1 after changing the wire format; a plain
+// `go test` skips it and the fuzzing engine validates the committed
+// files by executing them as part of every test run.
+func TestRegenerateSeedCorpus(t *testing.T) {
+	if os.Getenv("IOVERLAY_REGEN_CORPUS") == "" {
+		t.Skip("set IOVERLAY_REGEN_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	small := fuzzWire(FirstDataType, []byte("seed payload"))
+	ctrl := fuzzWire((FirstDataType + 1).AsControl(), []byte("tagged"))
+	boundary := fuzzWire(FirstDataType+2, make([]byte, 64))
+
+	writeCorpusFile(t, "FuzzDecode", "seed-small", small)
+	writeCorpusFile(t, "FuzzDecode", "seed-control-bit", ctrl)
+	writeCorpusFile(t, "FuzzDecode", "seed-class-boundary", boundary)
+
+	writeCorpusFile(t, "FuzzRead", "seed-stream", small, true)
+	writeCorpusFile(t, "FuzzRead", "seed-truncated", small[:len(small)-3], false)
+
+	writeCorpusFile(t, "FuzzReadContinued", "seed-header-split",
+		small[:HeaderSize], small[HeaderSize:], true)
+	writeCorpusFile(t, "FuzzReadContinued", "seed-mid-split",
+		small[:HeaderSize+4], small[HeaderSize+4:], false)
+
+	writeCorpusFile(t, "FuzzWireRoundTrip", "seed-data",
+		uint32(FirstDataType), uint32(0x0a000001), uint32(7000),
+		uint32(1), uint32(2), []byte("payload"), false)
+	writeCorpusFile(t, "FuzzWireRoundTrip", "seed-control",
+		uint32(FirstDataType+5), uint32(0xc0a80001), uint32(443),
+		uint32(3), uint32(4), []byte{}, true)
+}

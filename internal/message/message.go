@@ -472,6 +472,9 @@ func FromBytes(b []byte, pool *Pool) *Msg {
 // the remaining bytes from r. Receivers use it for messages too large to
 // fit a receive segment.
 func ReadContinued(pre []byte, r io.Reader, pool *Pool) (*Msg, error) {
+	if len(pre) < HeaderSize {
+		return nil, ErrShortHeader
+	}
 	size := int(binary.BigEndian.Uint32(pre[20:24]))
 	wire := HeaderSize + size
 	var payload, raw []byte
@@ -481,7 +484,7 @@ func ReadContinued(pre []byte, r io.Reader, pool *Pool) (*Msg, error) {
 		payload = raw[HeaderSize:]
 	} else {
 		payload = make([]byte, size)
-		copy(payload, pre[min(HeaderSize, len(pre)):])
+		copy(payload, pre[HeaderSize:])
 	}
 	have := len(pre)
 	if have > wire {

@@ -1,0 +1,204 @@
+package message
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// boundaryPayloadSizes enumerates payload lengths around every pool
+// size-class edge that matters on the wire: the raw class sizes (64, 96,
+// 128, 192, ... — powers of two interleaved with 1.5x midpoints) and the
+// same edges shifted by HeaderSize, since pooled wire buffers hold
+// header+payload contiguously and the class is chosen for the whole
+// image. Each edge contributes the size itself and its two neighbors.
+func boundaryPayloadSizes() []int {
+	seen := map[int]bool{0: true, 1: true}
+	sizes := []int{0, 1}
+	add := func(n int) {
+		for _, d := range []int{-1, 0, 1} {
+			if v := n + d; v >= 0 && !seen[v] {
+				seen[v] = true
+				sizes = append(sizes, v)
+			}
+		}
+	}
+	for bits := minClassBits; bits <= 13; bits++ {
+		class := 1 << bits
+		add(class)
+		add(class + class/2) // the 1.5x midpoint class
+		add(class - HeaderSize)
+		add(class + class/2 - HeaderSize)
+	}
+	add(SegmentSize - HeaderSize) // largest message that fits one segment
+	add(SegmentSize)
+	return sizes
+}
+
+// TestWireImageRoundTripAtSizeClassBoundaries encodes and re-decodes
+// messages whose payload sizes straddle every pool size-class edge, for
+// both pool-backed messages (contiguous wire image, the Wire fast path)
+// and plain ones (WriteTo slow path). The decoded message must match the
+// original in every header field and payload byte. Deliberately
+// independent of the fuzzers: this deterministic sweep runs on every
+// `go test ./...`.
+func TestWireImageRoundTripAtSizeClassBoundaries(t *testing.T) {
+	sender := MakeID("10.9.8.7", 6543)
+	pool := NewPool()
+	for _, size := range boundaryPayloadSizes() {
+		for _, pooled := range []bool{false, true} {
+			t.Run(fmt.Sprintf("size=%d/pooled=%v", size, pooled), func(t *testing.T) {
+				var m *Msg
+				if pooled {
+					m = pool.Get(FirstDataType+7, sender, 3, 99, size)
+					for i := range m.Payload() {
+						m.Payload()[i] = byte(i * 13)
+					}
+					m.SetSeq(99) // re-render after payload fill to mimic real use
+				} else {
+					p := make([]byte, size)
+					for i := range p {
+						p[i] = byte(i * 13)
+					}
+					m = New(FirstDataType+7, sender, 3, 99, p)
+				}
+				defer m.Release()
+
+				var buf bytes.Buffer
+				n, err := m.WriteTo(&buf)
+				if err != nil {
+					t.Fatalf("WriteTo: %v", err)
+				}
+				if n != int64(m.WireLen()) || buf.Len() != HeaderSize+size {
+					t.Fatalf("WriteTo wrote %d bytes, want %d", n, HeaderSize+size)
+				}
+				if pooled {
+					if w := m.Wire(); !bytes.Equal(w, buf.Bytes()) {
+						t.Fatal("Wire() image differs from WriteTo output")
+					}
+				} else if m.Wire() != nil {
+					t.Fatal("non-pooled message unexpectedly has a wire image")
+				}
+
+				got, consumed, err := Decode(buf.Bytes())
+				if err != nil {
+					t.Fatalf("Decode: %v", err)
+				}
+				if consumed != HeaderSize+size {
+					t.Fatalf("Decode consumed %d, want %d", consumed, HeaderSize+size)
+				}
+				if got.Type() != m.Type() || got.Sender() != sender ||
+					got.App() != 3 || got.Seq() != 99 {
+					t.Fatalf("header mismatch: got %v, want %v", got, m)
+				}
+				if !bytes.Equal(got.Payload(), m.Payload()) {
+					t.Fatal("payload mismatch after round trip")
+				}
+			})
+		}
+	}
+}
+
+// TestClassBitSurvivesWireRoundTrip lifts a data-range type into the
+// control class with AsControl and checks the class tag survives every
+// encode path (Wire image, WriteTo, AppendHeader) and re-decode: the
+// wire type keeps the bit, Type() strips it, and the decoded message
+// still classifies as control. The bit must survive even at size-class
+// boundary payloads where the pooled image is recycled storage.
+func TestClassBitSurvivesWireRoundTrip(t *testing.T) {
+	sender := MakeID("10.1.1.1", 7000)
+	pool := NewPool()
+	for _, size := range []int{0, 1, 63, 64, 65, SegmentSize - HeaderSize} {
+		tagged := (FirstDataType + 42).AsControl()
+		m := pool.Get(tagged, sender, 1, 5, size)
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		if h := m.AppendHeader(nil); !bytes.Equal(h, buf.Bytes()[:HeaderSize]) {
+			t.Fatal("AppendHeader differs from the rendered wire header")
+		}
+		got, _, err := Decode(buf.Bytes())
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if got.WireType() != tagged {
+			t.Fatalf("size %d: wire type = %#x, want %#x (class bit lost)",
+				size, got.WireType(), tagged)
+		}
+		if got.Type() != FirstDataType+42 {
+			t.Fatalf("size %d: Type() = %d, want the untagged %d", size, got.Type(), FirstDataType+42)
+		}
+		if !got.IsControl() || got.Class() != ClassControl || got.IsData() {
+			t.Fatalf("size %d: decoded message lost its control class", size)
+		}
+		m.Release()
+	}
+}
+
+// TestReadContinuedShortPrefix is the regression test for the assembly
+// path's missing header guard: a prefix shorter than one header must
+// return ErrShortHeader — previously it sliced out of bounds and
+// panicked.
+func TestReadContinuedShortPrefix(t *testing.T) {
+	full := New(FirstDataType, MakeID("10.0.0.1", 7000), 1, 2, []byte("payload"))
+	var buf bytes.Buffer
+	if _, err := full.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	for _, pool := range []*Pool{nil, NewPool()} {
+		for i := 0; i < HeaderSize; i++ {
+			m, err := ReadContinued(wire[:i], bytes.NewReader(wire[i:]), pool)
+			if err != ErrShortHeader {
+				t.Fatalf("prefix %d: err = %v, want ErrShortHeader", i, err)
+			}
+			if m != nil {
+				t.Fatalf("prefix %d: got a message alongside the error", i)
+			}
+		}
+		// A complete header alone is the smallest valid prefix.
+		m, err := ReadContinued(wire[:HeaderSize], bytes.NewReader(wire[HeaderSize:]), pool)
+		if err != nil {
+			t.Fatalf("header-only prefix: %v", err)
+		}
+		if !bytes.Equal(m.Payload(), full.Payload()) {
+			t.Fatal("header-only prefix: payload mismatch")
+		}
+		m.Release()
+	}
+}
+
+// TestReadContinuedPrefixSplits assembles one message from every possible
+// split of its wire image into (already-received prefix, remaining
+// stream) and requires an identical result each time, pooled and not.
+func TestReadContinuedPrefixSplits(t *testing.T) {
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	full := New(FirstDataType+1, MakeID("10.0.0.2", 7001), 4, 9, payload)
+	var buf bytes.Buffer
+	if _, err := full.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	pool := NewPool()
+	for split := HeaderSize; split <= len(wire); split++ {
+		m, err := ReadContinued(wire[:split], bytes.NewReader(wire[split:]), pool)
+		if err != nil {
+			t.Fatalf("split %d: %v", split, err)
+		}
+		if m.Type() != full.Type() || m.Sender() != full.Sender() ||
+			m.App() != full.App() || m.Seq() != full.Seq() {
+			t.Fatalf("split %d: header mismatch", split)
+		}
+		if !bytes.Equal(m.Payload(), payload) {
+			t.Fatalf("split %d: payload mismatch", split)
+		}
+		if !bytes.Equal(m.Wire(), wire) {
+			t.Fatalf("split %d: reassembled wire image mismatch", split)
+		}
+		m.Release()
+	}
+}

@@ -1,0 +1,64 @@
+package protocol
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/message"
+)
+
+// writeCorpusFile renders one seed in the "go test fuzz v1" file format
+// the fuzzing engine reads from testdata/fuzz/<FuzzName>/.
+func writeCorpusFile(t *testing.T, fuzzName, seedName string, values ...any) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", fuzzName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	body := "go test fuzz v1\n"
+	for _, v := range values {
+		switch x := v.(type) {
+		case []byte:
+			body += fmt.Sprintf("[]byte(%q)\n", x)
+		case uint32:
+			body += fmt.Sprintf("uint32(%d)\n", x)
+		case bool:
+			body += fmt.Sprintf("bool(%v)\n", x)
+		default:
+			t.Fatalf("unsupported corpus value type %T", v)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, seedName), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegenerateSeedCorpus rewrites the committed seed corpora under
+// testdata/fuzz from the current encoders. Run with
+// IOVERLAY_REGEN_CORPUS=1 after changing a payload encoding; a plain
+// `go test` skips it and the fuzzing engine validates the committed
+// files by executing them as part of every test run.
+func TestRegenerateSeedCorpus(t *testing.T) {
+	if os.Getenv("IOVERLAY_REGEN_CORPUS") == "" {
+		t.Skip("set IOVERLAY_REGEN_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	id := message.MakeID("10.0.0.1", 7000)
+	writeCorpusFile(t, "FuzzAllPayloadDecoders", "seed-report",
+		Report{
+			Node:      id,
+			Upstreams: []LinkStatus{{Peer: id, Rate: 1.5, BufLen: 1, BufCap: 8, BytesTotal: 100}},
+			Apps:      []uint32{1},
+			MsgsIn:    7,
+		}.Encode())
+	writeCorpusFile(t, "FuzzAllPayloadDecoders", "seed-bootreply",
+		BootReply{Hosts: []message.NodeID{id, {IP: 1, Port: 2}}}.Encode())
+	writeCorpusFile(t, "FuzzAllPayloadDecoders", "seed-relay",
+		Relay{Dest: id, Inner: []byte("enveloped")}.Encode())
+	writeCorpusFile(t, "FuzzAllPayloadDecoders", "seed-setbandwidth",
+		SetBandwidth{Class: BandwidthLink, Rate: -1, Peer: id}.Encode())
+	writeCorpusFile(t, "FuzzReaderPrimitives", "seed-mixed",
+		[]byte{0, 3, 4, 5, 1, 2},
+		NewWriter(0).U32(9).ID(id).IDs([]message.NodeID{id}).String("s").U64(1).F64(2.5).Bytes())
+}

@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"fmt"
+
 	"repro/internal/message"
 )
 
@@ -270,7 +272,9 @@ type Report struct {
 
 // Encode serializes the report.
 func (rp Report) Encode() []byte {
-	w := NewWriter(104 + 36*(len(rp.Upstreams)+len(rp.Downstream)))
+	// Fixed part: node ID (8) + two link counts (4+4) + app count (4) +
+	// eight I64 counters (64) = 84 bytes; each link entry is 32.
+	w := NewWriter(84 + 32*(len(rp.Upstreams)+len(rp.Downstream)) + 4*len(rp.Apps))
 	w.ID(rp.Node)
 	encodeLinks := func(links []LinkStatus) {
 		w.U32(uint32(len(links)))
@@ -296,7 +300,15 @@ func DecodeReport(b []byte) (Report, error) {
 	rp := Report{Node: r.ID()}
 	decodeLinks := func() []LinkStatus {
 		n := r.U32()
-		if r.Err() != nil || n > uint32(r.Remaining()/28) {
+		if r.Err() != nil {
+			return nil
+		}
+		// Each encoded link entry is 32 bytes (ID 8 + F64 8 + two U32 8
+		// + I64 8); a count that cannot fit in the remaining bytes is a
+		// forged or truncated header, not a huge allocation — and it must
+		// latch as an error, not silently decode misaligned fields.
+		if n > uint32(r.Remaining()/32) {
+			r.fail(fmt.Errorf("%w: link list of %d", ErrTruncated, n))
 			return nil
 		}
 		links := make([]LinkStatus, 0, n)
@@ -311,10 +323,14 @@ func DecodeReport(b []byte) (Report, error) {
 	rp.Upstreams = decodeLinks()
 	rp.Downstream = decodeLinks()
 	nApps := r.U32()
-	if r.Err() == nil && nApps <= uint32(r.Remaining()/4) {
-		rp.Apps = make([]uint32, 0, nApps)
-		for i := uint32(0); i < nApps; i++ {
-			rp.Apps = append(rp.Apps, r.U32())
+	if r.Err() == nil {
+		if nApps > uint32(r.Remaining()/4) {
+			r.fail(fmt.Errorf("%w: app list of %d", ErrTruncated, nApps))
+		} else {
+			rp.Apps = make([]uint32, 0, nApps)
+			for i := uint32(0); i < nApps; i++ {
+				rp.Apps = append(rp.Apps, r.U32())
+			}
 		}
 	}
 	rp.MsgsIn = r.I64()

@@ -88,6 +88,15 @@ func NewReader(b []byte) *Reader { return &Reader{buf: b} }
 // Err reports the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }
 
+// fail latches a decoding error if none is latched yet, so codec-level
+// validation (count vs. remaining bytes) surfaces exactly like a short
+// read instead of silently decoding misaligned fields.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
 // Remaining reports undecoded bytes.
 func (r *Reader) Remaining() int { return len(r.buf) }
 

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/invariant"
 	"repro/internal/message"
 	"repro/internal/metrics"
 )
@@ -209,6 +210,10 @@ func (r *Ring) pushLocked(l *lane, m *message.Msg, now time.Time) {
 	if r.gauge != nil {
 		r.gauge.Add(int64(m.WireLen()))
 	}
+	if invariant.Enabled {
+		invariant.Assert(l.length >= 0 && l.length <= len(l.buf),
+			"lane length %d out of bounds [0,%d] after push", l.length, len(l.buf))
+	}
 }
 
 // popLocked removes the oldest message of l, updating the gauge; the
@@ -217,6 +222,15 @@ func (r *Ring) popLocked(l *lane, now time.Time) *message.Msg {
 	m := l.pop(now)
 	if r.gauge != nil {
 		r.gauge.Add(-int64(m.WireLen()))
+		if invariant.Enabled {
+			invariant.Assert(r.gauge.Load() >= 0,
+				"buffered-bytes gauge negative (%d) after pop of %d wire bytes",
+				r.gauge.Load(), m.WireLen())
+		}
+	}
+	if invariant.Enabled {
+		invariant.Assert(l.length >= 0,
+			"lane length %d negative after pop", l.length)
 	}
 	return m
 }

@@ -288,10 +288,11 @@ func (t *Tree) onDeploy(m *message.Msg) {
 	if err != nil || d.App != t.App {
 		return
 	}
+	self := t.API.ID()
 	t.mu.Lock()
 	t.isSource = true
 	t.inSession = true
-	t.source = t.API.ID()
+	t.source = self
 	t.mu.Unlock()
 	t.API.StartSource(d.App, d.Rate, int(d.MsgSize))
 	// Flood the source identity so unicast joins can find it.

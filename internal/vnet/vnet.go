@@ -353,7 +353,14 @@ func (c *Conn) WriteBuffers(bufs [][]byte) (int64, error) { return c.wr.writeBuf
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
 		c.wr.closeWrite()
-		c.rd.closeWrite()
+		// The outgoing direction is a graceful FIN: bytes already
+		// written stay deliverable to the peer. The incoming direction
+		// is torn down hard: as with a real socket, a local Read after
+		// Close fails immediately — even when a fault-injection stall
+		// or undelivered buffered bytes would otherwise hold the reader
+		// until the stall window passed (TCP resets on close with
+		// unread data; it does not keep delivering).
+		c.rd.breakPipe()
 		c.net.removeConn(c)
 		c.net.removeConn(c.peer)
 	})
