@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: ci fmt build test vet lint fuzz race chaos bench
+.PHONY: ci fmt build test vet lint fuzz race chaos bench trace-smoke
 
 # ci is the tier-1 gate: everything here must pass before a change lands.
-ci: fmt vet lint build test fuzz race chaos
+ci: fmt vet lint build test trace-smoke fuzz race chaos
 
 # Linter fixtures under internal/lint/testdata deliberately contain
 # rule-violating code; they are exercised by the linter's own tests, not
@@ -52,6 +52,14 @@ race:
 # uplink is throttled below the stream rate. Runs with assertions armed.
 chaos:
 	$(GO) test -race -tags ioverlay_debug -run Chaos ./internal/chaos/...
+
+# trace-smoke proves the flight-recorder pipeline end to end with fresh
+# runs (-count=1 defeats the test cache): events recorded on a live
+# engine, shipped inside status reports, and assembled by the observer
+# into a merged cross-node timeline with populated lane histograms.
+trace-smoke:
+	$(GO) test -count=1 -run 'TestTrace' ./internal/engine
+	$(GO) test -count=1 -run 'TestTimelineAggregation' ./internal/observer
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -6,10 +6,12 @@
 //
 // Usage:
 //
-//	ibench              # everything, scaled
-//	ibench -fig 6       # one figure
-//	ibench -table 3     # one table
-//	ibench -full        # paper-scale parameters
+//	ibench                    # everything, scaled
+//	ibench -fig 6             # one figure
+//	ibench -table 3           # one table
+//	ibench -exp timeline      # flight-recorder view of a churn run
+//	ibench -full              # paper-scale parameters
+//	ibench -debug :6060 ...   # expvar/pprof endpoints while it runs
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/debughttp"
 	"repro/internal/experiments"
 	"repro/internal/federation"
 	"repro/internal/tree"
@@ -26,9 +29,20 @@ import (
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 5,6,7,8,9,11,12,14,15,16,17,18,19 (empty = all)")
 	table := flag.String("table", "", "table to regenerate: 3 (empty = all)")
-	exp := flag.String("exp", "", "named experiment to regenerate: churn, overload (empty = all)")
+	exp := flag.String("exp", "", "named experiment to regenerate: churn, overload, timeline (empty = all)")
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
+	debugAddr := flag.String("debug", "", "serve expvar/pprof debug endpoints on this address while running (e.g. 127.0.0.1:6060)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		l, err := debughttp.Serve(*debugAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibench: debug listener: %v\n", err)
+			os.Exit(1)
+		}
+		defer l.Close()
+		fmt.Printf("debug endpoints on http://%s/debug/\n", l.Addr())
+	}
 
 	want := func(name string) bool {
 		if *fig == "" && *table == "" && *exp == "" {
@@ -122,6 +136,21 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderFig9Churn(points))
+		fmt.Println()
+		return nil
+	})
+
+	runStep([]string{"timeline"}, func() error {
+		cfg := experiments.TimelineConfig{}
+		if !*full {
+			cfg.N = 16
+			cfg.Kills = 2
+		}
+		res, err := experiments.Timeline(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTimelineResult(res))
 		fmt.Println()
 		return nil
 	})

@@ -30,6 +30,7 @@ import (
 	"syscall"
 
 	ioverlay "repro"
+	"repro/internal/debughttp"
 	"repro/internal/federation"
 	"repro/internal/multicast"
 	"repro/internal/tree"
@@ -72,6 +73,7 @@ func run() error {
 	totalStr := flag.String("total", "0", "emulated total bandwidth")
 	lastMileStr := flag.String("lastmile", "100KB", "last-mile bandwidth for node-stress computation")
 	bufMsgs := flag.Int("buffers", 64, "receiver/sender buffer capacity in messages")
+	debugAddr := flag.String("debug", "", "serve expvar/pprof debug endpoints on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
 	id, err := ioverlay.ParseID(*idStr)
@@ -158,6 +160,17 @@ func run() error {
 	}
 	defer eng.Stop()
 	fmt.Printf("node %s running %s (observer %q)\n", id, *algName, *obsStr)
+
+	if *debugAddr != "" {
+		debughttp.Publish("ioverlay.counters", func() any { return eng.Counters() })
+		debughttp.Publish("ioverlay.events", func() any { return eng.Events() })
+		l, err := debughttp.Serve(*debugAddr, nil)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer l.Close()
+		fmt.Printf("debug endpoints on http://%s/debug/\n", l.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -11,12 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	ioverlay "repro"
+	"repro/internal/debughttp"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func run() error {
 	listen := flag.String("listen", "127.0.0.1:9000", "observer listen address (ip:port)")
 	bootstrap := flag.Int("bootstrap", 8, "nodes returned per bootstrap request")
 	topoEvery := flag.Duration("topology", 5*time.Second, "topology print interval (0 disables)")
+	debugAddr := flag.String("debug", "", "serve expvar/pprof debug endpoints plus /debug/timeline on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
 	id, err := ioverlay.ParseID(*listen)
@@ -50,6 +53,29 @@ func run() error {
 	}
 	defer obs.Stop()
 	fmt.Printf("observer listening on %s\n", id)
+
+	if *debugAddr != "" {
+		debughttp.Publish("ioverlay.alive", func() any { return obs.Alive() })
+		l, err := debughttp.Serve(*debugAddr, map[string]http.Handler{
+			"/debug/timeline": debughttp.Text(obs.RenderTimeline),
+			"/debug/timeline.json": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				raw, err := obs.TimelineJSON()
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				w.Header().Set("Content-Type", "application/json")
+				_, _ = w.Write(raw)
+			}),
+			"/debug/hists":    debughttp.Text(obs.RenderHists),
+			"/debug/topology": debughttp.Text(obs.RenderTopology),
+		})
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer l.Close()
+		fmt.Printf("debug endpoints on http://%s/debug/\n", l.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/message"
+	"repro/internal/trace"
 )
 
 // Sent records one Send issued by the algorithm under test.
@@ -22,6 +23,14 @@ type Sent struct {
 type Timer struct {
 	D    time.Duration
 	Kind uint32
+}
+
+// Note records one flight-recorder event emitted via API.Note.
+type Note struct {
+	Kind  trace.Kind
+	Peer  message.NodeID
+	App   uint32
+	Value int64
 }
 
 // SourceCall records StartSource/StopSource invocations.
@@ -43,6 +52,7 @@ type FakeAPI struct {
 	Probes     []message.NodeID
 	Closed     []message.NodeID
 	Traces     []string
+	Notes      []Note
 	Weights    map[message.NodeID]int
 	Rates      map[message.NodeID]float64 // keyed by peer; same up/down
 	Ups        []message.NodeID
@@ -138,6 +148,11 @@ func (f *FakeAPI) Trace(format string, args ...any) {
 	f.Traces = append(f.Traces, fmt.Sprintf(format, args...))
 }
 
+// Note implements engine.API.
+func (f *FakeAPI) Note(kind trace.Kind, peer message.NodeID, app uint32, value int64) {
+	f.Notes = append(f.Notes, Note{Kind: kind, Peer: peer, App: app, Value: value})
+}
+
 // SentTo filters recorded sends by destination.
 func (f *FakeAPI) SentTo(dest message.NodeID) []Sent {
 	var out []Sent
@@ -171,4 +186,5 @@ func (f *FakeAPI) Reset() {
 	f.Pings = nil
 	f.Closed = nil
 	f.Traces = nil
+	f.Notes = nil
 }

@@ -1,0 +1,58 @@
+// Package debughttp serves the stdlib debug endpoints — expvar counters
+// under /debug/vars and pprof profiles under /debug/pprof/ — on an
+// auxiliary listener, so a deployed inode/iobserver/ibench process can be
+// inspected live without linking any external dependency. The handlers
+// are mounted on a private mux rather than http.DefaultServeMux: the
+// debug port is opt-in and never shares a mux with anything else.
+package debughttp
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Serve binds addr and serves the debug endpoints on it. Extra handlers
+// (for example an observer's timeline dump) are mounted alongside the
+// standard ones. The returned listener's Close stops serving; callers may
+// bind port 0 and read the real address from Listener.Addr.
+func Serve(addr string, extra map[string]http.Handler) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(l) }()
+	return l, nil
+}
+
+// Publish registers name in the process's expvar set, rendering v() as
+// JSON on every /debug/vars scrape. Re-publishing a name is a no-op
+// rather than the package-level panic, so restartable components can call
+// it unconditionally.
+func Publish(name string, v func() any) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(v))
+}
+
+// Text adapts a string-producing dump function into an HTTP handler for
+// Serve's extra map.
+func Text(dump func() string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(dump()))
+	})
+}

@@ -1,0 +1,47 @@
+package debughttp
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	Publish("debughttp.test", func() any { return map[string]int{"answer": 42} })
+	Publish("debughttp.test", func() any { return nil }) // duplicate: must not panic
+
+	l, err := Serve("127.0.0.1:0", map[string]http.Handler{
+		"/debug/timeline": Text(func() string { return "tick tock" }),
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer l.Close()
+	base := "http://" + l.Addr().String()
+
+	if code, body := get(t, base+"/debug/vars"); code != 200 ||
+		!strings.Contains(body, `"debughttp.test"`) || !strings.Contains(body, `"answer":42`) {
+		t.Errorf("/debug/vars: code=%d body=%.200s", code, body)
+	}
+	if code, body := get(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code=%d body=%.200s", code, body)
+	}
+	if code, body := get(t, base+"/debug/timeline"); code != 200 || body != "tick tock" {
+		t.Errorf("/debug/timeline: code=%d body=%q", code, body)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/message"
+	"repro/internal/trace"
 )
 
 // Verdict is an algorithm's answer to Process, telling the engine who owns
@@ -114,4 +115,11 @@ type API interface {
 	// Trace sends a trace record to the observer's central log; safe to
 	// call even when no observer is configured.
 	Trace(format string, args ...any)
+
+	// Note records a structured event in the node's flight recorder for
+	// decisions only the algorithm can see (e.g. a reparent). Unlike
+	// Trace it is lock-free, allocation-free and safe from any
+	// goroutine, so it may be called from the data path; a no-op when
+	// recording is disabled.
+	Note(kind trace.Kind, peer message.NodeID, app uint32, value int64)
 }

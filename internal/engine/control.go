@@ -8,6 +8,7 @@ import (
 	"repro/internal/message"
 	"repro/internal/metrics"
 	"repro/internal/protocol"
+	"repro/internal/trace"
 )
 
 // process implements the engine-side control-message handling of the
@@ -70,10 +71,24 @@ func (e *Engine) reply(m *message.Msg) {
 	m.Release()
 }
 
+// maxReportEvents bounds the flight-recorder tail shipped per report so a
+// busy interval cannot balloon a control message.
+const maxReportEvents = 256
+
 // buildReport snapshots buffer lengths, QoS measurements and the link
-// lists — the periodic status update the observer displays.
+// lists — the periodic status update the observer displays — and attaches
+// the flight-recorder events since the previous report. Engine goroutine
+// only (lastEventSeq is engine-goroutine state).
 func (e *Engine) buildReport() *message.Msg {
 	rp := e.Snapshot()
+	evs := e.rec.SnapshotSince(e.lastEventSeq)
+	if len(evs) > maxReportEvents {
+		evs = evs[len(evs)-maxReportEvents:]
+	}
+	if len(evs) > 0 {
+		e.lastEventSeq = evs[len(evs)-1].Seq
+		rp.Events = evs
+	}
 	return message.New(protocol.TypeReport, e.id, 0, 0, rp.Encode())
 }
 
@@ -132,6 +147,10 @@ func (e *Engine) Snapshot() protocol.Report {
 		}
 	}
 	rp.CtrlDelayNs, rp.DataDelayNs = int64(ctrl), int64(data)
+	rp.QueueCtrlHist = e.ctrlDelayHist.Snapshot()
+	rp.QueueDataHist = e.dataDelayHist.Snapshot()
+	rp.SwitchBatchHist = e.switchBatchHist.Snapshot()
+	rp.SendBatchHist = e.sendBatchHist.Snapshot()
 	return rp
 }
 
@@ -194,6 +213,7 @@ func (e *Engine) completePing(cm ctrlMsg) {
 	}
 	delete(e.pingSent, p.Token)
 	rtt := time.Since(sent)
+	e.rec.Emit(trace.KindProbeRTT, cm.from, 0, rtt.Nanoseconds())
 	payload := protocol.Throughput{Peer: cm.from, Rate: float64(rtt.Nanoseconds())}.Encode()
 	e.notifyAlg(protocol.TypeLatency, 0, payload)
 }
@@ -274,7 +294,7 @@ func (e *Engine) scanSlowPeers(senders []*sender) {
 		if now.Sub(s.stallSince) < e.cfg.StallThreshold {
 			continue
 		}
-		s.stallShed += e.shedFrom(s.ring, s.ring.Cap()/2+1, 0)
+		s.stallShed += e.shedFrom(s.ring, s.peer, s.ring.Cap()/2+1, 0)
 		s.stallStrikes++
 		s.stallSince = now // restart the clock toward the next strike
 		e.logf("slow peer %s: shed %d bytes (strike %d)", s.peer, s.stallShed, s.stallStrikes)

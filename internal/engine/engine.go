@@ -30,6 +30,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/queue"
+	"repro/internal/trace"
 )
 
 // Defaults applied by New when Config leaves fields zero.
@@ -47,6 +48,7 @@ const (
 	DefaultRetryBase        = 100 * time.Millisecond
 	DefaultRetryMax         = 5 * time.Second
 	DefaultDepartureGrace   = 2 * time.Second
+	DefaultEventLog         = 1024
 )
 
 // Config parameterizes an Engine.
@@ -124,6 +126,13 @@ type Config struct {
 	// tree/multicast can reparent away from it. Zero disables shedding;
 	// a slow peer then exerts back-pressure indefinitely.
 	StallThreshold time.Duration
+	// EventLog sizes the node's flight recorder: a fixed ring of the most
+	// recent structured engine events (switch quanta, sheds, link changes,
+	// probe results) appended lock-free and without allocation from every
+	// engine goroutine. Events are shipped to the observer with each status
+	// report and drive the timeline experiment. Zero selects
+	// DefaultEventLog; negative disables recording entirely.
+	EventLog int
 	// LocalTrace, when set, receives every Trace record as a text line in
 	// addition to the observer — the paper's alternative of logging
 	// traces locally at each node when the volume is large. The writer
@@ -173,6 +182,9 @@ func (c *Config) applyDefaults() {
 	if c.DepartureGrace <= 0 {
 		c.DepartureGrace = DefaultDepartureGrace
 	}
+	if c.EventLog == 0 {
+		c.EventLog = DefaultEventLog
+	}
 }
 
 // ctrlMsg pairs a control message with the link peer it arrived from
@@ -212,6 +224,17 @@ type Engine struct {
 	bufBytes metrics.Gauge
 	shedding atomic.Bool
 
+	// rec is the flight recorder: nil when Config.EventLog is negative,
+	// in which case trace.Emit's nil receiver makes every emit a no-op.
+	// Safe from any goroutine.
+	rec *trace.Recorder
+	// Queue-delay and batch-size distributions, shipped with each status
+	// report. All observe lock-free; safe from any goroutine.
+	ctrlDelayHist   metrics.Histogram // sender ctrl-lane queueing delay (ns)
+	dataDelayHist   metrics.Histogram // sender data-lane queueing delay (ns)
+	switchBatchHist metrics.Histogram // messages per switch quantum
+	sendBatchHist   metrics.Histogram // messages per sender ring drain
+
 	// debugGID records the engine goroutine's ID in ioverlay_debug
 	// builds so algorithm upcalls can assert single-threaded ownership;
 	// zero (never set) in release builds.
@@ -235,6 +258,7 @@ type Engine struct {
 	nextToken    uint32
 	localPass    float64        // stride virtual time of the local source ring
 	switchBuf    []*message.Msg // scratch for per-quantum batched pops
+	lastEventSeq uint64         // recorder cursor already shipped in a report
 
 	control chan ctrlMsg
 	events  chan func()
@@ -279,10 +303,29 @@ func New(cfg Config) (*Engine, error) {
 		done:         make(chan struct{}),
 	}
 	e.localRing.SetGauge(&e.bufBytes)
+	if cfg.EventLog > 0 {
+		e.rec = trace.New(cfg.EventLog)
+	}
 	for peer, rate := range cfg.LinkBW {
 		e.linkRates[peer] = rate
 	}
 	return e, nil
+}
+
+// Recorder exposes the node's flight recorder for experiment harnesses
+// and debug endpoints; nil when recording is disabled. Safe from any
+// goroutine.
+func (e *Engine) Recorder() *trace.Recorder { return e.rec }
+
+// Events snapshots the flight recorder's currently retained events in
+// sequence order. Safe from any goroutine.
+func (e *Engine) Events() []trace.Event { return e.rec.Snapshot() }
+
+// Note records a structured event in the node's flight recorder. Part of
+// the API interface; unlike most of the API it is lock-free and safe from
+// any goroutine, and a no-op when recording is disabled.
+func (e *Engine) Note(kind trace.Kind, peer message.NodeID, app uint32, value int64) {
+	e.rec.Emit(kind, peer, app, value)
 }
 
 // ----- memory budget -----
@@ -308,28 +351,33 @@ func (e *Engine) overBudget(n int64) bool {
 	if e.shedding.Load() {
 		if v <= b/2 {
 			e.shedding.Store(false)
+			e.rec.Emit(trace.KindWatermark, message.NodeID{}, 0, 0)
 			return false
 		}
 		return true
 	}
 	if v+n > b-b/4 {
 		e.shedding.Store(true)
+		e.rec.Emit(trace.KindWatermark, message.NodeID{}, 0, 1)
 		return true
 	}
 	return false
 }
 
-// shedFrom drops up to maxMsgs of the oldest data messages from r —
-// stopping once minBytes of wire volume are freed when minBytes is
-// positive — charging each to the shed (and loss) counters. It reports the
-// bytes freed. Control messages are never shed.
-func (e *Engine) shedFrom(r *queue.Ring, maxMsgs int, minBytes int64) int64 {
+// shedFrom drops up to maxMsgs of the oldest data messages from the ring
+// belonging to peer — stopping once minBytes of wire volume are freed when
+// minBytes is positive — charging each to the shed (and loss) counters. It
+// reports the bytes freed. Control messages are never shed.
+func (e *Engine) shedFrom(r *queue.Ring, peer message.NodeID, maxMsgs int, minBytes int64) int64 {
 	var freed int64
 	for _, m := range r.ShedOldestData(maxMsgs, minBytes) {
 		wl := int64(m.WireLen())
 		freed += wl
 		e.counters.AddShed(wl)
 		m.Release()
+	}
+	if freed > 0 {
+		e.rec.Emit(trace.KindShed, peer, 0, freed)
 	}
 	return freed
 }
@@ -339,26 +387,31 @@ func (e *Engine) shedFrom(r *queue.Ring, maxMsgs int, minBytes int64) int64 {
 // room, and any remainder that could not be traded (the ring held too
 // little data) is shed from the batch's own tail so buffered bytes cannot
 // grow past the budget. It returns the admitted prefix-packed batch.
-func (e *Engine) shedBatchForBudget(ring *queue.Ring, batch []*message.Msg, bytes int64) []*message.Msg {
+func (e *Engine) shedBatchForBudget(ring *queue.Ring, peer message.NodeID, batch []*message.Msg, bytes int64) []*message.Msg {
 	if !e.overBudget(bytes) {
 		return batch
 	}
-	freed := e.shedFrom(ring, ring.Cap(), bytes)
+	freed := e.shedFrom(ring, peer, ring.Cap(), bytes)
 	if freed >= bytes {
 		return batch
 	}
 	kept := 0
 	var keptBytes int64
+	var tailShed int64
 	for _, m := range batch {
 		wl := int64(m.WireLen())
 		if keptBytes+wl > freed {
 			e.counters.AddShed(wl)
+			tailShed += wl
 			m.Release()
 			continue
 		}
 		batch[kept] = m
 		kept++
 		keptBytes += wl
+	}
+	if tailShed > 0 {
+		e.rec.Emit(trace.KindShed, peer, 0, tailShed)
 	}
 	return batch[:kept]
 }
@@ -438,10 +491,12 @@ func (e *Engine) scheduleObserverReconnect() {
 		defer e.wg.Done()
 		bo := e.newBackoff(int64(e.cfg.Observer.IP))
 		for {
+			d := bo.next()
+			e.rec.Emit(trace.KindBackoff, e.cfg.Observer, 0, int64(d))
 			select {
 			case <-e.done:
 				return
-			case <-time.After(bo.next()):
+			case <-time.After(d):
 			}
 			if err := e.connectObserver(); err == nil {
 				return
@@ -797,11 +852,13 @@ func (e *Engine) switchOnce() {
 			quantum = headroom
 		}
 		var n int
+		var from message.NodeID
 		if bestLocal {
 			n = e.localRing.TryPopBatch(e.switchBuf[:quantum])
 			e.localPass += float64(n)
 		} else {
 			n = best.ring.TryPopBatch(e.switchBuf[:quantum])
+			from = best.peer
 			w := best.weight
 			if w < 1 {
 				w = 1
@@ -812,6 +869,8 @@ func (e *Engine) switchOnce() {
 			continue
 		}
 		budget -= n
+		e.switchBatchHist.Observe(int64(n))
+		e.rec.Emit(trace.KindSwitch, from, 0, int64(n))
 		for i := 0; i < n; i++ {
 			m := e.switchBuf[i]
 			e.switchBuf[i] = nil
@@ -977,6 +1036,9 @@ func (e *Engine) ensureSender(peer message.NodeID) *sender {
 	}
 	rate := e.linkRates[peer]
 	s := newSender(peer, e.cfg.SendBuf, rate, &e.bufBytes)
+	// All sender rings feed the same per-lane delay distributions: the
+	// report ships one queue-delay histogram per lane per node.
+	s.ring.SetDelayHists(&e.ctrlDelayHist, &e.dataDelayHist)
 	e.senders[peer] = s
 	e.wg.Add(1)
 	go e.runSender(s)
@@ -1010,6 +1072,7 @@ func (e *Engine) receiverGone(r *receiver) {
 		e.counters.AddDropped(int64(m.WireLen()))
 		m.Release()
 	}
+	e.rec.Emit(trace.KindLinkDown, r.peer, 0, 1)
 	e.notifyAlg(protocol.TypeLinkDown, 0,
 		protocol.LinkEvent{Peer: r.peer, Upstream: true}.Encode())
 	for app := range r.apps {
@@ -1092,6 +1155,7 @@ func (e *Engine) senderGone(s *sender) {
 		e.parked[i] = parkedMsg{}
 	}
 	e.parked = kept
+	e.rec.Emit(trace.KindLinkDown, s.peer, 0, 0)
 	e.notifyAlg(protocol.TypeLinkDown, 0,
 		protocol.LinkEvent{Peer: s.peer, Upstream: false}.Encode())
 }

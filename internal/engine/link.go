@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/queue"
+	"repro/internal/trace"
 )
 
 // receiver owns one incoming persistent connection: a dedicated goroutine
@@ -85,7 +86,7 @@ func (e *Engine) runReceiver(r *receiver) {
 		// with the oldest buffered data instead of growing the buffers
 		// (drop-head), so this push blocks neither the upstream connection
 		// nor the budget.
-		toPush := e.shedBatchForBudget(r.ring, batch, bytes)
+		toPush := e.shedBatchForBudget(r.ring, r.peer, batch, bytes)
 		bytes = 0
 		if len(toPush) > 0 {
 			n, err := r.ring.PushBatch(toPush)
@@ -273,6 +274,7 @@ func (e *Engine) runSender(s *sender) {
 		e.postEvent(func() { e.senderGone(s) })
 		return
 	}
+	e.rec.Emit(trace.KindLinkUp, s.peer, 0, 0)
 
 	bufw := bufio.NewWriterSize(conn, 32<<10)
 	shaped := bandwidth.NewWriter(bufw, e.budget.UpShaper(s.linkLimit))
@@ -295,6 +297,7 @@ func (e *Engine) runSender(s *sender) {
 			return
 		}
 		s.inflight.Store(int32(n))
+		e.sendBatchHist.Observe(int64(n))
 		// Flush per message only on shaped links: when bandwidth emulation
 		// paces this sender, holding messages in the write buffer would
 		// turn a smooth emulated rate into large bursts downstream.
@@ -361,6 +364,7 @@ func (e *Engine) runSender(s *sender) {
 					if !ok {
 						break
 					}
+					e.rec.Emit(trace.KindCtrlBypass, s.peer, cm.App(), int64(cm.WireLen()))
 					cn, e3 := cm.WriteTo(shaped)
 					werr = e3
 					if werr == nil && shapedLink {
@@ -422,10 +426,12 @@ func (e *Engine) dialPeer(s *sender) (net.Conn, error) {
 	var lastErr error
 	for attempt := 0; attempt < e.cfg.DialAttempts; attempt++ {
 		if attempt > 0 {
+			d := bo.next()
+			e.rec.Emit(trace.KindBackoff, s.peer, 0, int64(d))
 			select {
 			case <-e.done:
 				return nil, lastErr
-			case <-time.After(bo.next()):
+			case <-time.After(d):
 			}
 		}
 		conn, err := e.cfg.Transport.DialFrom(e.id.Addr(), s.peer.Addr(), e.cfg.DialTimeout)
@@ -508,6 +514,7 @@ func (e *Engine) handshake(conn net.Conn) {
 		old.ring.Close()
 	}
 	e.armInactivity(r)
+	e.rec.Emit(trace.KindLinkUp, peer, 0, 1)
 	e.wg.Add(1)
 	go e.runReceiver(r)
 	e.postEvent(func() {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/message"
 	"repro/internal/protocol"
+	"repro/internal/trace"
 )
 
 // Bandwidth probing: the paper's QoS measurement facility lets the
@@ -99,6 +100,7 @@ func (e *Engine) completeProbe(cm ctrlMsg) {
 	if err != nil {
 		return
 	}
+	e.rec.Emit(trace.KindProbeBW, cm.from, 0, int64(ack.Rate))
 	payload := protocol.Throughput{Peer: cm.from, Rate: ack.Rate}.Encode()
 	e.notifyAlg(protocol.TypeBandwidthEst, 0, payload)
 }

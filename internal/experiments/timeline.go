@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/observer"
+	"repro/internal/trace"
+	"repro/internal/tree"
+)
+
+// This harness is the end-to-end demonstration of the flight-recorder
+// pipeline: a multicast session is built, interior nodes are crashed
+// mid-stream, and instead of per-node counters the experiment reports the
+// observer's merged cross-node event timeline — link failures on the
+// survivors lining up with their reconnect backoffs and tree reparents,
+// reconstructed entirely from the recorder tails shipped inside ordinary
+// status reports.
+
+// TimelineConfig parameterizes the flight-recorder churn demo.
+type TimelineConfig struct {
+	// N is the session size including the source (default 16).
+	N int
+	// Kills is how many interior nodes are crashed at once (default 2).
+	Kills int
+	// Rate is the source send rate in bytes/sec (default 256 KBps).
+	Rate int64
+	// MsgSize is the data payload size (default 1 KB).
+	MsgSize int
+	// Tail caps how many trailing timeline events the render includes
+	// (default 48).
+	Tail int
+	// RecoveryTimeout bounds the wait for the session to heal (default 30s).
+	RecoveryTimeout time.Duration
+}
+
+func (c *TimelineConfig) applyDefaults() {
+	if c.N <= 0 {
+		c.N = 16
+	}
+	if c.Kills <= 0 {
+		c.Kills = 2
+	}
+	if c.Rate <= 0 {
+		c.Rate = 256 << 10
+	}
+	if c.MsgSize <= 0 {
+		c.MsgSize = 1 << 10
+	}
+	if c.Tail <= 0 {
+		c.Tail = 48
+	}
+	if c.RecoveryTimeout <= 0 {
+		c.RecoveryTimeout = 30 * time.Second
+	}
+}
+
+// TimelineResult is the outcome of the churn run plus the observer's view
+// of it.
+type TimelineResult struct {
+	// Nodes is how many nodes contributed events to the merged timeline.
+	Nodes int
+	// Events is the total merged event count.
+	Events int
+	// ByKind counts events per kind name.
+	ByKind map[string]int
+	// Recovered reports whether the session healed within the timeout.
+	Recovered bool
+	// Recovery is how long healing took.
+	Recovery time.Duration
+	// Tail is the rendered trailing slice of the merged timeline.
+	Tail string
+	// Hists is the rendered cluster-wide queue-delay distribution.
+	Hists string
+}
+
+// Timeline builds an N-node tree session, crashes Kills interior nodes
+// mid-stream, waits for the repair, and returns the observer's merged
+// flight-recorder timeline of the whole episode.
+func Timeline(cfg TimelineConfig) (*TimelineResult, error) {
+	cfg.applyDefaults()
+	c, err := NewCluster(true)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Stop()
+
+	algs := make([]*tree.Tree, cfg.N)
+	alive := make([]bool, cfg.N)
+	for i := cfg.N - 1; i >= 0; i-- {
+		algs[i] = &tree.Tree{
+			Variant:    tree.Random,
+			App:        treeApp,
+			LastMile:   1 << 20,
+			AutoRejoin: true,
+		}
+		_, err := c.AddNode(nodeID(i), algs[i], func(conf *engine.Config) {
+			conf.StatusInterval = 50 * time.Millisecond
+			conf.InactivityTimeout = 600 * time.Millisecond
+			conf.RetryBase = 50 * time.Millisecond
+		})
+		if err != nil {
+			return nil, err
+		}
+		alive[i] = true
+	}
+	if !c.Obs.WaitForNodes(cfg.N, 10*time.Second) {
+		return nil, fmt.Errorf("bootstrap incomplete (%d alive)", len(c.Obs.Alive()))
+	}
+	time.Sleep(200 * time.Millisecond)
+	c.Obs.Deploy(nodeID(0), treeApp, cfg.Rate, uint32(cfg.MsgSize))
+	time.Sleep(300 * time.Millisecond)
+	// Shape a deep tree via explicit contacts (see fig9.go): interior
+	// nodes are what make the churn interesting.
+	for i := 1; i < cfg.N; i++ {
+		c.Obs.Join(nodeID(i), treeApp, nodeID((i-1)/2))
+		if err := waitJoin(algs[i], 10*time.Second); err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+
+	baseline := make([]int64, cfg.N)
+	steady := func() bool {
+		for i := 1; i < cfg.N; i++ {
+			if !alive[i] {
+				continue
+			}
+			if !algs[i].InSession() || algs[i].ReceivedBytes() <= baseline[i] {
+				return false
+			}
+		}
+		return true
+	}
+	mark := func() {
+		for i := 1; i < cfg.N; i++ {
+			baseline[i] = algs[i].ReceivedBytes()
+		}
+	}
+	mark()
+	deadline := time.Now().Add(15 * time.Second)
+	for !steady() {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("session never reached steady state")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Crash the fan-out-heaviest interior nodes.
+	type interior struct{ idx, children int }
+	var ints []interior
+	for i := 1; i < cfg.N; i++ {
+		if n := len(algs[i].Children()); n > 0 {
+			ints = append(ints, interior{i, n})
+		}
+	}
+	sort.Slice(ints, func(a, b int) bool {
+		if ints[a].children != ints[b].children {
+			return ints[a].children > ints[b].children
+		}
+		return ints[a].idx < ints[b].idx
+	})
+	kills := cfg.Kills
+	if kills > len(ints) {
+		kills = len(ints)
+	}
+	for i := 0; i < kills; i++ {
+		v := ints[i].idx
+		alive[v] = false
+		c.Net.CrashNode(nodeID(v).Addr())
+		c.Engines[nodeID(v)].Stop()
+	}
+
+	mark()
+	start := time.Now()
+	res := &TimelineResult{Recovered: true}
+	for !steady() {
+		if time.Since(start) > cfg.RecoveryTimeout {
+			res.Recovered = false
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	res.Recovery = time.Since(start)
+	// Let the next status round ship the repair's event tails.
+	time.Sleep(300 * time.Millisecond)
+
+	tl := c.Obs.Timeline()
+	res.Events = len(tl)
+	res.ByKind = make(map[string]int)
+	seen := make(map[string]bool)
+	for _, te := range tl {
+		res.ByKind[trace.KindName(te.Event.Kind)]++
+		seen[te.Node.String()] = true
+	}
+	res.Nodes = len(seen)
+	res.Tail = renderTimelineTail(tl, cfg.Tail)
+	res.Hists = c.Obs.RenderHists()
+	return res, nil
+}
+
+// renderTimelineTail renders the last n non-switch events (switching is
+// constant-rate noise at this zoom level; the churn story is in the link,
+// backoff, and reparent events) falling back to the raw tail when the
+// filter leaves nothing.
+func renderTimelineTail(tl []observer.TimelineEvent, n int) string {
+	var interesting []observer.TimelineEvent
+	for _, te := range tl {
+		if te.Event.Kind != trace.KindSwitch {
+			interesting = append(interesting, te)
+		}
+	}
+	if len(interesting) == 0 {
+		interesting = tl
+	}
+	if len(interesting) > n {
+		interesting = interesting[len(interesting)-n:]
+	}
+	var b strings.Builder
+	for _, te := range interesting {
+		ev := te.Event
+		when := time.Unix(0, ev.Nanos).UTC().Format("15:04:05.000000")
+		fmt.Fprintf(&b, "  %s %-15s %-11s", when, te.Node, trace.KindName(ev.Kind))
+		if !ev.Peer.IsZero() {
+			fmt.Fprintf(&b, " peer=%s", ev.Peer)
+		}
+		fmt.Fprintf(&b, " value=%d\n", ev.Value)
+	}
+	return b.String()
+}
+
+// RenderTimelineResult formats the churn timeline in ibench's house style.
+func RenderTimelineResult(r *TimelineResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Timeline: flight-recorder view of a %d-event churn run\n", r.Events)
+	fmt.Fprintf(&b, "nodes reporting: %d   recovered: %v in %s\n",
+		r.Nodes, r.Recovered, r.Recovery.Round(time.Millisecond))
+	kinds := make([]string, 0, len(r.ByKind))
+	for k := range r.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-11s %d\n", k, r.ByKind[k])
+	}
+	b.WriteString("event tail (switch events elided):\n")
+	b.WriteString(r.Tail)
+	b.WriteString(r.Hists)
+	return b.String()
+}

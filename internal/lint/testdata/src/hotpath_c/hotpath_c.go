@@ -1,0 +1,42 @@
+// Package engine (fixture hotpath_c) is the negative-space proof for the
+// flight-recorder pattern: appending a trace event or bumping a log-bucket
+// histogram inside the switch loop and the per-message send path is the
+// sanctioned way to instrument them, and must produce no hot-path
+// diagnostics. The recorder's Emit is a few atomics into a preallocated
+// ring and Observe is one atomic add; neither formats, boxes, nor calls
+// time.Now in this package. There are deliberately no want markers here —
+// any diagnostic in this file is a linter regression.
+package engine
+
+import (
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+type Recorded struct {
+	rec       *trace.Recorder
+	batchHist metrics.Histogram
+}
+
+func (r *Recorded) switchOnce() int {
+	n := 0
+	for i := 0; i < 8; i++ {
+		r.rec.Emit(trace.KindSwitch, message.NodeID{}, 0, int64(i))
+		r.batchHist.Observe(int64(i))
+		n += i
+	}
+	return n
+}
+
+func (r *Recorded) Send(m *message.Msg) bool {
+	r.rec.Emit(trace.KindShed, m.Sender(), m.App(), int64(m.WireLen()))
+	r.batchHist.Observe(int64(m.WireLen()))
+	return true
+}
+
+func (r *Recorded) runSender(ms []*message.Msg) {
+	for _, m := range ms {
+		r.rec.Emit(trace.KindCtrlBypass, m.Sender(), m.App(), int64(m.WireLen()))
+	}
+}

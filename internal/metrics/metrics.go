@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,24 +46,44 @@ func NewMeter(window time.Duration) *Meter {
 }
 
 // Add records n bytes transferred now.
-func (m *Meter) Add(n int64) {
-	now := time.Now()
+func (m *Meter) Add(n int64) { m.addAt(time.Now(), n) }
+
+// addAt is Add with an explicit clock so the bucket-advance logic is
+// testable without real sleeps.
+func (m *Meter) addAt(now time.Time, n int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.total += n
 	cur := m.times[m.head]
-	if cur.IsZero() || now.Sub(cur) >= m.bucketSize {
-		m.head = (m.head + 1) % len(m.buckets)
-		m.buckets[m.head] = 0
+	switch {
+	case cur.IsZero():
 		m.times[m.head] = now
+	case now.Sub(cur) >= m.bucketSize:
+		// Advance one slot per elapsed bucket interval, clearing each:
+		// idle intervals become explicit zero-byte buckets so Rate's
+		// span reflects the gap instead of stale counts lingering under
+		// old timestamps. A gap spanning the whole window re-anchors
+		// the grid at now and clears every bucket.
+		steps := int(now.Sub(cur) / m.bucketSize)
+		if steps > len(m.buckets) {
+			steps = len(m.buckets)
+			cur = now.Add(-time.Duration(steps) * m.bucketSize)
+		}
+		for i := 1; i <= steps; i++ {
+			m.head = (m.head + 1) % len(m.buckets)
+			m.buckets[m.head] = 0
+			m.times[m.head] = cur.Add(time.Duration(i) * m.bucketSize)
+		}
 	}
 	m.buckets[m.head] += n
 }
 
 // Rate reports the current throughput estimate in bytes per second over
 // the populated portion of the window.
-func (m *Meter) Rate() float64 {
-	now := time.Now()
+func (m *Meter) Rate() float64 { return m.rateAt(time.Now()) }
+
+// rateAt is Rate with an explicit clock, for deterministic tests.
+func (m *Meter) rateAt(now time.Time) float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	window := m.bucketSize * time.Duration(len(m.buckets))
@@ -264,4 +285,145 @@ func (lt *LatencyTracker) RTT() (time.Duration, bool) {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
 	return lt.rtt, lt.samples > 0
+}
+
+// HistogramBuckets is the number of power-of-two buckets a Histogram
+// tracks. Bucket i counts observations v with floor(log2(v)) == i
+// (v < 1 lands in bucket 0, v >= 2^47 in the last bucket), so the range
+// covers 1ns..~39h when observing durations in nanoseconds and any
+// realistic batch size when observing counts.
+const HistogramBuckets = 48
+
+// Histogram is a lock-free log-scale histogram: one atomic counter per
+// power-of-two bucket. Observe is a single atomic add, cheap enough for
+// the data path; Snapshot copies the counters for reporting. The zero
+// value is ready to use, and a nil Histogram ignores observations.
+type Histogram struct {
+	counts [HistogramBuckets]atomic.Uint64
+}
+
+// histBucket maps an observation to its bucket index.
+func histBucket(v int64) int {
+	if v < 1 {
+		return 0
+	}
+	b := 0
+	for u := uint64(v); u > 1; u >>= 1 {
+		b++
+	}
+	if b >= HistogramBuckets {
+		b = HistogramBuckets - 1
+	}
+	return b
+}
+
+// Observe folds one sample in. Safe from any goroutine; no-op on nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[histBucket(v)].Add(1)
+}
+
+// ObserveDuration folds one duration sample in, in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Snapshot copies the bucket counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram, and also the
+// form histograms travel in over the wire (protocol.Report encodes the
+// non-empty buckets sparsely).
+type HistogramSnapshot struct {
+	Counts [HistogramBuckets]uint64
+}
+
+// Count reports the total number of observations.
+func (s HistogramSnapshot) Count() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Merge adds another snapshot's counts into this one.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+}
+
+// Sub subtracts an earlier snapshot of the same histogram, yielding the
+// observations made between the two snapshots.
+func (s *HistogramSnapshot) Sub(earlier HistogramSnapshot) {
+	for i, c := range earlier.Counts {
+		s.Counts[i] -= c
+	}
+}
+
+// BucketLow returns the inclusive lower bound of bucket i.
+func BucketLow(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << uint(i)
+}
+
+// Quantile reports an upper bound for the q-quantile (q in [0,1]): the
+// exclusive upper edge of the first bucket at which the cumulative count
+// reaches q of the total. Returns 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	total := s.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := uint64(q * float64(total))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= need {
+			return 2 << uint(i) // exclusive upper edge: 2^(i+1)
+		}
+	}
+	return 2 << uint(HistogramBuckets-1)
+}
+
+// String renders the non-empty buckets compactly, e.g. "[8:3 16:41]"
+// where the key is each bucket's lower bound.
+func (s HistogramSnapshot) String() string {
+	var b []byte
+	b = append(b, '[')
+	first := true
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			b = append(b, ' ')
+		}
+		first = false
+		b = strconv.AppendInt(b, BucketLow(i), 10)
+		b = append(b, ':')
+		b = strconv.AppendUint(b, c, 10)
+	}
+	return string(append(b, ']'))
 }

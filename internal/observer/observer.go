@@ -22,6 +22,7 @@ import (
 	"repro/internal/message"
 	"repro/internal/protocol"
 	"repro/internal/queue"
+	"repro/internal/trace"
 )
 
 // Defaults.
@@ -65,6 +66,10 @@ type route struct {
 	proxy bool // wrap commands in a Relay envelope
 }
 
+// maxNodeEvents bounds the flight-recorder events retained per node; the
+// oldest half is discarded when the series overflows.
+const maxNodeEvents = 8192
+
 // nodeState tracks one overlay node.
 type nodeState struct {
 	id         message.NodeID
@@ -73,6 +78,11 @@ type nodeState struct {
 	lastReport protocol.Report
 	hasReport  bool
 	departed   bool // deregistered gracefully, as opposed to failed
+	// events accumulates the flight-recorder tails shipped with each
+	// report, deduplicated by sequence number (a re-requested report can
+	// carry overlap); lastEventSeq is the newest sequence retained.
+	events       []trace.Event
+	lastEventSeq uint64
 }
 
 // Observer is the centralized monitoring and control server.
@@ -196,9 +206,12 @@ func (o *Observer) serveConn(conn net.Conn) {
 	for {
 		m, err := message.Read(conn, nil, message.DefaultMaxPayload)
 		if err != nil {
-			if !isProxy {
-				o.markGone(peer)
-			}
+			// Everything reached over this connection is now unreachable:
+			// the direct peer, and — on a proxy trunk — every node whose
+			// reports were relayed across it. Leaving relayed nodes routed
+			// at the dead trunk would keep them in the bootstrap set (and
+			// command-reachable) forever.
+			o.markRouteGone(out)
 			return
 		}
 		o.handle(m, out)
@@ -241,6 +254,7 @@ func (o *Observer) handle(m *message.Msg, out *route) {
 		if n, ok := o.nodes[from]; ok {
 			n.lastReport = rp
 			n.hasReport = true
+			n.absorbEvents(rp.Events)
 		}
 		o.mu.Unlock()
 	case protocol.TypeDepart:
@@ -286,17 +300,26 @@ func (o *Observer) register(id message.NodeID, out *route) {
 	n.departed = false // a node heard from again has (re)joined
 }
 
-func (o *Observer) markGone(id message.NodeID) {
+// markRouteGone clears the outbound route of every node last reached over
+// the dropped connection — identified by route pointer, so a trunk failure
+// orphans its relayed nodes exactly like the direct peer.
+func (o *Observer) markRouteGone(out *route) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if n, ok := o.nodes[id]; ok {
-		n.out = nil
+	for _, n := range o.nodes {
+		if n.out == out {
+			n.out = nil
+		}
 	}
 }
 
 // bootstrapSet samples up to BootstrapCount alive nodes, excluding the
 // requester — the paper's "random subset of existing nodes that are
-// alive".
+// alive". The candidates are sorted before shuffling so a fixed Seed
+// reproduces the same samples regardless of map iteration order, and the
+// shuffle is unconditional: even when the whole overlay fits in one reply,
+// the order must vary, or every joiner in a small overlay contacts the
+// same first host and early experiments always build the same topology.
 func (o *Observer) bootstrapSet(exclude message.NodeID) []message.NodeID {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -307,10 +330,10 @@ func (o *Observer) bootstrapSet(exclude message.NodeID) []message.NodeID {
 		}
 	}
 	sort.Slice(alive, func(i, j int) bool { return alive[i].Less(alive[j]) })
+	o.rng.Shuffle(len(alive), func(i, j int) {
+		alive[i], alive[j] = alive[j], alive[i]
+	})
 	if len(alive) > o.cfg.BootstrapCount {
-		o.rng.Shuffle(len(alive), func(i, j int) {
-			alive[i], alive[j] = alive[j], alive[i]
-		})
 		alive = alive[:o.cfg.BootstrapCount]
 	}
 	return alive

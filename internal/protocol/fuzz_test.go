@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/message"
+	"repro/internal/trace"
 )
 
 // decoderSpec pairs a decoder with a re-encoder so the fuzzer can check
@@ -85,6 +86,12 @@ func FuzzAllPayloadDecoders(f *testing.F) {
 		Upstreams: []LinkStatus{{Peer: id, Rate: 1, BufLen: 2, BufCap: 3, BytesTotal: 4}},
 		Apps:      []uint32{1, 2},
 	}.Encode())
+	reportWithTail := Report{Node: id, Events: []trace.Event{
+		{Seq: 3, Nanos: 1 << 50, Kind: trace.KindWatermark, Peer: id, App: 1, Value: 1},
+	}}
+	reportWithTail.QueueDataHist.Counts[7] = 12
+	reportWithTail.SendBatchHist.Counts[0] = 1
+	f.Add(reportWithTail.Encode())
 	f.Add(Throughput{Peer: id, Rate: 2.5}.Encode())
 	f.Add(BrokenSource{App: 1, Upstream: id}.Encode())
 	f.Add(Relay{Dest: id, Inner: []byte("inner")}.Encode())

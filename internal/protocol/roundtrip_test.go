@@ -6,7 +6,18 @@ import (
 	"testing"
 
 	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
+
+// histWith builds a histogram snapshot with the given bucket counts.
+func histWith(counts map[int]uint64) metrics.HistogramSnapshot {
+	var s metrics.HistogramSnapshot
+	for i, c := range counts {
+		s.Counts[i] = c
+	}
+	return s
+}
 
 // payloadCase describes one protocol payload type for the exhaustive
 // round-trip table: a representative non-zero value, its encoding, the
@@ -43,6 +54,14 @@ func allPayloadCases() []payloadCase {
 		MaxBufferedBytes: 1 << 31,
 		CtrlDelayNs:      1500,
 		DataDelayNs:      2_000_000_000,
+		QueueCtrlHist:    histWith(map[int]uint64{0: 3, 12: 9}),
+		QueueDataHist:    histWith(map[int]uint64{20: 1 << 40}),
+		SwitchBatchHist:  histWith(map[int]uint64{5: 77}),
+		SendBatchHist:    histWith(nil),
+		Events: []trace.Event{
+			{Seq: 1, Nanos: 1_700_000_000_000_000_001, Kind: trace.KindLinkUp, Peer: idB, App: 0, Value: 1},
+			{Seq: 9, Nanos: 1_700_000_000_000_000_900, Kind: trace.KindShed, Peer: idC, App: 7, Value: 4096},
+		},
 	}
 
 	return []payloadCase{
@@ -86,7 +105,9 @@ func allPayloadCases() []payloadCase {
 			value:  report,
 			encode: report.Encode,
 			decode: func(b []byte) (any, error) { return DecodeReport(b) },
-			fixed:  84,
+			// 84-byte classic fixed part + four histogram pair counts
+			// (16) + the event count (4).
+			fixed: 104,
 		},
 		{
 			name:   "Throughput",
@@ -242,10 +263,61 @@ func TestReportRejectsForgedCounts(t *testing.T) {
 		{"huge link count", forge(8, 1<<30)},
 		{"link count exceeding remaining by one entry", forge(8, 3)},
 		{"huge app count", forge(16, 1<<30)},
-		{"app count exceeding remaining by one", forge(16, 17)},
+		{"app count exceeding remaining by one", forge(16, 22)},
 	} {
 		if _, err := DecodeReport(tc.buf); !errors.Is(err, ErrTruncated) {
 			t.Errorf("%s: err = %v, want ErrTruncated", tc.name, err)
+		}
+	}
+}
+
+// TestReportRejectsForgedHistAndEvents drives the guards on the
+// observability tail: histogram pair counts and event counts that cannot
+// fit the remaining bytes, bucket indices outside the histogram range,
+// and event kinds wider than a byte must all latch errors instead of
+// misaligning or over-allocating.
+func TestReportRejectsForgedHistAndEvents(t *testing.T) {
+	id := message.MakeID("10.0.0.1", 7000)
+	rp := Report{
+		Node:          id,
+		QueueCtrlHist: histWith(map[int]uint64{3: 1}),
+		Events:        []trace.Event{{Seq: 1, Nanos: 42, Kind: trace.KindSwitch, Peer: id, Value: 8}},
+	}
+	base := rp.Encode()
+
+	forgeU32 := func(off int, v uint32) []byte {
+		b := append([]byte(nil), base...)
+		b[off] = byte(v >> 24)
+		b[off+1] = byte(v >> 16)
+		b[off+2] = byte(v >> 8)
+		b[off+3] = byte(v)
+		return b
+	}
+
+	// Layout of the empty-link report: ID 8 + three zero counts (12) +
+	// eight I64s (64) = offset 84 for the first histogram's pair count;
+	// its single (idx,count) pair spans 84+4..84+16; the remaining three
+	// histogram counts follow, then the event count, then the event with
+	// its kind at +12 into the entry.
+	const hist1 = 84
+	const hist1Idx = hist1 + 4
+	const evCount = hist1 + 4 + 12 + 3*4
+	const evKind = evCount + 4 + 8 + 8
+
+	for _, tc := range []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"huge hist pair count", forgeU32(hist1, 1<<30), ErrTruncated},
+		{"hist pair count exceeding remaining", forgeU32(hist1, 6), ErrTruncated},
+		{"hist bucket index out of range", forgeU32(hist1Idx, metrics.HistogramBuckets), ErrInvalid},
+		{"huge event count", forgeU32(evCount, 1<<30), ErrTruncated},
+		{"event count exceeding remaining", forgeU32(evCount, 2), ErrTruncated},
+		{"event kind out of range", forgeU32(evKind, 300), ErrInvalid},
+	} {
+		if _, err := DecodeReport(tc.buf); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
 		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Reserved control message types (all below message.FirstDataType). The
@@ -268,13 +270,117 @@ type Report struct {
 	// between the service classes.
 	CtrlDelayNs int64
 	DataDelayNs int64
+	// QueueCtrlHist and QueueDataHist are the per-lane queueing-delay
+	// distributions (log-2 nanosecond buckets) aggregated across the
+	// node's sender buffers; SwitchBatchHist and SendBatchHist are the
+	// switch-quantum and sender-batch size distributions. Together they
+	// replace the lone EWMA as the QoS detail the observer records.
+	QueueCtrlHist   metrics.HistogramSnapshot
+	QueueDataHist   metrics.HistogramSnapshot
+	SwitchBatchHist metrics.HistogramSnapshot
+	SendBatchHist   metrics.HistogramSnapshot
+	// Events is the slice of the node's flight recorder published since
+	// the previous report: the observer appends them to its per-node
+	// series to build cross-node timelines.
+	Events []trace.Event
+}
+
+// encodeHist writes a histogram snapshot sparsely: a pair count followed
+// by (bucket index, count) pairs for the non-empty buckets, in index
+// order — 4 bytes for an empty histogram instead of 388 dense.
+func encodeHist(w *Writer, s metrics.HistogramSnapshot) {
+	n := uint32(0)
+	for _, c := range s.Counts {
+		if c != 0 {
+			n++
+		}
+	}
+	w.U32(n)
+	for i, c := range s.Counts {
+		if c != 0 {
+			w.U32(uint32(i)).U64(c)
+		}
+	}
+}
+
+// decodeHist parses one sparse histogram, guarding the pair count
+// against the bytes actually present and the bucket indices against the
+// histogram range so forged headers latch as errors.
+func decodeHist(r *Reader) metrics.HistogramSnapshot {
+	var s metrics.HistogramSnapshot
+	n := r.U32()
+	if r.Err() != nil {
+		return s
+	}
+	if n > uint32(r.Remaining()/12) {
+		r.fail(fmt.Errorf("%w: histogram of %d pairs", ErrTruncated, n))
+		return s
+	}
+	for i := uint32(0); i < n; i++ {
+		idx, c := r.U32(), r.U64()
+		if r.Err() != nil {
+			return s
+		}
+		if idx >= metrics.HistogramBuckets {
+			r.fail(fmt.Errorf("%w: histogram bucket %d out of range", ErrInvalid, idx))
+			return s
+		}
+		s.Counts[idx] += c
+	}
+	return s
+}
+
+// traceEventSize is the fixed wire size of one recorder event:
+// U64 seq + I64 nanos + U32 kind + ID peer + U32 app + I64 value.
+const traceEventSize = 8 + 8 + 4 + 8 + 4 + 8
+
+// encodeEvents writes the recorder tail as fixed-width entries.
+func encodeEvents(w *Writer, evs []trace.Event) {
+	w.U32(uint32(len(evs)))
+	for _, ev := range evs {
+		w.U64(ev.Seq).I64(ev.Nanos).U32(uint32(ev.Kind)).ID(ev.Peer).U32(ev.App).I64(ev.Value)
+	}
+}
+
+// decodeEvents parses the recorder tail, guarding the count and the
+// kind range (a Kind is one byte; wider values are forged).
+func decodeEvents(r *Reader) []trace.Event {
+	n := r.U32()
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	if n > uint32(r.Remaining()/traceEventSize) {
+		r.fail(fmt.Errorf("%w: event list of %d", ErrTruncated, n))
+		return nil
+	}
+	evs := make([]trace.Event, 0, n)
+	for i := uint32(0); i < n; i++ {
+		seq, nanos := r.U64(), r.I64()
+		kind := r.U32()
+		peer := r.ID()
+		app, value := r.U32(), r.I64()
+		if r.Err() != nil {
+			return nil
+		}
+		if kind > 255 {
+			r.fail(fmt.Errorf("%w: event kind %d out of range", ErrInvalid, kind))
+			return nil
+		}
+		evs = append(evs, trace.Event{
+			Seq: seq, Nanos: nanos, Kind: trace.Kind(kind),
+			Peer: peer, App: app, Value: value,
+		})
+	}
+	return evs
 }
 
 // Encode serializes the report.
 func (rp Report) Encode() []byte {
 	// Fixed part: node ID (8) + two link counts (4+4) + app count (4) +
-	// eight I64 counters (64) = 84 bytes; each link entry is 32.
-	w := NewWriter(84 + 32*(len(rp.Upstreams)+len(rp.Downstream)) + 4*len(rp.Apps))
+	// eight I64 counters (64) = 84 bytes; each link entry is 32. The
+	// four histograms and the event tail follow, sized by content.
+	w := NewWriter(84 + 32*(len(rp.Upstreams)+len(rp.Downstream)) + 4*len(rp.Apps) +
+		4*(4+12*metrics.HistogramBuckets) + 4 + traceEventSize*len(rp.Events))
 	w.ID(rp.Node)
 	encodeLinks := func(links []LinkStatus) {
 		w.U32(uint32(len(links)))
@@ -291,6 +397,11 @@ func (rp Report) Encode() []byte {
 	w.I64(rp.MsgsIn).I64(rp.MsgsOut).I64(rp.Dropped)
 	w.I64(rp.Shed).I64(rp.BufferedBytes).I64(rp.MaxBufferedBytes)
 	w.I64(rp.CtrlDelayNs).I64(rp.DataDelayNs)
+	encodeHist(w, rp.QueueCtrlHist)
+	encodeHist(w, rp.QueueDataHist)
+	encodeHist(w, rp.SwitchBatchHist)
+	encodeHist(w, rp.SendBatchHist)
+	encodeEvents(w, rp.Events)
 	return w.Bytes()
 }
 
@@ -341,6 +452,11 @@ func DecodeReport(b []byte) (Report, error) {
 	rp.MaxBufferedBytes = r.I64()
 	rp.CtrlDelayNs = r.I64()
 	rp.DataDelayNs = r.I64()
+	rp.QueueCtrlHist = decodeHist(r)
+	rp.QueueDataHist = decodeHist(r)
+	rp.SwitchBatchHist = decodeHist(r)
+	rp.SendBatchHist = decodeHist(r)
+	rp.Events = decodeEvents(r)
 	return rp, r.Err()
 }
 

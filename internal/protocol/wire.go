@@ -18,6 +18,10 @@ import (
 // ErrTruncated reports a payload shorter than its declared contents.
 var ErrTruncated = errors.New("protocol: truncated payload")
 
+// ErrInvalid reports a field whose value is outside its legal range —
+// a forged payload rather than a short one.
+var ErrInvalid = errors.New("protocol: invalid field")
+
 // Writer appends fixed-width fields to a byte slice.
 type Writer struct {
 	buf []byte

@@ -38,8 +38,10 @@ type Proxy struct {
 	trunk    net.Conn
 	trunkOut *queue.Ring
 
-	mu    sync.Mutex
-	nodes map[message.NodeID]*queue.Ring // per-node outbound rings
+	mu       sync.Mutex
+	nodes    map[message.NodeID]*queue.Ring // per-node outbound rings
+	conns    map[net.Conn]struct{}          // every accepted node connection
+	stopping bool
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -58,6 +60,7 @@ func New(cfg Config) (*Proxy, error) {
 		cfg:      cfg,
 		trunkOut: queue.New(1024),
 		nodes:    make(map[message.NodeID]*queue.Ring),
+		conns:    make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 	}, nil
 }
@@ -90,7 +93,9 @@ func (p *Proxy) Start() error {
 	return nil
 }
 
-// Stop shuts the proxy down.
+// Stop shuts the proxy down, closing the node connections as well as the
+// trunk so every relayed node observes the failure immediately and starts
+// reconnecting instead of feeding reports into a dead relay.
 func (p *Proxy) Stop() {
 	p.once.Do(func() {
 		close(p.done)
@@ -103,8 +108,12 @@ func (p *Proxy) Stop() {
 		p.trunkOut.Close()
 		p.trunkOut.Drain()
 		p.mu.Lock()
+		p.stopping = true
 		for _, ring := range p.nodes {
 			ring.Close()
+		}
+		for conn := range p.conns {
+			_ = conn.Close()
 		}
 		p.mu.Unlock()
 		p.wg.Wait()
@@ -124,6 +133,16 @@ func (p *Proxy) acceptLoop() {
 		if err != nil {
 			return
 		}
+		// Track the connection so Stop can close it; a connection that
+		// races a concurrent Stop is closed on the spot.
+		p.mu.Lock()
+		if p.stopping {
+			p.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
 		p.wg.Add(1)
 		go p.serveNode(conn)
 	}
@@ -133,7 +152,12 @@ func (p *Proxy) acceptLoop() {
 // for commands flowing back.
 func (p *Proxy) serveNode(conn net.Conn) {
 	defer p.wg.Done()
-	defer conn.Close()
+	defer func() {
+		_ = conn.Close()
+		p.mu.Lock()
+		delete(p.conns, conn)
+		p.mu.Unlock()
+	}()
 	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 	hello, err := message.Read(conn, nil, 256)
 	if err != nil || hello.Type() != protocol.TypeHello {
@@ -172,6 +196,10 @@ func (p *Proxy) serveNode(conn net.Conn) {
 
 func (p *Proxy) nodeWriter(conn net.Conn, ring *queue.Ring) {
 	defer p.wg.Done()
+	// Closing the connection on exit kicks the paired reader out of its
+	// blocking Read, so a ring closed by replacement (or Stop) tears the
+	// whole link down rather than leaving a half-dead connection.
+	defer conn.Close()
 	for {
 		m, err := ring.Pop()
 		if err != nil {

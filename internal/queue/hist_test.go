@@ -1,0 +1,82 @@
+package queue
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/metrics"
+)
+
+// TestDelayHistogramsObservePerLane checks that attached histograms see
+// one observation per popped message, in the popped message's lane, and
+// that the shared-histogram pattern (one pair across many rings) sums.
+func TestDelayHistogramsObservePerLane(t *testing.T) {
+	var ctrlHist, dataHist metrics.Histogram
+	r1 := New(8)
+	r2 := New(8)
+	r1.SetDelayHists(&ctrlHist, &dataHist)
+	r2.SetDelayHists(&ctrlHist, &dataHist)
+
+	data := func() *message.Msg {
+		return message.New(message.FirstDataType, message.NodeID{}, 1, 0, []byte("x"))
+	}
+	ctrl := func() *message.Msg {
+		// Any type below FirstDataType is control-class.
+		return message.New(message.Type(5), message.NodeID{}, 0, 0, nil)
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := r1.Push(data()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r1.Push(ctrl()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Push(data()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond) // give the samples a measurable delay
+
+	for i := 0; i < 4; i++ {
+		m, err := r1.Pop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Release()
+	}
+	if m, ok := r2.TryPop(); !ok {
+		t.Fatal("r2 TryPop failed")
+	} else {
+		m.Release()
+	}
+
+	if got := ctrlHist.Snapshot().Count(); got != 1 {
+		t.Fatalf("ctrl histogram count = %d, want 1", got)
+	}
+	ds := dataHist.Snapshot()
+	if got := ds.Count(); got != 4 {
+		t.Fatalf("data histogram count = %d, want 4", got)
+	}
+	// Every sample waited at least the 2ms sleep; the p100 upper bound
+	// must therefore be above 2ms worth of nanoseconds.
+	if q := ds.Quantile(1.0); q < (2 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("data p100 = %dns, want >= 2ms", q)
+	}
+}
+
+// TestDelayHistogramsNilSafe: rings without histograms must behave as
+// before — the hook is optional.
+func TestDelayHistogramsNilSafe(t *testing.T) {
+	r := New(2)
+	m := message.New(message.FirstDataType, message.NodeID{}, 1, 0, nil)
+	if err := r.Push(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Release()
+}

@@ -39,7 +39,8 @@ type lane struct {
 	times  []time.Time
 	head   int // index of the oldest element
 	length int
-	delay  float64 // smoothed queueing delay, nanoseconds
+	delay  float64            // smoothed queueing delay, nanoseconds
+	hist   *metrics.Histogram // optional delay distribution (nil: EWMA only)
 }
 
 func (l *lane) full() bool { return l.length == len(l.buf) }
@@ -60,6 +61,7 @@ func (l *lane) pop(now time.Time) *message.Msg {
 	} else {
 		l.delay += delayAlpha * (d - l.delay)
 	}
+	l.hist.Observe(int64(d))
 	l.head = (l.head + 1) % len(l.buf)
 	l.length--
 	return m
@@ -108,6 +110,17 @@ func (r *Ring) SetGauge(g *metrics.Gauge) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.gauge = g
+}
+
+// SetDelayHists attaches per-lane queueing-delay histograms, shared
+// across every ring of an engine: each pop observes how long the message
+// sat buffered, in nanoseconds. The EWMA the overload detector reads is
+// unaffected; the histograms feed the QoS reports. Either may be nil.
+func (r *Ring) SetDelayHists(ctrl, data *metrics.Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ctrl.hist = ctrl
+	r.data.hist = data
 }
 
 // laneOf routes a message to its service-class lane.

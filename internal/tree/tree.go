@@ -22,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/message"
 	"repro/internal/protocol"
+	"repro/internal/trace"
 )
 
 // Variant selects the construction algorithm.
@@ -155,6 +156,7 @@ type Tree struct {
 	retryArmed     bool
 	isSource       bool
 	inSession      bool
+	everJoined     bool // a later attach is a reparent, not a first join
 	parent         message.NodeID
 	hasParent      bool
 	children       []message.NodeID
@@ -497,10 +499,18 @@ func (t *Tree) onQueryAck(m *message.Msg) {
 		t.mu.Unlock()
 		return // already joined elsewhere (first ack wins)
 	}
+	rejoining := t.everJoined
+	t.everJoined = true
 	t.parent = m.Sender()
 	t.hasParent = true
 	t.inSession = true
 	t.mu.Unlock()
+	if rejoining {
+		// A repeat attach is a topology repair: record where the subtree
+		// reparented so the observer timeline can line it up with the
+		// failure that caused it.
+		t.API.Note(trace.KindReparent, m.Sender(), t.App, 1)
+	}
 	t.joinTime.Store(time.Now().UnixNano())
 }
 
