@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt build test vet lint fuzz race chaos bench trace-smoke
+.PHONY: ci fmt build test vet lint fuzz race chaos bench bench-shards trace-smoke
 
 # ci is the tier-1 gate: everything here must pass before a change lands.
 ci: fmt vet lint build test trace-smoke fuzz race chaos
@@ -63,3 +63,11 @@ trace-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-shards sweeps the sharded switch across core counts (each -cpu
+# value sets GOMAXPROCS and thus the engine's lane count) and folds the
+# per-point results into BENCH_shards.json, the machine-readable perf
+# trajectory tracked across PRs.
+bench-shards:
+	IOVERLAY_BENCH_JSON=$(CURDIR)/BENCH_shards.json \
+		$(GO) test -run=^$$ -bench='^BenchmarkFig5Shards$$' -benchtime=2x -cpu 1,2,4,8 .

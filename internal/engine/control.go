@@ -98,7 +98,9 @@ func (e *Engine) Snapshot() protocol.Report {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	rp := protocol.Report{Node: e.id}
+	queued := make([]uint32, len(e.shards))
 	for peer, r := range e.receivers {
+		queued[r.sh.idx] += uint32(r.ring.Len())
 		rp.Upstreams = append(rp.Upstreams, protocol.LinkStatus{
 			Peer:       peer,
 			Rate:       r.meter.Rate(),
@@ -147,10 +149,23 @@ func (e *Engine) Snapshot() protocol.Report {
 		}
 	}
 	rp.CtrlDelayNs, rp.DataDelayNs = int64(ctrl), int64(data)
-	rp.QueueCtrlHist = e.ctrlDelayHist.Snapshot()
-	rp.QueueDataHist = e.dataDelayHist.Snapshot()
-	rp.SwitchBatchHist = e.switchBatchHist.Snapshot()
-	rp.SendBatchHist = e.sendBatchHist.Snapshot()
+	// Per-lane distributions live on the shards; the report ships them
+	// merged (the wire format is unchanged) plus one occupancy line per
+	// shard so the observer can see lane balance and handoff depth.
+	for i, sh := range e.shards {
+		rp.QueueCtrlHist.Merge(sh.ctrlDelayHist.Snapshot())
+		rp.QueueDataHist.Merge(sh.dataDelayHist.Snapshot())
+		rp.SwitchBatchHist.Merge(sh.switchBatchHist.Snapshot())
+		rp.SendBatchHist.Merge(sh.sendBatchHist.Snapshot())
+		rp.Shards = append(rp.Shards, protocol.ShardStatus{
+			Shard:        uint32(i),
+			Switched:     uint64(sh.switched.Load()),
+			Queued:       queued[i],
+			Parked:       uint32(sh.parkedLen.Load()),
+			HandoffDepth: uint32(sh.inboxDepth.Load()),
+			HandoffPeak:  uint32(sh.inboxDepth.Max()),
+		})
+	}
 	return rp
 }
 
@@ -265,10 +280,12 @@ func (e *Engine) periodic() {
 			protocol.Throughput{Peer: d.peer, Rate: d.rate}.Encode())
 	}
 	e.scanSlowPeers(senders)
-	// Liveness kick: re-arm the switch unconditionally so that a missed
+	// Liveness kick: re-arm every shard unconditionally so that a missed
 	// work signal (however it was lost) stalls progress for at most one
 	// status interval instead of forever.
-	e.signalWork()
+	for _, sh := range e.shards {
+		sh.signal()
+	}
 }
 
 // scanSlowPeers applies slow-peer protection on the engine goroutine: a
@@ -382,7 +399,8 @@ func (e *Engine) LinkRate(peer message.NodeID, down bool) float64 {
 }
 
 // SetReceiverWeight tunes the switch's weighted round-robin. Part of the
-// API interface; must run on the engine goroutine.
+// API interface; safe from any goroutine (the weight is atomic — the
+// owner shard's scheduler reads it while the algorithm shard tunes it).
 func (e *Engine) SetReceiverWeight(peer message.NodeID, weight int) {
 	if weight < 1 {
 		weight = 1
@@ -390,7 +408,7 @@ func (e *Engine) SetReceiverWeight(peer message.NodeID, weight int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if r, ok := e.receivers[peer]; ok {
-		r.weight = weight
+		r.weight.Store(int32(weight))
 	}
 }
 

@@ -19,7 +19,7 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sort"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,6 +87,13 @@ type Config struct {
 	// SwitchBudget bounds data messages processed per switch pass so
 	// control messages stay responsive under heavy data load.
 	SwitchBudget int
+	// Shards splits the switch into that many per-core lanes: receiver
+	// and sender links are hashed to an owner shard, each shard runs its
+	// own stride scheduler, and cross-shard flows ride bounded lock-free
+	// MPSC handoff rings. Algorithm.Process stays serialized on the
+	// designated algorithm shard regardless. Zero selects GOMAXPROCS;
+	// 1 restores the single-goroutine switch.
+	Shards int
 	// BatchSize bounds how many message references move per ring operation
 	// across the data path: the receiver's decoded-message push, the
 	// switch's per-quantum drain, the sender's buffer drain, and unlimited
@@ -161,6 +168,9 @@ func (c *Config) applyDefaults() {
 	if c.SwitchBudget <= 0 {
 		c.SwitchBudget = DefaultSwitchBudget
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = DefaultBatchSize
 	}
@@ -223,46 +233,50 @@ type Engine struct {
 	// parked backlog; shedding latches the memory-budget hysteresis.
 	bufBytes metrics.Gauge
 	shedding atomic.Bool
+	// heldBytes gauges the wire bytes popped off a ring but not yet
+	// disposed of: a batch riding a stride quantum, or a sender's write
+	// batch draining through a shaped link (which can take seconds). With
+	// one switch goroutine that window hid at most one batch from the
+	// budget; with N lanes plus per-sender write batches it hides many,
+	// enough to push the peak past the budget — so admission sums
+	// bufBytes and heldBytes.
+	heldBytes metrics.Gauge
+	// reserved gauges admission grants not yet landed on bufBytes: an
+	// admitter reserves its batch before pushing and releases after the
+	// ring gauge has absorbed it, so concurrent admitters cannot all
+	// squeeze through the same headroom reading.
+	reserved metrics.Gauge
 
 	// rec is the flight recorder: nil when Config.EventLog is negative,
 	// in which case trace.Emit's nil receiver makes every emit a no-op.
 	// Safe from any goroutine.
 	rec *trace.Recorder
-	// Queue-delay and batch-size distributions, shipped with each status
-	// report. All observe lock-free; safe from any goroutine.
-	ctrlDelayHist   metrics.Histogram // sender ctrl-lane queueing delay (ns)
-	dataDelayHist   metrics.Histogram // sender data-lane queueing delay (ns)
-	switchBatchHist metrics.Histogram // messages per switch quantum
-	sendBatchHist   metrics.Histogram // messages per sender ring drain
 
-	// debugGID records the engine goroutine's ID in ioverlay_debug
-	// builds so algorithm upcalls can assert single-threaded ownership;
-	// zero (never set) in release builds.
+	// shards are the switch lanes; shards[0] is the algorithm shard (the
+	// engine goroutine). Per-lane scheduler state, parked backlogs, batch
+	// buffers and queue-delay histograms all live there — see shard.go.
+	shards []*shard
+
+	// debugGID records the algorithm-shard goroutine's ID in
+	// ioverlay_debug builds so algorithm upcalls can assert
+	// single-threaded ownership; zero (never set) in release builds.
 	debugGID int64
 
 	localRing *queue.Ring // source-injected data, drained like a receiver
 	localApps map[uint32]*source
 	obs       *observerLink
 
-	// Engine-goroutine-only state.
-	// lastDest/lastSender cache the most recent Send destination's link:
-	// overlay nodes forward overwhelmingly to the same few peers, so this
-	// skips the sender-map mutex on the hot path. Invalidated when the
-	// cached sender is torn down.
-	lastDest     message.NodeID
-	lastSender   *sender
-	parked       []parkedMsg
-	parkedByDest map[message.NodeID]int
-	pingSent     map[uint32]time.Time
-	probeRecv    map[probeKey]*probeAgg
-	nextToken    uint32
-	localPass    float64        // stride virtual time of the local source ring
-	switchBuf    []*message.Msg // scratch for per-quantum batched pops
-	lastEventSeq uint64         // recorder cursor already shipped in a report
+	// Engine-goroutine-only state (the algorithm shard's goroutine).
+	pingSent  map[uint32]time.Time
+	probeRecv map[probeKey]*probeAgg
+	nextToken uint32
+	// sentApps tracks which apps have been forwarded toward which
+	// destination, for BrokenSource cascades.
+	sentApps     map[message.NodeID]map[uint32]struct{}
+	lastEventSeq uint64 // recorder cursor already shipped in a report
 
 	control chan ctrlMsg
 	events  chan func()
-	work    chan struct{}
 	done    chan struct{}
 	started bool
 	wg      sync.WaitGroup
@@ -284,25 +298,28 @@ func New(cfg Config) (*Engine, error) {
 	}
 	cfg.applyDefaults()
 	e := &Engine{
-		cfg:          cfg,
-		id:           cfg.ID,
-		alg:          cfg.Algorithm,
-		pool:         message.NewPool(),
-		budget:       bandwidth.NewNodeBudget(cfg.TotalBW, cfg.UpBW, cfg.DownBW),
-		receivers:    make(map[message.NodeID]*receiver),
-		senders:      make(map[message.NodeID]*sender),
-		linkRates:    make(map[message.NodeID]int64),
-		localRing:    queue.New(cfg.RecvBuf),
-		localApps:    make(map[uint32]*source),
-		switchBuf:    make([]*message.Msg, cfg.BatchSize),
-		parkedByDest: make(map[message.NodeID]int),
-		pingSent:     make(map[uint32]time.Time),
-		control:      make(chan ctrlMsg, 1024),
-		events:       make(chan func(), 4096),
-		work:         make(chan struct{}, 1),
-		done:         make(chan struct{}),
+		cfg:       cfg,
+		id:        cfg.ID,
+		alg:       cfg.Algorithm,
+		pool:      message.NewPool(),
+		budget:    bandwidth.NewNodeBudget(cfg.TotalBW, cfg.UpBW, cfg.DownBW),
+		receivers: make(map[message.NodeID]*receiver),
+		senders:   make(map[message.NodeID]*sender),
+		linkRates: make(map[message.NodeID]int64),
+		localRing: queue.New(cfg.RecvBuf),
+		localApps: make(map[uint32]*source),
+		pingSent:  make(map[uint32]time.Time),
+		sentApps:  make(map[message.NodeID]map[uint32]struct{}),
+		control:   make(chan ctrlMsg, 1024),
+		events:    make(chan func(), 4096),
+		done:      make(chan struct{}),
+	}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = newShard(e, i)
 	}
 	e.localRing.SetGauge(&e.bufBytes)
+	e.localRing.SetHeldGauge(&e.heldBytes)
 	if cfg.EventLog > 0 {
 		e.rec = trace.New(cfg.EventLog)
 	}
@@ -334,34 +351,59 @@ func (e *Engine) Note(kind trace.Kind, peer message.NodeID, app uint32, value in
 // before the peer is reported to the algorithm as a SlowPeer.
 const slowPeerStrikes = 3
 
-// overBudget reports whether overload shedding applies to an admission of
-// n more buffered bytes, latching hysteresis at the watermarks: shedding
-// engages when buffered bytes would cross 3/4 of the budget and stays on
-// until they fall to 1/2. Safe from any goroutine.
-func (e *Engine) overBudget(n int64) bool {
+// admitBudget grants or refuses the admission of n more buffered bytes,
+// latching hysteresis at the watermarks: shedding engages when buffered
+// bytes would cross 3/4 of the budget and stays on until they fall to
+// 1/2. Safe from any goroutine — receiver, source and shard goroutines
+// all admit concurrently, so the grant itself is a compare-and-swap on
+// the reservation gauge: an admitter that wins the CAS owns n bytes of
+// headroom before its push lands on bufBytes (released afterward with
+// releaseBudget), which closes the check-then-push window where several
+// admitters could all read the same headroom and collectively overshoot
+// the budget. The shedding latch likewise transitions by CAS, so exactly
+// one admitter emits each watermark trace event.
+func (e *Engine) admitBudget(n int64) bool {
 	b := e.cfg.MemoryBudget
 	if b <= 0 {
-		return false
+		return true
 	}
-	v := e.bufBytes.Load()
 	if invariant.Enabled {
-		invariant.Assert(v >= 0, "buffered-bytes gauge negative: %d", v)
+		invariant.Assert(e.bufBytes.Load() >= 0, "buffered-bytes gauge negative: %d", e.bufBytes.Load())
 		invariant.Assert(b-b/4 >= b/2, "shed watermarks inverted: high %d < low %d", b-b/4, b/2)
 	}
-	if e.shedding.Load() {
-		if v <= b/2 {
-			e.shedding.Store(false)
-			e.rec.Emit(trace.KindWatermark, message.NodeID{}, 0, 0)
+	for {
+		r := e.reserved.Load()
+		// In-flight switch batches and outstanding reservations count
+		// against the budget too: their bytes are buffered even though no
+		// ring gauges them right now.
+		v := e.bufBytes.Load() + e.heldBytes.Load() + r
+		if e.shedding.Load() {
+			if v > b/2 {
+				return false
+			}
+			if e.shedding.CompareAndSwap(true, false) {
+				e.rec.Emit(trace.KindWatermark, message.NodeID{}, 0, 0)
+			}
+			continue // latch released (by us or a racer); re-evaluate
+		}
+		if v+n > b-b/4 {
+			if e.shedding.CompareAndSwap(false, true) {
+				e.rec.Emit(trace.KindWatermark, message.NodeID{}, 0, 1)
+			}
 			return false
 		}
-		return true
+		if e.reserved.CompareAndSwap(r, r+n) {
+			return true
+		}
 	}
-	if v+n > b-b/4 {
-		e.shedding.Store(true)
-		e.rec.Emit(trace.KindWatermark, message.NodeID{}, 0, 1)
-		return true
+}
+
+// releaseBudget returns a reservation taken by admitBudget once the
+// admitted batch has landed on the ring gauge.
+func (e *Engine) releaseBudget(n int64) {
+	if n > 0 && e.cfg.MemoryBudget > 0 {
+		e.reserved.Add(-n)
 	}
-	return false
 }
 
 // shedFrom drops up to maxMsgs of the oldest data messages from the ring
@@ -382,25 +424,59 @@ func (e *Engine) shedFrom(r *queue.Ring, peer message.NodeID, maxMsgs int, minBy
 	return freed
 }
 
+// reserveUpTo grants as much of an n-byte trade reservation as fits
+// under the hard budget ceiling, returning the granted bytes. Safe from
+// any goroutine: the CAS on the reservation gauge serializes concurrent
+// traders, so two of them can never both claim the last stretch of
+// headroom.
+func (e *Engine) reserveUpTo(n int64) int64 {
+	b := e.cfg.MemoryBudget
+	for {
+		r := e.reserved.Load()
+		head := b - e.bufBytes.Load() - e.heldBytes.Load() - r
+		if head <= 0 {
+			return 0
+		}
+		g := n
+		if g > head {
+			g = head
+		}
+		if e.reserved.CompareAndSwap(r, r+g) {
+			return g
+		}
+	}
+}
+
 // shedBatchForBudget applies drop-head admission control to a batch of
 // data messages about to enter ring: old buffered data is shed to make
 // room, and any remainder that could not be traded (the ring held too
-// little data) is shed from the batch's own tail so buffered bytes cannot
-// grow past the budget. It returns the admitted prefix-packed batch.
-func (e *Engine) shedBatchForBudget(ring *queue.Ring, peer message.NodeID, batch []*message.Msg, bytes int64) []*message.Msg {
-	if !e.overBudget(bytes) {
-		return batch
+// little data, or the budget has no headroom left) is shed from the
+// batch's own tail so buffered bytes cannot grow past the budget. The
+// trade is bounded twice — by the bytes just freed from the ring (net
+// non-increase, the drop-head exchange) AND by a hard-ceiling
+// reservation (several rings trading concurrently must not stack their
+// freed allowances past the budget). It returns the admitted
+// prefix-packed batch and the reservation the caller must hand back
+// through releaseBudget after pushing.
+func (e *Engine) shedBatchForBudget(ring *queue.Ring, peer message.NodeID, batch []*message.Msg, bytes int64) ([]*message.Msg, int64) {
+	if e.admitBudget(bytes) {
+		return batch, bytes
 	}
 	freed := e.shedFrom(ring, peer, ring.Cap(), bytes)
-	if freed >= bytes {
-		return batch
+	want := bytes
+	if want > freed {
+		want = freed
+	}
+	var allowed int64
+	if want > 0 {
+		allowed = e.reserveUpTo(want)
 	}
 	kept := 0
 	var keptBytes int64
 	var tailShed int64
 	for _, m := range batch {
 		wl := int64(m.WireLen())
-		if keptBytes+wl > freed {
+		if keptBytes+wl > allowed {
 			e.counters.AddShed(wl)
 			tailShed += wl
 			m.Release()
@@ -410,10 +486,13 @@ func (e *Engine) shedBatchForBudget(ring *queue.Ring, peer message.NodeID, batch
 		kept++
 		keptBytes += wl
 	}
+	if allowed > keptBytes {
+		e.reserved.Add(keptBytes - allowed) // return the unusable fraction
+	}
 	if tailShed > 0 {
 		e.rec.Emit(trace.KindShed, peer, 0, tailShed)
 	}
-	return batch[:kept]
+	return batch[:kept], keptBytes
 }
 
 // BufferedBytes reports the wire bytes currently buffered across the
@@ -461,6 +540,10 @@ func (e *Engine) Start() error {
 	e.wg.Add(2)
 	go e.acceptLoop(l)
 	go e.run()
+	for _, sh := range e.shards[1:] {
+		e.wg.Add(1)
+		go sh.run()
+	}
 	e.started = true
 
 	if !e.cfg.Observer.IsZero() {
@@ -611,6 +694,11 @@ func (e *Engine) drainedForDeparture() bool {
 	if e.obs != nil && e.obs.ring.Len() > 0 {
 		return false
 	}
+	for _, sh := range e.shards {
+		if sh.inboxDepth.Load() > 0 {
+			return false
+		}
+	}
 	return true
 }
 
@@ -678,12 +766,11 @@ func (e *Engine) Stop() {
 	}
 	e.budget.Close()
 	e.wg.Wait()
-	// Release anything still parked or queued.
-	for _, p := range e.parked {
-		e.bufBytes.Add(-int64(p.m.WireLen()))
-		p.m.Release()
+	// Release anything still parked, pending or in a handoff ring. Every
+	// shard goroutine has exited, so the shard-local state is quiescent.
+	for _, sh := range e.shards {
+		sh.drainForStop()
 	}
-	e.parked = nil
 	for _, s := range senders {
 		s.ring.Drain()
 	}
@@ -693,16 +780,23 @@ func (e *Engine) Stop() {
 		// buffered bytes, or some path lost track of a message.
 		invariant.Assert(e.bufBytes.Load() == 0,
 			"buffered-bytes gauge %d after Stop drained everything", e.bufBytes.Load())
+		invariant.Assert(e.heldBytes.Load() == 0,
+			"switch-held gauge %d after every shard goroutine exited", e.heldBytes.Load())
+		invariant.Assert(e.reserved.Load() == 0,
+			"budget reservation gauge %d after every admitter exited", e.reserved.Load())
 	}
 }
 
-// run is the engine goroutine: the Go analogue of the paper's engine
-// thread, multiplexing control messages, internal events, switch work and
-// periodic measurement.
+// run is the engine goroutine — the algorithm shard: the Go analogue of
+// the paper's engine thread, multiplexing control messages, internal
+// events, switch work and periodic measurement. Every Algorithm.Process
+// call happens here, whichever shard's scheduler popped the message.
 func (e *Engine) run() {
 	defer e.wg.Done()
+	sh := e.shards[0]
 	if invariant.Enabled {
 		e.debugGID = invariant.GoroutineID()
+		sh.debugGID = e.debugGID
 	}
 	ticker := time.NewTicker(e.cfg.StatusInterval)
 	defer ticker.Stop()
@@ -712,13 +806,13 @@ func (e *Engine) run() {
 			e.process(cm)
 		case fn := <-e.events:
 			fn()
-		case <-e.work:
+		case <-sh.work:
 			// Control before data: a work signal competes fairly with the
 			// control channel in this select, so under saturation a pure
 			// select would serve data half the time. Draining pending
 			// control first keeps failure notifications ahead of payload.
 			e.drainControl()
-			e.switchOnce()
+			sh.runPass()
 		case <-ticker.C:
 			e.periodic()
 		case <-e.done:
@@ -752,13 +846,8 @@ func (e *Engine) Do(fn func(api API)) {
 	e.postEvent(func() { fn(e) })
 }
 
-// signalWork nudges the engine goroutine to run the switch.
-func (e *Engine) signalWork() {
-	select {
-	case e.work <- struct{}{}:
-	default:
-	}
-}
+// signalWork nudges the algorithm shard to run the switch.
+func (e *Engine) signalWork() { e.shards[0].signal() }
 
 // postEvent schedules fn on the engine goroutine; events are dropped only
 // during shutdown.
@@ -797,158 +886,8 @@ func (e *Engine) notifyAlg(typ message.Type, app uint32, payload []byte) {
 }
 
 // ----- the switch -----
-
-// switchOnce retries parked messages, then switches data messages from
-// receiver buffers through the algorithm. Service order is stride
-// scheduling on the dynamically tunable per-receiver weights: each quantum
-// drains a bounded batch from the smallest-virtual-time nonempty buffer
-// and advances that buffer's virtual time by batch/weight, which yields
-// weighted fair sharing even when back-pressure admits only a trickle
-// while amortizing the ring lock over the whole quantum.
-func (e *Engine) switchOnce() {
-	e.retryParked()
-	budget := e.cfg.SwitchBudget
-	rs := e.receiverSnapshot()
-	// Admit newcomers at the current minimum virtual time so they
-	// neither monopolize nor starve.
-	minPass := e.localPass
-	for _, r := range rs {
-		if r.pass >= 0 && r.pass < minPass {
-			minPass = r.pass
-		}
-	}
-	for _, r := range rs {
-		if r.pass < 0 {
-			r.pass = minPass
-		}
-	}
-	for budget > 0 && len(e.parked) < e.cfg.MaxParked {
-		var best *receiver
-		bestLocal := false
-		bestPass := 0.0
-		if e.localRing.Len() > 0 {
-			bestLocal = true
-			bestPass = e.localPass
-		}
-		for _, r := range rs {
-			if r.ring.Len() == 0 {
-				continue
-			}
-			if (!bestLocal && best == nil) || r.pass < bestPass {
-				best, bestLocal, bestPass = r, false, r.pass
-			}
-		}
-		if best == nil && !bestLocal {
-			return // nothing to switch
-		}
-		// One quantum: a single batched pop bounded by the remaining
-		// budget and the parked-backlog headroom, so the switch admits no
-		// more work per pass than the unbatched loop did.
-		quantum := len(e.switchBuf)
-		if quantum > budget {
-			quantum = budget
-		}
-		if headroom := e.cfg.MaxParked - len(e.parked); quantum > headroom {
-			quantum = headroom
-		}
-		var n int
-		var from message.NodeID
-		if bestLocal {
-			n = e.localRing.TryPopBatch(e.switchBuf[:quantum])
-			e.localPass += float64(n)
-		} else {
-			n = best.ring.TryPopBatch(e.switchBuf[:quantum])
-			from = best.peer
-			w := best.weight
-			if w < 1 {
-				w = 1
-			}
-			best.pass += float64(n) / float64(w)
-		}
-		if n == 0 {
-			continue
-		}
-		budget -= n
-		e.switchBatchHist.Observe(int64(n))
-		e.rec.Emit(trace.KindSwitch, from, 0, int64(n))
-		for i := 0; i < n; i++ {
-			m := e.switchBuf[i]
-			e.switchBuf[i] = nil
-			if best != nil {
-				best.apps[m.App()] = struct{}{}
-			}
-			if e.alg.Process(m) == Done {
-				m.Release()
-			}
-		}
-	}
-	// Re-arm only when the budget stopped us with work still queued AND
-	// the parked backlog leaves the next pass headroom to make progress.
-	// When back-pressure (the parked limit) binds, self-signaling would
-	// hot-spin the engine goroutine: the sender goroutines signal work as
-	// their rings drain, which is the event that can make progress.
-	if budget > 0 || len(e.parked) >= e.cfg.MaxParked {
-		return
-	}
-	if e.localRing.Len() > 0 {
-		e.signalWork()
-		return
-	}
-	for _, r := range rs {
-		if r.ring.Len() > 0 {
-			e.signalWork()
-			return
-		}
-	}
-}
-
-// retryParked re-attempts delivery of messages labeled with remaining
-// senders, preserving per-destination FIFO order.
-func (e *Engine) retryParked() {
-	if len(e.parked) == 0 {
-		return
-	}
-	stillFull := make(map[message.NodeID]bool)
-	kept := e.parked[:0]
-	for _, p := range e.parked {
-		if stillFull[p.dest] {
-			kept = append(kept, p)
-			continue
-		}
-		s := e.senderLocked(p.dest)
-		if s == nil {
-			e.counters.AddDropped(int64(p.m.WireLen()))
-			e.bufBytes.Add(-int64(p.m.WireLen()))
-			p.m.Release()
-			e.parkedByDest[p.dest]--
-			continue
-		}
-		// The ring re-gauges the message on push, so the parked share is
-		// released either way.
-		if s.ring.TryPush(p.m) {
-			e.bufBytes.Add(-int64(p.m.WireLen()))
-			e.parkedByDest[p.dest]--
-		} else {
-			stillFull[p.dest] = true
-			kept = append(kept, p)
-		}
-	}
-	for i := len(kept); i < len(e.parked); i++ {
-		e.parked[i] = parkedMsg{}
-	}
-	e.parked = kept
-}
-
-func (e *Engine) receiverSnapshot() []*receiver {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	rs := make([]*receiver, 0, len(e.receivers))
-	for _, r := range e.receivers {
-		rs = append(rs, r)
-	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].peer.Less(rs[j].peer) })
-	return rs
-}
+// The switch itself is sharded: scheduling, parked retries and handoff
+// draining live on the per-shard methods in shard.go.
 
 func (e *Engine) senderLocked(peer message.NodeID) *sender {
 	e.mu.Lock()
@@ -959,7 +898,9 @@ func (e *Engine) senderLocked(peer message.NodeID) *sender {
 // ----- sending -----
 
 // Send forwards m to dest, retaining a reference for the transfer. Part
-// of the API interface; must be called from the engine goroutine.
+// of the API interface; must be called from the engine goroutine (the
+// algorithm shard). Destinations owned by another shard are handed off
+// through that shard's MPSC inbox — see shard.send.
 func (e *Engine) Send(m *message.Msg, dest message.NodeID) {
 	if dest == e.id {
 		return // self-sends are meaningless in the overlay
@@ -969,36 +910,7 @@ func (e *Engine) Send(m *message.Msg, dest message.NodeID) {
 		e.sendToObserver(m)
 		return
 	}
-	s := e.lastSender
-	if s == nil || e.lastDest != dest {
-		s = e.ensureSender(dest)
-		if s == nil {
-			e.counters.AddDropped(int64(m.WireLen()))
-			m.Release()
-			return
-		}
-		e.lastDest, e.lastSender = dest, s
-	}
-	if m.IsControl() {
-		// Control never waits behind parked data: the ring's priority lane
-		// preserves control-vs-control order on its own, and relaxing
-		// cross-class order is exactly the service-class contract. Parking
-		// happens only when the control lane itself is full.
-		if !s.ring.TryPush(m) {
-			e.parked = append(e.parked, parkedMsg{m: m, dest: dest})
-			e.parkedByDest[dest]++
-			e.bufBytes.Add(int64(m.WireLen()))
-		}
-		return
-	}
-	s.apps[m.App()] = struct{}{}
-	// Preserve per-destination order: anything already parked for dest
-	// must go first.
-	if e.parkedByDest[dest] > 0 || !s.ring.TryPush(m) {
-		e.parked = append(e.parked, parkedMsg{m: m, dest: dest})
-		e.parkedByDest[dest]++
-		e.bufBytes.Add(int64(m.WireLen()))
-	}
+	e.shards[0].send(m, dest)
 }
 
 // SendNew sends an algorithm-constructed message to each destination and
@@ -1035,10 +947,11 @@ func (e *Engine) ensureSender(peer message.NodeID) *sender {
 		return s
 	}
 	rate := e.linkRates[peer]
-	s := newSender(peer, e.cfg.SendBuf, rate, &e.bufBytes)
-	// All sender rings feed the same per-lane delay distributions: the
-	// report ships one queue-delay histogram per lane per node.
-	s.ring.SetDelayHists(&e.ctrlDelayHist, &e.dataDelayHist)
+	s := newSender(peer, e.cfg.SendBuf, rate, &e.bufBytes, &e.heldBytes)
+	// Sender rings feed their owner shard's per-lane delay distributions;
+	// the report ships the shards' histograms merged, one per lane.
+	s.sh = e.shardFor(peer)
+	s.ring.SetDelayHists(&s.sh.ctrlDelayHist, &s.sh.dataDelayHist)
 	e.senders[peer] = s
 	e.wg.Add(1)
 	go e.runSender(s)
@@ -1069,8 +982,10 @@ func (e *Engine) receiverGone(r *receiver) {
 		if !ok {
 			break
 		}
-		e.counters.AddDropped(int64(m.WireLen()))
+		wl := int64(m.WireLen())
+		e.counters.AddDropped(wl)
 		m.Release()
+		e.heldBytes.Add(-wl) // settle the pop's held-gauge transfer
 	}
 	e.rec.Emit(trace.KindLinkDown, r.peer, 0, 1)
 	e.notifyAlg(protocol.TypeLinkDown, 0,
@@ -1108,15 +1023,15 @@ func (e *Engine) brokenSource(app uint32, upstream message.NodeID) {
 	payload := protocol.BrokenSource{App: app, Upstream: upstream}.Encode()
 	e.notifyAlg(protocol.TypeBrokenSource, app, payload)
 
-	e.mu.Lock()
+	// sentApps is algorithm-shard state, like this whole cascade path.
 	var dests []message.NodeID
-	for peer, s := range e.senders {
-		if _, ok := s.apps[app]; ok {
+	for peer, apps := range e.sentApps {
+		if _, ok := apps[app]; ok {
 			dests = append(dests, peer)
-			delete(s.apps, app)
+			delete(apps, app)
 		}
 	}
-	e.mu.Unlock()
+	sortIDs(dests)
 	for _, d := range dests {
 		fwd := protocol.BrokenSource{App: app, Upstream: e.id}.Encode()
 		e.SendNew(message.New(protocol.TypeBrokenSource, e.id, app, 0, fwd), d)
@@ -1133,28 +1048,19 @@ func (e *Engine) senderGone(s *sender) {
 	delete(e.senders, s.peer)
 	e.mu.Unlock()
 
-	if e.lastSender == s {
-		e.lastSender = nil
-	}
+	e.shards[0].invalidateSender(s)
+	delete(e.sentApps, s.peer)
 	s.ring.Close()
 	e.dropQueued(s)
 	s.linkLimit.Close()
-	// Drop parked messages for the dead destination.
-	kept := e.parked[:0]
-	for _, p := range e.parked {
-		if p.dest == s.peer {
-			e.counters.AddDropped(int64(p.m.WireLen()))
-			e.bufBytes.Add(-int64(p.m.WireLen()))
-			p.m.Release()
-			e.parkedByDest[p.dest]--
-			continue
-		}
-		kept = append(kept, p)
+	// Drop parked messages for the dead destination. The algorithm shard's
+	// backlog is cleaned here; the owner shard (whose cache and backlog
+	// cannot be touched from this goroutine) is signaled and drops its own
+	// parked share on the next retry round, when the sender lookup fails.
+	e.shards[0].dropParkedFor(s.peer, true)
+	if owner := e.shardFor(s.peer); owner != e.shards[0] {
+		owner.signal()
 	}
-	for i := len(kept); i < len(e.parked); i++ {
-		e.parked[i] = parkedMsg{}
-	}
-	e.parked = kept
 	e.rec.Emit(trace.KindLinkDown, s.peer, 0, 0)
 	e.notifyAlg(protocol.TypeLinkDown, 0,
 		protocol.LinkEvent{Peer: s.peer, Upstream: false}.Encode())
@@ -1191,20 +1097,12 @@ func (e *Engine) CloseLink(peer message.NodeID) {
 	if s == nil {
 		return
 	}
-	if e.lastSender == s {
-		e.lastSender = nil
-	}
+	e.shards[0].invalidateSender(s)
+	delete(e.sentApps, peer)
 	s.ring.Close() // sender goroutine flushes remaining messages and exits
 	s.linkLimit.Close()
-	kept := e.parked[:0]
-	for _, p := range e.parked {
-		if p.dest == peer {
-			e.bufBytes.Add(-int64(p.m.WireLen()))
-			p.m.Release()
-			e.parkedByDest[p.dest]--
-			continue
-		}
-		kept = append(kept, p)
+	e.shards[0].dropParkedFor(peer, false)
+	if owner := e.shardFor(peer); owner != e.shards[0] {
+		owner.signal()
 	}
-	e.parked = kept
 }

@@ -24,26 +24,28 @@ type receiver struct {
 	conn   net.Conn
 	ring   *queue.Ring
 	meter  *metrics.Meter
-	weight int                 // weighted share; engine goroutine only
-	pass   float64             // stride-scheduling virtual time
-	apps   map[uint32]struct{} // data apps seen on this link; engine goroutine only
+	sh     *shard              // owner shard, fixed at handshake by peer hash
+	weight atomic.Int32        // weighted share; written via SetReceiverWeight
+	pass   float64             // stride-scheduling virtual time; owner shard only
+	apps   map[uint32]struct{} // data apps seen on this link; algorithm shard only
 	// inactivity is the monotonic staleness deadline: armed at
 	// InactivityTimeout past the last observed traffic, fired on the
 	// engine goroutine. Engine goroutine only after arming.
 	inactivity *time.Timer
 }
 
-func newReceiver(peer message.NodeID, conn net.Conn, bufMsgs int, gauge *metrics.Gauge) *receiver {
+func newReceiver(peer message.NodeID, conn net.Conn, bufMsgs int, gauge, held *metrics.Gauge) *receiver {
 	r := &receiver{
-		peer:   peer,
-		conn:   conn,
-		ring:   queue.New(bufMsgs),
-		meter:  metrics.NewMeter(0),
-		weight: 1,
-		pass:   -1, // joins the stride scheduler at the current minimum
-		apps:   make(map[uint32]struct{}),
+		peer:  peer,
+		conn:  conn,
+		ring:  queue.New(bufMsgs),
+		meter: metrics.NewMeter(0),
+		pass:  -1, // joins the stride scheduler at the current minimum
+		apps:  make(map[uint32]struct{}),
 	}
+	r.weight.Store(1)
 	r.ring.SetGauge(gauge)
+	r.ring.SetHeldGauge(held)
 	return r
 }
 
@@ -86,7 +88,7 @@ func (e *Engine) runReceiver(r *receiver) {
 		// with the oldest buffered data instead of growing the buffers
 		// (drop-head), so this push blocks neither the upstream connection
 		// nor the budget.
-		toPush := e.shedBatchForBudget(r.ring, r.peer, batch, bytes)
+		toPush, reserved := e.shedBatchForBudget(r.ring, r.peer, batch, bytes)
 		bytes = 0
 		if len(toPush) > 0 {
 			n, err := r.ring.PushBatch(toPush)
@@ -94,12 +96,14 @@ func (e *Engine) runReceiver(r *receiver) {
 				for _, rest := range toPush[n:] {
 					rest.Release()
 				}
+				e.releaseBudget(reserved)
 				batch = batch[:0]
 				return false
 			}
 		}
+		e.releaseBudget(reserved)
 		batch = batch[:0]
-		e.signalWork()
+		r.sh.signal()
 		return true
 	}
 	// deliver routes one decoded message; false means stand down.
@@ -220,8 +224,8 @@ type sender struct {
 	connReady chan struct{}
 	ring      *queue.Ring
 	meter     *metrics.Meter
-	linkLimit *bandwidth.Limiter  // per-link emulated bandwidth
-	apps      map[uint32]struct{} // data apps forwarded; engine goroutine only
+	linkLimit *bandwidth.Limiter // per-link emulated bandwidth
+	sh        *shard             // owner shard, fixed at creation by peer hash
 	// inflight counts messages popped from the ring but not yet fully
 	// written, so a graceful departure can tell an empty buffer from a
 	// drained link.
@@ -235,16 +239,16 @@ type sender struct {
 	stallShed    int64
 }
 
-func newSender(peer message.NodeID, bufMsgs int, linkRate int64, gauge *metrics.Gauge) *sender {
+func newSender(peer message.NodeID, bufMsgs int, linkRate int64, gauge, held *metrics.Gauge) *sender {
 	s := &sender{
 		peer:      peer,
 		connReady: make(chan struct{}),
 		ring:      queue.New(bufMsgs),
 		meter:     metrics.NewMeter(0),
 		linkLimit: bandwidth.NewLimiter(linkRate),
-		apps:      make(map[uint32]struct{}),
 	}
 	s.ring.SetGauge(gauge)
+	s.ring.SetHeldGauge(held)
 	return s
 }
 
@@ -297,7 +301,14 @@ func (e *Engine) runSender(s *sender) {
 			return
 		}
 		s.inflight.Store(int32(n))
-		e.sendBatchHist.Observe(int64(n))
+		s.sh.sendBatchHist.Observe(int64(n))
+		// The pop transferred these bytes to the held gauge; they settle
+		// only when the batch is disposed of below, so the memory budget
+		// keeps seeing a shaped batch for the seconds it takes to drain.
+		var held int64
+		for i := 0; i < n; i++ {
+			held += int64(batch[i].WireLen())
+		}
 		// Flush per message only on shaped links: when bandwidth emulation
 		// paces this sender, holding messages in the write buffer would
 		// turn a smooth emulated rate into large bursts downstream.
@@ -364,7 +375,8 @@ func (e *Engine) runSender(s *sender) {
 					if !ok {
 						break
 					}
-					e.rec.Emit(trace.KindCtrlBypass, s.peer, cm.App(), int64(cm.WireLen()))
+					cwl := int64(cm.WireLen())
+					e.rec.Emit(trace.KindCtrlBypass, s.peer, cm.App(), cwl)
 					cn, e3 := cm.WriteTo(shaped)
 					werr = e3
 					if werr == nil && shapedLink {
@@ -374,6 +386,7 @@ func (e *Engine) runSender(s *sender) {
 					e.counters.AddOut(cn)
 					sent += cn
 					cm.Release()
+					e.heldBytes.Add(-cwl)
 				}
 			}
 			if werr == nil && !shapedLink && s.ring.Len() == 0 {
@@ -403,6 +416,7 @@ func (e *Engine) runSender(s *sender) {
 			batch[i].Release()
 			batch[i] = nil
 		}
+		e.heldBytes.Add(-held)
 		if werr != nil {
 			// Close promptly so the peer's receiver observes the failure
 			// now rather than at its inactivity timeout.
@@ -412,9 +426,13 @@ func (e *Engine) runSender(s *sender) {
 			return
 		}
 		s.inflight.Store(0)
-		// One wakeup per drained batch: the engine retries parked messages
-		// destined to this (now less full) buffer promptly.
-		e.signalWork()
+		// One wakeup per drained batch: the owner shard retries parked
+		// messages destined to this (now less full) buffer promptly. The
+		// algorithm shard may hold control messages parked for it too.
+		s.sh.signal()
+		if s.sh.idx != 0 {
+			e.signalWork()
+		}
 	}
 }
 
@@ -464,8 +482,10 @@ func (e *Engine) dropQueued(s *sender) {
 		if !ok {
 			return
 		}
-		e.counters.AddDropped(int64(m.WireLen()))
+		wl := int64(m.WireLen())
+		e.counters.AddDropped(wl)
 		m.Release()
+		e.heldBytes.Add(-wl)
 	}
 }
 
@@ -498,7 +518,8 @@ func (e *Engine) handshake(conn net.Conn) {
 	peer := m.Sender()
 	m.Release()
 
-	r := newReceiver(peer, conn, e.cfg.RecvBuf, &e.bufBytes)
+	r := newReceiver(peer, conn, e.cfg.RecvBuf, &e.bufBytes, &e.heldBytes)
+	r.sh = e.shardFor(peer)
 	e.mu.Lock()
 	if e.stopping {
 		e.mu.Unlock()

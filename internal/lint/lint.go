@@ -37,6 +37,7 @@ func Run(l *Loader, pkgs []*Package) []Diagnostic {
 		checkCtrlLane(l, p, report)
 		checkLockDiscipline(l, p, report)
 		checkHotPath(l, p, report)
+		checkShardLocal(p, report)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkShardLocal enforces the sharded-switch ownership contract from the
+// engine's shard design: fields of the shard struct marked with a
+// trailing "// shard-local" comment are mutable scheduler state owned by
+// the shard's goroutine. They may be touched only from methods with a
+// shard receiver — every cross-shard interaction must ride the bounded
+// MPSC handoff inbox or an atomic gauge, never a direct field access from
+// the engine loop, a link goroutine, or another shard.
+//
+// The check is keyed by package name (engine) and by the marker comment,
+// so it applies to the real tree and to fixtures alike, and new fields
+// opt in simply by carrying the marker.
+const checkNameShardLocal = "shardlocal"
+
+func checkShardLocal(p *Package, report reportFunc) {
+	if p.Name != "engine" {
+		return
+	}
+	local := shardLocalFields(p)
+	if len(local) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if recvIsShard(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !local[sel.Sel.Name] {
+					return true
+				}
+				if isShardTyped(p.Info, sel.X) {
+					report(sel.Pos(), checkNameShardLocal,
+						"shard-local field %s accessed outside a shard method: cross-shard state moves only through the handoff inbox",
+						sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// shardLocalFields collects the field names of the package's shard struct
+// that carry the "// shard-local" marker comment.
+func shardLocalFields(p *Package) map[string]bool {
+	local := make(map[string]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != "shard" {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if fld.Comment == nil || !strings.Contains(fld.Comment.Text(), "shard-local") {
+					continue
+				}
+				for _, nm := range fld.Names {
+					local[nm.Name] = true
+				}
+			}
+			return false
+		})
+	}
+	return local
+}
+
+// recvIsShard reports whether a declaration is a method on the shard
+// struct (pointer or value receiver).
+func recvIsShard(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "shard"
+}
+
+// isShardTyped reports whether an expression's static type is the shard
+// struct, by resolved type when available and by spelling otherwise.
+func isShardTyped(info *types.Info, e ast.Expr) bool {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		s := types.TypeString(tv.Type, nil)
+		s = strings.TrimPrefix(s, "*")
+		if strings.HasSuffix(s, ".shard") || s == "shard" {
+			return true
+		}
+		return false
+	}
+	n := strings.ToLower(lastComponent(e))
+	return n == "sh" || strings.Contains(n, "shard")
+}

@@ -1,0 +1,46 @@
+// Package engine (fixture shardlocal_a) seeds cross-shard ownership
+// violations: the engine loop and a drain helper reach straight into a
+// shard's marked scheduler state instead of going through the handoff
+// inbox. Accesses from shard-receiver methods are the sanctioned path
+// and must stay clean.
+package engine
+
+type message struct{ dest uint32 }
+
+type shard struct {
+	idx       uint32
+	parked    []*message   // shard-local
+	switchBuf []*message   // shard-local
+	lastDest  uint32       // shard-local
+	inboxLen  int          // not marked: fair game from anywhere
+}
+
+type Engine struct {
+	shards []*shard
+}
+
+// retryParked is a proper shard method: touching its own parked list and
+// switch buffer is exactly what the owner goroutine is for.
+func (sh *shard) retryParked() int {
+	n := len(sh.parked)
+	sh.parked = sh.parked[:0]
+	sh.switchBuf = sh.switchBuf[:0]
+	return n
+}
+
+// drainAll is the violation the check exists for: the engine goroutine
+// walking every shard's parked list races the owners' retry passes.
+func (e *Engine) drainAll() int {
+	total := 0
+	for _, sh := range e.shards {
+		total += len(sh.parked) // want "shard-local field parked"
+		sh.switchBuf = nil      // want "shard-local field switchBuf"
+		total += sh.inboxLen
+	}
+	return total
+}
+
+// steer reads another lane's routing hint from outside its goroutine.
+func steer(e *Engine, i int) uint32 {
+	return e.shards[i].lastDest // want "shard-local field lastDest"
+}

@@ -1,0 +1,57 @@
+// Package engine (fixture shardlocal_b) probes the edges of the
+// shard-local ownership check: the constructor's composite literal and
+// handoff-ring push are sanctioned, while a helper goroutine spawned off
+// the engine loop and a stop-path sweep are not — they touch owner-only
+// state from the wrong goroutine even though the code looks innocent.
+package engine
+
+type item struct{ size int }
+
+type inbox struct{ slots []*item }
+
+func (q *inbox) push(x *item) bool {
+	q.slots = append(q.slots, x)
+	return true
+}
+
+type shard struct {
+	idx     uint32
+	handoff *inbox
+	pending []*item // shard-local
+	local   []*item // shard-local
+}
+
+// newShard builds the struct wholesale before its goroutine exists; the
+// composite literal keys are not field reads and must not be flagged.
+func newShard(idx uint32) *shard {
+	return &shard{
+		idx:     idx,
+		handoff: &inbox{},
+		pending: nil,
+		local:   make([]*item, 0, 8),
+	}
+}
+
+func (sh *shard) enqueue(x *item) {
+	sh.pending = append(sh.pending, x)
+}
+
+// crossHandoff is the sanctioned cross-shard path: any goroutine may push
+// into the handoff inbox, never into the owner's buffers directly.
+func crossHandoff(dst *shard, x *item) bool {
+	return dst.handoff.push(x)
+}
+
+// crossDirect bypasses the inbox and appends into owner-only state.
+func crossDirect(dst *shard, x *item) {
+	dst.pending = append(dst.pending, x) // want "shard-local field pending"
+}
+
+// sweepStop scans lanes from a stop goroutine before the owners exit.
+func sweepStop(lanes []*shard) int {
+	n := 0
+	for _, sh := range lanes {
+		n += len(sh.local) // want "shard-local field local"
+	}
+	return n
+}

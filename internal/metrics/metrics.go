@@ -178,6 +178,13 @@ func (g *Gauge) Add(n int64) int64 {
 	return v
 }
 
+// CompareAndSwap installs new only if the gauge still holds old,
+// reporting whether the swap happened. It does not move the high-water
+// mark: use it for reservation counters whose peak is not meaningful.
+func (g *Gauge) CompareAndSwap(old, new int64) bool {
+	return g.v.CompareAndSwap(old, new)
+}
+
 // Load reports the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 

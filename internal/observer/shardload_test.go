@@ -1,0 +1,65 @@
+package observer_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/message"
+	"repro/internal/vnet"
+)
+
+// TestShardLoadAggregation runs a four-shard node under real traffic and
+// checks the observer folds the per-shard occupancy sections of its
+// status reports into the cluster view: one ShardLoad per lane, work
+// recorded, and the rendered histogram block carrying the shard lines.
+func TestShardLoadAggregation(t *testing.T) {
+	n := vnet.New()
+	defer n.Close()
+	o := startObserver(t, n)
+
+	sink := &tracker{}
+	startNode(t, n, nid(2), obsID, sink)
+
+	src := &tracker{}
+	src.DefaultRoutes = []message.NodeID{nid(2)}
+	e, err := engine.New(engine.Config{
+		ID:             nid(1),
+		Transport:      engine.VNet{Net: n},
+		Algorithm:      src,
+		Observer:       obsID,
+		StatusInterval: 100 * time.Millisecond,
+		Shards:         4,
+	})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatalf("engine.Start: %v", err)
+	}
+	t.Cleanup(e.Stop)
+	e.StartSource(5, 0, 2048)
+
+	waitFor(t, 5*time.Second, "per-shard loads in the cluster view", func() bool {
+		loads := o.ShardLoads()
+		if len(loads) != 4 {
+			return false
+		}
+		var switched uint64
+		for _, l := range loads {
+			if l.Shard >= 4 || l.Nodes < 1 {
+				return false
+			}
+			switched += l.Switched
+		}
+		return switched > 0
+	})
+
+	rendered := o.RenderHists()
+	for _, want := range []string{"shard 0:", "shard 3:", "switched="} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("RenderHists missing %q:\n%s", want, rendered)
+		}
+	}
+}

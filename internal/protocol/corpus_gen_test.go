@@ -52,6 +52,14 @@ func TestRegenerateSeedCorpus(t *testing.T) {
 			Apps:      []uint32{1},
 			MsgsIn:    7,
 		}.Encode())
+	writeCorpusFile(t, "FuzzAllPayloadDecoders", "seed-report-shards",
+		Report{
+			Node: id,
+			Shards: []ShardStatus{
+				{Shard: 0, Switched: 99, Queued: 3, Parked: 1, HandoffDepth: 2, HandoffPeak: 8},
+				{Shard: 1, Switched: 7, HandoffPeak: 1},
+			},
+		}.Encode())
 	writeCorpusFile(t, "FuzzAllPayloadDecoders", "seed-bootreply",
 		BootReply{Hosts: []message.NodeID{id, {IP: 1, Port: 2}}}.Encode())
 	writeCorpusFile(t, "FuzzAllPayloadDecoders", "seed-relay",

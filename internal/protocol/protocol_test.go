@@ -132,6 +132,10 @@ func TestReportRoundTrip(t *testing.T) {
 		MsgsIn:  10,
 		MsgsOut: 20,
 		Dropped: 1,
+		Shards: []ShardStatus{
+			{Shard: 0, Switched: 1 << 40, Queued: 7, Parked: 2, HandoffDepth: 0, HandoffPeak: 3},
+			{Shard: 3, Switched: 42, Queued: 0, Parked: 0, HandoffDepth: 9, HandoffPeak: 64},
+		},
 	}
 	got, err := DecodeReport(rp.Encode())
 	if err != nil {
@@ -148,6 +152,28 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 	if got.MsgsIn != 10 || got.MsgsOut != 20 || got.Dropped != 1 {
 		t.Errorf("counters mismatch: %+v", got)
+	}
+	if len(got.Shards) != 2 || got.Shards[0] != rp.Shards[0] || got.Shards[1] != rp.Shards[1] {
+		t.Errorf("shards mismatch: %+v", got.Shards)
+	}
+}
+
+// TestReportLegacyDecodeWithoutShards checks the shard section really is
+// optional on the wire: a report cut before it (what an older node
+// emits) decodes cleanly with a nil Shards slice.
+func TestReportLegacyDecodeWithoutShards(t *testing.T) {
+	rp := Report{
+		Node:   message.MakeID("10.0.0.1", 7000),
+		Shards: []ShardStatus{{Shard: 1, Switched: 5}},
+	}
+	full := rp.Encode()
+	legacy := full[:len(full)-(4+28)]
+	got, err := DecodeReport(legacy)
+	if err != nil {
+		t.Fatalf("DecodeReport(legacy): %v", err)
+	}
+	if got.Node != rp.Node || got.Shards != nil {
+		t.Errorf("legacy decode = %+v", got)
 	}
 }
 
@@ -182,8 +208,19 @@ func TestPingTickRoundTrip(t *testing.T) {
 
 func TestDecodersRejectTruncation(t *testing.T) {
 	full := Report{Node: message.MakeID("1.1.1.1", 1)}.Encode()
+	// The shard section is a trailing extension: cutting exactly before
+	// it yields a well-formed legacy report, so that one length must
+	// decode; every other prefix is a genuine truncation.
+	legacy := len(full) - 4
 	for n := 0; n < len(full); n++ {
-		if _, err := DecodeReport(full[:n]); err == nil {
+		_, err := DecodeReport(full[:n])
+		if n == legacy {
+			if err != nil {
+				t.Errorf("DecodeReport rejected legacy %d-byte report: %v", n, err)
+			}
+			continue
+		}
+		if err == nil {
 			t.Errorf("DecodeReport accepted %d-byte truncation", n)
 		}
 	}

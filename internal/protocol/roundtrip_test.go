@@ -303,6 +303,7 @@ func TestReportRejectsForgedHistAndEvents(t *testing.T) {
 	const hist1Idx = hist1 + 4
 	const evCount = hist1 + 4 + 12 + 3*4
 	const evKind = evCount + 4 + 8 + 8
+	const shardCount = evCount + 4 + 40
 
 	for _, tc := range []struct {
 		name string
@@ -310,11 +311,12 @@ func TestReportRejectsForgedHistAndEvents(t *testing.T) {
 		want error
 	}{
 		{"huge hist pair count", forgeU32(hist1, 1<<30), ErrTruncated},
-		{"hist pair count exceeding remaining", forgeU32(hist1, 6), ErrTruncated},
+		{"hist pair count exceeding remaining", forgeU32(hist1, 7), ErrTruncated},
 		{"hist bucket index out of range", forgeU32(hist1Idx, metrics.HistogramBuckets), ErrInvalid},
 		{"huge event count", forgeU32(evCount, 1<<30), ErrTruncated},
 		{"event count exceeding remaining", forgeU32(evCount, 2), ErrTruncated},
 		{"event kind out of range", forgeU32(evKind, 300), ErrInvalid},
+		{"huge shard count", forgeU32(shardCount, 1<<30), ErrTruncated},
 	} {
 		if _, err := DecodeReport(tc.buf); !errors.Is(err, tc.want) {
 			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)

@@ -247,6 +247,20 @@ type LinkStatus struct {
 	BytesTotal int64
 }
 
+// ShardStatus describes one engine switch shard in a status report:
+// how many messages its stride scheduler has switched, how many are
+// queued in the receiver rings it owns, how many are parked awaiting a
+// sender slot, and the current/peak depth of its cross-shard handoff
+// ring.
+type ShardStatus struct {
+	Shard        uint32
+	Switched     uint64
+	Queued       uint32
+	Parked       uint32
+	HandoffDepth uint32
+	HandoffPeak  uint32
+}
+
 // Report is the payload of TypeReport: the periodic status update each
 // node sends to the observer — lengths of all engine buffers, QoS
 // measurements, and the lists of upstream and downstream nodes.
@@ -283,6 +297,10 @@ type Report struct {
 	// the previous report: the observer appends them to its per-node
 	// series to build cross-node timelines.
 	Events []trace.Event
+	// Shards holds per-shard switch occupancy and handoff-ring depth.
+	// The section is a trailing extension: reports from older nodes
+	// simply omit it, and the decoder tolerates its absence.
+	Shards []ShardStatus
 }
 
 // encodeHist writes a histogram snapshot sparsely: a pair count followed
@@ -328,6 +346,46 @@ func decodeHist(r *Reader) metrics.HistogramSnapshot {
 		s.Counts[idx] += c
 	}
 	return s
+}
+
+// shardStatusSize is the fixed wire size of one shard entry:
+// U32 shard + U64 switched + U32 queued + U32 parked + U32 depth +
+// U32 peak.
+const shardStatusSize = 4 + 8 + 4 + 4 + 4 + 4
+
+// encodeShards writes the per-shard tail as fixed-width entries.
+func encodeShards(w *Writer, shards []ShardStatus) {
+	w.U32(uint32(len(shards)))
+	for _, s := range shards {
+		w.U32(s.Shard).U64(s.Switched).U32(s.Queued)
+		w.U32(s.Parked).U32(s.HandoffDepth).U32(s.HandoffPeak)
+	}
+}
+
+// decodeShards parses the per-shard tail. The section trails the event
+// list, so a report from an older node ends before it: the caller only
+// invokes this when bytes remain.
+func decodeShards(r *Reader) []ShardStatus {
+	n := r.U32()
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	if n > uint32(r.Remaining()/shardStatusSize) {
+		r.fail(fmt.Errorf("%w: shard list of %d", ErrTruncated, n))
+		return nil
+	}
+	shards := make([]ShardStatus, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s := ShardStatus{
+			Shard: r.U32(), Switched: r.U64(), Queued: r.U32(),
+			Parked: r.U32(), HandoffDepth: r.U32(), HandoffPeak: r.U32(),
+		}
+		if r.Err() != nil {
+			return nil
+		}
+		shards = append(shards, s)
+	}
+	return shards
 }
 
 // traceEventSize is the fixed wire size of one recorder event:
@@ -380,7 +438,8 @@ func (rp Report) Encode() []byte {
 	// eight I64 counters (64) = 84 bytes; each link entry is 32. The
 	// four histograms and the event tail follow, sized by content.
 	w := NewWriter(84 + 32*(len(rp.Upstreams)+len(rp.Downstream)) + 4*len(rp.Apps) +
-		4*(4+12*metrics.HistogramBuckets) + 4 + traceEventSize*len(rp.Events))
+		4*(4+12*metrics.HistogramBuckets) + 4 + traceEventSize*len(rp.Events) +
+		4 + shardStatusSize*len(rp.Shards))
 	w.ID(rp.Node)
 	encodeLinks := func(links []LinkStatus) {
 		w.U32(uint32(len(links)))
@@ -402,6 +461,7 @@ func (rp Report) Encode() []byte {
 	encodeHist(w, rp.SwitchBatchHist)
 	encodeHist(w, rp.SendBatchHist)
 	encodeEvents(w, rp.Events)
+	encodeShards(w, rp.Shards)
 	return w.Bytes()
 }
 
@@ -457,6 +517,9 @@ func DecodeReport(b []byte) (Report, error) {
 	rp.SwitchBatchHist = decodeHist(r)
 	rp.SendBatchHist = decodeHist(r)
 	rp.Events = decodeEvents(r)
+	if r.Err() == nil && r.Remaining() > 0 {
+		rp.Shards = decodeShards(r)
+	}
 	return rp, r.Err()
 }
 

@@ -85,6 +85,16 @@ type Ring struct {
 	// sharing it — the engine's memory-budget accounting. Updated inside
 	// push/pop so no admission or drain path can escape it.
 	gauge *metrics.Gauge
+	// held, when set alongside gauge, receives every popped message's
+	// wire bytes BEFORE the buffered gauge gives them up, and the pop's
+	// consumer settles it once the message is disposed of. Without the
+	// transfer, the instant between a pop's gauge decrement and the
+	// consumer's own accounting is a dip in which a concurrent budget
+	// admission sees phantom headroom; credit-before-debit means racing
+	// reads can transiently overcount buffered bytes but never undercount.
+	// Drain and ShedOldestData dispose of what they pop and settle the
+	// held gauge themselves.
+	held *metrics.Gauge
 }
 
 // New returns a ring holding at most capacity messages per lane. Capacity
@@ -110,6 +120,17 @@ func (r *Ring) SetGauge(g *metrics.Gauge) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.gauge = g
+}
+
+// SetHeldGauge attaches the in-flight transfer gauge: every pop credits
+// it with the message's wire bytes before debiting the buffered gauge,
+// and the consumer of the popped message must settle it after disposal.
+// Must be called before the ring is used; a held gauge without a
+// buffered gauge is ignored.
+func (r *Ring) SetHeldGauge(g *metrics.Gauge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.held = g
 }
 
 // SetDelayHists attaches per-lane queueing-delay histograms, shared
@@ -234,6 +255,9 @@ func (r *Ring) pushLocked(l *lane, m *message.Msg, now time.Time) {
 func (r *Ring) popLocked(l *lane, now time.Time) *message.Msg {
 	m := l.pop(now)
 	if r.gauge != nil {
+		if r.held != nil {
+			r.held.Add(int64(m.WireLen()))
+		}
 		r.gauge.Add(-int64(m.WireLen()))
 		if invariant.Enabled {
 			invariant.Assert(r.gauge.Load() >= 0,
@@ -474,6 +498,9 @@ func (r *Ring) ShedOldestData(maxMsgs int, minBytes int64) []*message.Msg {
 			break
 		}
 	}
+	if r.held != nil && bytes > 0 {
+		r.held.Add(-bytes) // shed bytes leave the node: settle here
+	}
 	r.wakeProducers(r.dataNotFull, len(shed))
 	return shed
 }
@@ -508,13 +535,21 @@ func (r *Ring) Drain() int {
 	defer r.mu.Unlock()
 	now := time.Now()
 	n := 0
+	var bytes int64
 	for r.ctrl.length > 0 {
-		r.popLocked(&r.ctrl, now).Release()
+		m := r.popLocked(&r.ctrl, now)
+		bytes += int64(m.WireLen())
+		m.Release()
 		n++
 	}
 	for r.data.length > 0 {
-		r.popLocked(&r.data, now).Release()
+		m := r.popLocked(&r.data, now)
+		bytes += int64(m.WireLen())
+		m.Release()
 		n++
+	}
+	if r.held != nil && bytes > 0 {
+		r.held.Add(-bytes) // drained messages are gone: settle here
 	}
 	if n > 0 {
 		r.ctrlNotFull.Broadcast()
