@@ -46,10 +46,12 @@ fuzz:
 race:
 	$(GO) test -race -tags ioverlay_debug ./internal/queue ./internal/engine ./internal/vnet
 
-# The fault-injection soak: a seeded chaos schedule (kills, restarts,
+# The fault-injection soaks: a seeded chaos schedule (kills, restarts,
 # partitions, flaky links) against a live 16-node multicast session,
 # ending with a saturated round — interior kills while every receiver
-# uplink is throttled below the stream rate. Runs with assertions armed.
+# uplink is throttled below the stream rate — plus the observer-failover
+# round, where a 3-observer federated tier is killed member by member
+# under node churn. Runs with assertions armed.
 chaos:
 	$(GO) test -race -tags ioverlay_debug -run Chaos ./internal/chaos/...
 

@@ -6,8 +6,11 @@
 //
 // Usage:
 //
-//	inode -id 10.0.0.5:7000 -observer 10.0.0.1:9000 -alg forward \
+//	inode -id 10.0.0.5:7000 -observer 10.0.0.1:9000,10.0.0.2:9000 -alg forward \
 //	      [-routes 10.0.0.6:7000,10.0.0.7:7000] [-up 200KB] [-down 0] [-total 0]
+//
+// Listing several observers makes the node register with the first and
+// fail over down the list when its observer link dies.
 //
 // Algorithms:
 //
@@ -64,7 +67,7 @@ func parseRate(s string) (int64, error) {
 
 func run() error {
 	idStr := flag.String("id", "127.0.0.1:7000", "node identity and listen address (ip:port)")
-	obsStr := flag.String("observer", "", "observer or proxy address (ip:port); empty runs standalone")
+	obsStr := flag.String("observer", "", "observer or proxy address (ip:port); a comma-separated list enables failover in order; empty runs standalone")
 	algName := flag.String("alg", "forward", "algorithm: forward|tree-unicast|tree-random|tree-ns|fed-sflow|fed-fixed|fed-random")
 	routesStr := flag.String("routes", "", "comma-separated downstream nodes for -alg forward")
 	app := flag.Uint("app", 1, "application/session identifier for tree algorithms")
@@ -145,11 +148,13 @@ func run() error {
 		SendBuf:   *bufMsgs,
 	}
 	if *obsStr != "" {
-		obsID, err := ioverlay.ParseID(*obsStr)
-		if err != nil {
-			return err
+		for _, part := range strings.Split(*obsStr, ",") {
+			obsID, err := ioverlay.ParseID(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("-observer: %w", err)
+			}
+			cfg.Observers = append(cfg.Observers, obsID)
 		}
-		cfg.Observer = obsID
 	}
 	eng, err := ioverlay.NewEngine(cfg)
 	if err != nil {

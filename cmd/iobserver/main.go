@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	iobserver -listen 10.0.0.1:9000 [-bootstrap 8] [-topology 5s]
+//	iobserver -listen 10.0.0.1:9000 [-peers 10.0.0.2:9000,10.0.0.3:9000] \
+//	          [-bootstrap 8] [-topology 5s]
+//
+// Listing peers federates this observer with the others: registration
+// tables anti-entropy-sync across the tier, so nodes may register with
+// any member and every member serves bootstrap from the merged view.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -31,6 +37,7 @@ func main() {
 func run() error {
 	listen := flag.String("listen", "127.0.0.1:9000", "observer listen address (ip:port)")
 	bootstrap := flag.Int("bootstrap", 8, "nodes returned per bootstrap request")
+	peersStr := flag.String("peers", "", "comma-separated peer observer addresses forming a federated tier")
 	topoEvery := flag.Duration("topology", 5*time.Second, "topology print interval (0 disables)")
 	debugAddr := flag.String("debug", "", "serve expvar/pprof debug endpoints plus /debug/timeline on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
@@ -39,11 +46,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var peers []ioverlay.NodeID
+	if *peersStr != "" {
+		for _, part := range strings.Split(*peersStr, ",") {
+			p, err := ioverlay.ParseID(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("-peers: %w", err)
+			}
+			peers = append(peers, p)
+		}
+	}
 	obs, err := ioverlay.NewObserver(ioverlay.ObserverConfig{
 		ID:             id,
 		Transport:      ioverlay.TCPTransport(),
 		BootstrapCount: *bootstrap,
 		TraceWriter:    os.Stdout,
+		Peers:          peers,
 	})
 	if err != nil {
 		return err

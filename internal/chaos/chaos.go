@@ -38,6 +38,11 @@ const (
 	// bandwidth). Saturation is not undone by Heal: it is an engine-level
 	// load condition, not a network fault.
 	Saturate
+	// KillObserver crashes members of the observer tier (Nodes indexes
+	// observers, not overlay nodes). Nodes homed at the victim must fail
+	// over to a surviving observer; there is no restart counterpart — the
+	// point of the round is living without the victim.
+	KillObserver
 )
 
 // String names the event kind.
@@ -55,6 +60,8 @@ func (k Kind) String() string {
 		return "flaky"
 	case Saturate:
 		return "saturate"
+	case KillObserver:
+		return "kill-observer"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -85,7 +92,7 @@ type Event struct {
 // String renders a compact description for logs and reports.
 func (e Event) String() string {
 	switch e.Kind {
-	case Kill, Restart:
+	case Kill, Restart, KillObserver:
 		return fmt.Sprintf("%s %v", e.Kind, e.Nodes)
 	case Partition:
 		return fmt.Sprintf("partition %v", e.Groups)

@@ -76,6 +76,11 @@ type soakCluster struct {
 	trs  []*tree.Tree     // current algorithm per index
 	all  []*engine.Engine // every engine ever started, for loss totals
 
+	// obsIDs, when it lists more than one address, switches every node to
+	// a federated observer tier: engines get the whole list (failover
+	// order) and a per-node seed for reproducible reconnect jitter.
+	obsIDs []message.NodeID
+
 	alive     []bool
 	reachable []bool  // shares a partition group with the source
 	baseline  []int64 // ReceivedBytes snapshot at the last Mark
@@ -143,11 +148,16 @@ func (sc *soakCluster) startNode(i int) error {
 		LastMile:   1 << 20,
 		AutoRejoin: true,
 	}
+	observers := []message.NodeID{soakObserverID}
+	if len(sc.obsIDs) > 0 {
+		observers = sc.obsIDs
+	}
 	e, err := engine.New(engine.Config{
 		ID:                sc.ids[i],
 		Transport:         engine.VNet{Net: sc.net},
 		Algorithm:         alg,
-		Observer:          soakObserverID,
+		Observers:         observers,
+		Seed:              int64(i + 1),
 		StatusInterval:    50 * time.Millisecond,
 		InactivityTimeout: 600 * time.Millisecond,
 		RetryBase:         50 * time.Millisecond,

@@ -1,0 +1,335 @@
+package chaos_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/engine"
+	"repro/internal/message"
+	"repro/internal/observer"
+	"repro/internal/tree"
+	"repro/internal/vnet"
+)
+
+// fedTier is the federated observer control plane the failover soak
+// torments: a full mesh of observers, killed one by one while the overlay
+// churns underneath.
+type fedTier struct {
+	ids   []message.NodeID
+	obss  []*observer.Observer
+	alive []bool
+}
+
+func fedObsID(k int) message.NodeID {
+	return message.MakeID(fmt.Sprintf("10.255.0.%d", k+1), 9000)
+}
+
+// survivor returns the first live observer — the one the invariant and
+// post-round probes interrogate.
+func (ft *fedTier) survivor() (*observer.Observer, message.NodeID) {
+	for k, o := range ft.obss {
+		if ft.alive[k] {
+			return o, ft.ids[k]
+		}
+	}
+	return nil, message.NodeID{}
+}
+
+func (ft *fedTier) isLive(id message.NodeID) bool {
+	for k, oid := range ft.ids {
+		if oid == id && ft.alive[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// newFedSoakCluster boots nObs full-mesh federated observers and an
+// n-node soak cluster whose engines carry the whole observer list in
+// failover order. Every node initially registers with observer 0.
+func newFedSoakCluster(t *testing.T, n, nObs int) (*soakCluster, *fedTier) {
+	t.Helper()
+	sc := &soakCluster{
+		t:         t,
+		net:       vnet.New(vnet.WithSeed(42)),
+		ids:       make([]message.NodeID, n),
+		engs:      make([]*engine.Engine, n),
+		trs:       make([]*tree.Tree, n),
+		alive:     make([]bool, n),
+		reachable: make([]bool, n),
+		baseline:  make([]int64, n),
+	}
+	for i := range sc.ids {
+		sc.ids[i] = soakID(i)
+		sc.reachable[i] = true
+	}
+	ft := &fedTier{
+		ids:   make([]message.NodeID, nObs),
+		obss:  make([]*observer.Observer, nObs),
+		alive: make([]bool, nObs),
+	}
+	for k := 0; k < nObs; k++ {
+		ft.ids[k] = fedObsID(k)
+	}
+	for k := 0; k < nObs; k++ {
+		peers := make([]message.NodeID, 0, nObs-1)
+		for j, id := range ft.ids {
+			if j != k {
+				peers = append(peers, id)
+			}
+		}
+		o, err := observer.New(observer.Config{
+			ID:              ft.ids[k],
+			Transport:       engine.VNet{Net: sc.net},
+			RequestInterval: 200 * time.Millisecond,
+			SyncInterval:    100 * time.Millisecond,
+			BootstrapCount:  n,
+			Seed:            int64(k + 1),
+			Peers:           peers,
+		})
+		if err != nil {
+			t.Fatalf("observer %d: %v", k, err)
+		}
+		if err := o.Start(); err != nil {
+			t.Fatalf("observer %d start: %v", k, err)
+		}
+		ft.obss[k], ft.alive[k] = o, true
+	}
+	sc.obs = ft.obss[0]
+	sc.obsIDs = ft.ids
+	for i := n - 1; i >= 0; i-- {
+		if err := sc.startNode(i); err != nil {
+			t.Fatalf("boot node %d: %v", i, err)
+		}
+	}
+	return sc, ft
+}
+
+// controlSteady is the control-plane half of the federated invariant:
+// every live node targets a live observer, and the survivor's merged view
+// covers the whole live membership (so bootstrap requests keep working).
+func controlSteady(sc *soakCluster, ft *fedTier) bool {
+	o, _ := ft.survivor()
+	if o == nil {
+		return false
+	}
+	covered := make(map[message.NodeID]bool)
+	for _, id := range o.Alive() {
+		covered[id] = true
+	}
+	for i, up := range sc.alive {
+		if !up {
+			continue
+		}
+		if !covered[sc.ids[i]] {
+			return false
+		}
+		if !ft.isLive(sc.engs[i].Observer()) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaosSoakObserverFailover is the federation acceptance soak: a
+// 16-node multicast session under a 3-observer federated tier. A
+// node-kill round first calibrates the recovery baseline; then the tier
+// is torn down observer by observer — starting with the one every node
+// registered with — interleaved with node kills and restarts. Every node
+// must fail over and re-register with a survivor, restarts must keep
+// bootstrapping from the survivors' merged views while the tier is
+// degraded, and recovery latency must stay within 2x of the node-kill
+// baseline (the tier is redundant: losing an observer must not feel
+// worse than losing a node).
+func TestChaosSoakObserverFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	const nodes = 16
+	sc, ft := newFedSoakCluster(t, nodes, 3)
+	sc.session()
+
+	ops := sc.ops()
+	ops.KillObserver = func(k int) {
+		ft.alive[k] = false
+		sc.net.CrashNode(ft.ids[k].Addr())
+		ft.obss[k].Stop()
+	}
+	// Restarted nodes must re-admit through whichever observer is still
+	// standing: the stock closure pins observer 0, which this soak kills.
+	ops.Restart = func(n int) error {
+		if err := sc.startNode(n); err != nil {
+			return err
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if o, _ := ft.survivor(); o != nil && o.Join(sc.ids[n], soakApp, message.NodeID{}) {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("node %d never re-registered", n)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	// For kill-observer events, recovery means actual re-registration,
+	// not just rotation: every engine that was connected when the
+	// observer died must complete a failover (counter advances past the
+	// at-kill snapshot) before the event counts as recovered.
+	var failSnap map[*engine.Engine]int64
+	baseMark := ops.Mark
+	ops.Mark = func(ev chaos.Event) {
+		baseMark(ev)
+		failSnap = nil
+		if ev.Kind == chaos.KillObserver {
+			failSnap = make(map[*engine.Engine]int64)
+			for i, up := range sc.alive {
+				if up {
+					failSnap[sc.engs[i]] = sc.engs[i].Counters().Failovers
+				}
+			}
+		}
+	}
+	ops.Recovered = func() bool {
+		if !sc.steady() || !controlSteady(sc, ft) {
+			return false
+		}
+		for e, n := range failSnap {
+			if e.Counters().Failovers <= n {
+				return false
+			}
+		}
+		return true
+	}
+	r := &chaos.Runner{
+		Ops:             ops,
+		RecoveryTimeout: 30 * time.Second,
+		Logf:            t.Logf,
+	}
+
+	// Baseline: plain node churn against the intact tier.
+	baseline := []chaos.Event{
+		{After: 150 * time.Millisecond, Kind: chaos.Kill, Nodes: []int{3, 5}},
+		{After: 150 * time.Millisecond, Kind: chaos.Restart, Nodes: []int{3, 5}},
+		{After: 150 * time.Millisecond, Kind: chaos.Kill, Nodes: []int{7}},
+		{After: 150 * time.Millisecond, Kind: chaos.Restart, Nodes: []int{7}},
+	}
+	baseRep := r.Run(baseline)
+	t.Logf("node-kill baseline:\n%s", baseRep.Render())
+	if baseRep.Unrecovered != 0 {
+		t.Fatalf("%d baseline events never recovered:\n%s", baseRep.Unrecovered, sc.describe())
+	}
+
+	// The failover round: kill observer 0 (home of all 16 registrations),
+	// churn nodes while the tier is degraded, then kill observer 1 so the
+	// whole cluster lands on the last survivor.
+	failover := []chaos.Event{
+		{After: 150 * time.Millisecond, Kind: chaos.KillObserver, Nodes: []int{0}},
+		{After: 150 * time.Millisecond, Kind: chaos.Kill, Nodes: []int{4, 9}},
+		{After: 150 * time.Millisecond, Kind: chaos.Restart, Nodes: []int{4, 9}},
+		{After: 150 * time.Millisecond, Kind: chaos.KillObserver, Nodes: []int{1}},
+		{After: 150 * time.Millisecond, Kind: chaos.Kill, Nodes: []int{6}},
+		{After: 150 * time.Millisecond, Kind: chaos.Restart, Nodes: []int{6}},
+	}
+	obsRep := r.Run(failover)
+	t.Logf("observer-failover round:\n%s", obsRep.Render())
+	if obsRep.Unrecovered != 0 {
+		t.Fatalf("%d failover events never recovered:\n%s", obsRep.Unrecovered, sc.describe())
+	}
+
+	// Observer-kill recovery must stay flat versus the node-kill
+	// baseline: within 2x of the baseline's worst event, with a 2s floor
+	// so a near-instant baseline does not demand the impossible of a
+	// 16-node re-registration wave.
+	var obsKillMax time.Duration
+	for _, res := range obsRep.Results {
+		if res.Event.Kind == chaos.KillObserver && res.Recovery > obsKillMax {
+			obsKillMax = res.Recovery
+		}
+	}
+	limit := 2 * baseRep.MaxRecovery
+	if limit < 2*time.Second {
+		limit = 2 * time.Second
+	}
+	if obsKillMax > limit {
+		t.Errorf("observer-kill recovery %s exceeds %s (2x node-kill baseline max %s)",
+			obsKillMax.Round(time.Millisecond), limit.Round(time.Millisecond),
+			baseRep.MaxRecovery.Round(time.Millisecond))
+	}
+
+	// Every node must have landed on the last survivor, which serves the
+	// full membership from its merged (now fully direct) view.
+	surv, survID := ft.survivor()
+	if surv == nil {
+		t.Fatal("no surviving observer")
+	}
+	for i := range sc.ids {
+		if got := sc.engs[i].Observer(); got != survID {
+			t.Errorf("node %d targets %s, want survivor %s", i, got, survID)
+		}
+	}
+	if got := len(surv.Alive()); got != nodes {
+		t.Errorf("survivor's merged view holds %d nodes, want %d", got, nodes)
+	}
+
+	// A brand-new node given the full (mostly dead) observer list must
+	// still bootstrap: rotate to the survivor, register, and join the
+	// session through it.
+	probeAlg := &tree.Tree{Variant: tree.Random, App: soakApp, LastMile: 1 << 20, AutoRejoin: true}
+	probeID := soakID(nodes)
+	probe, err := engine.New(engine.Config{
+		ID:             probeID,
+		Transport:      engine.VNet{Net: sc.net},
+		Algorithm:      probeAlg,
+		Observers:      ft.ids,
+		Seed:           99,
+		StatusInterval: 50 * time.Millisecond,
+		RetryBase:      50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("probe node: %v", err)
+	}
+	if err := probe.Start(); err != nil {
+		t.Fatalf("probe start: %v", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for !surv.Join(probeID, soakApp, message.NodeID{}) {
+		if time.Now().After(deadline) {
+			t.Fatal("probe node never registered with the survivor")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for !probeAlg.InSession() || probeAlg.ReceivedBytes() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("probe node never joined the session through the survivor (inSession=%v recv=%d)",
+				probeAlg.InSession(), probeAlg.ReceivedBytes())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	probe.Stop()
+
+	// Teardown: surviving observers stop before the cluster so their
+	// peer-trunk redial loops do not race the vnet shutdown.
+	for k, o := range ft.obss {
+		if ft.alive[k] {
+			ft.alive[k] = false
+			o.Stop()
+		}
+	}
+	sc.stop()
+	deadline = time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				goroutinesBefore, runtime.NumGoroutine(),
+				buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

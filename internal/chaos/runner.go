@@ -24,6 +24,9 @@ type Ops struct {
 	// Saturate throttles one node's uplink to rate bytes/sec (0 restores
 	// full bandwidth), so the session's own stream overloads it.
 	Saturate func(node int, rate int64)
+	// KillObserver crashes one member of the observer tier (the index is
+	// an observer index, not an overlay-node index).
+	KillObserver func(idx int)
 
 	// Mark is called immediately after an event is applied, before
 	// recovery polling starts; callers snapshot delivery baselines here.
@@ -190,6 +193,12 @@ func (r *Runner) apply(ev Event) {
 		for _, n := range ev.Nodes {
 			if r.Ops.Saturate != nil {
 				r.Ops.Saturate(n, ev.Rate)
+			}
+		}
+	case KillObserver:
+		for _, n := range ev.Nodes {
+			if r.Ops.KillObserver != nil {
+				r.Ops.KillObserver(n)
 			}
 		}
 	}

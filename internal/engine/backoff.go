@@ -56,9 +56,10 @@ func (b *backoff) next() time.Duration {
 func (b *backoff) reset() { b.attempt = 0 }
 
 // newBackoff derives a retry pacer from the engine's retry configuration,
-// seeded from the node identity and a caller-chosen salt so concurrent
-// loops on one node don't share a jitter sequence.
+// seeded from the node identity, Config.Seed and a caller-chosen salt so
+// concurrent loops on one node don't share a jitter sequence while a
+// fixed Seed still replays the whole schedule.
 func (e *Engine) newBackoff(salt int64) *backoff {
-	seed := int64(e.id.IP)<<32 | int64(e.id.Port) ^ salt
+	seed := (int64(e.id.IP)<<32 | int64(e.id.Port)) ^ salt ^ e.cfg.Seed
 	return newBackoff(e.cfg.RetryBase, e.cfg.RetryMax, seed)
 }

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"runtime"
 	"sync"
@@ -63,6 +64,18 @@ type Config struct {
 	// Observer, when nonzero, is dialed at start-up for bootstrap and
 	// monitoring.
 	Observer message.NodeID
+	// Observers, when set, is the observer failover list: the engine
+	// registers with the first entry and rotates to the next (wrapping)
+	// whenever the current link dies, re-registering idempotently under
+	// the same NodeID. Leaving it empty with Observer set is the classic
+	// single-observer deployment; setting it makes Observer default to
+	// its first entry.
+	Observers []message.NodeID
+	// Seed, when nonzero, fixes the engine's internal randomness — the
+	// observer-reconnect jitter — so chaos schedules replay
+	// deterministically. Zero derives the seed from the node identity
+	// alone.
+	Seed int64
 	// RecvBuf and SendBuf size the circular buffers in messages — the
 	// paper's per-node buffer capacity (5 for the back-pressure
 	// experiments, 10000 for the large-buffer ones).
@@ -195,6 +208,15 @@ func (c *Config) applyDefaults() {
 	if c.EventLog == 0 {
 		c.EventLog = DefaultEventLog
 	}
+	// Normalize the two observer fields into one another so every code
+	// path can use Observers as the failover list and Observer as its
+	// head.
+	if len(c.Observers) == 0 && !c.Observer.IsZero() {
+		c.Observers = []message.NodeID{c.Observer}
+	}
+	if c.Observer.IsZero() && len(c.Observers) > 0 {
+		c.Observer = c.Observers[0]
+	}
 }
 
 // ctrlMsg pairs a control message with the link peer it arrived from
@@ -266,6 +288,23 @@ type Engine struct {
 	localApps map[uint32]*source
 	obs       *observerLink
 
+	// Observer failover state, guarded by mu. obsIdx indexes the
+	// cfg.Observers entry currently targeted; obsLast is the observer the
+	// engine last registered with (zero before the first registration);
+	// obsRetrying guards the singleton reconnect loop; obsPending stashes
+	// observer-bound messages that were queued or sent while no link was
+	// up, flushed in order after the next successful registration.
+	obsIdx      int
+	obsLast     message.NodeID
+	obsRetrying bool
+	obsPending  []*message.Msg
+	// obsBackoff paces observer reconnects. It persists across link
+	// losses — rotation through the failover list shares one progression,
+	// so an unreachable tier is not hammered at base rate per entry — and
+	// is reset after every successful registration. Only the singleton
+	// reconnect loop (or Start, before any loop exists) touches it.
+	obsBackoff *backoff
+
 	// Engine-goroutine-only state (the algorithm shard's goroutine).
 	pingSent  map[uint32]time.Time
 	probeRecv map[probeKey]*probeAgg
@@ -320,6 +359,11 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.localRing.SetGauge(&e.bufBytes)
 	e.localRing.SetHeldGauge(&e.heldBytes)
+	// The reconnect jitter seed mixes Config.Seed with the identity
+	// through a private RNG draw, so two nodes sharing a Seed still
+	// jitter apart while a fixed (Seed, ID) pair replays exactly.
+	seedRng := rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID.IP)<<32 ^ int64(cfg.ID.Port)))
+	e.obsBackoff = newBackoff(cfg.RetryBase, cfg.RetryMax, seedRng.Int63())
 	if cfg.EventLog > 0 {
 		e.rec = trace.New(cfg.EventLog)
 	}
@@ -524,8 +568,44 @@ func (e *Engine) QueueDelays() (ctrl, data time.Duration) {
 // ID reports the node identity.
 func (e *Engine) ID() message.NodeID { return e.id }
 
-// Observer reports the configured observer identity.
-func (e *Engine) Observer() message.NodeID { return e.cfg.Observer }
+// Observer reports the observer the engine currently targets: the
+// configured one, or — after a failover — the failover-list entry the
+// engine moved to. Safe from any goroutine.
+func (e *Engine) Observer() message.NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.observerTargetLocked()
+}
+
+// observerTargetLocked returns the failover-list entry currently
+// targeted. Caller holds e.mu.
+func (e *Engine) observerTargetLocked() message.NodeID {
+	if len(e.cfg.Observers) == 0 {
+		return e.cfg.Observer
+	}
+	return e.cfg.Observers[e.obsIdx]
+}
+
+// advanceObserver rotates the target to the next failover-list entry; a
+// no-op for single-observer configurations.
+func (e *Engine) advanceObserver() {
+	e.mu.Lock()
+	if n := len(e.cfg.Observers); n > 1 {
+		e.obsIdx = (e.obsIdx + 1) % n
+	}
+	e.mu.Unlock()
+}
+
+// isObserverID reports whether id names any entry of the observer
+// failover list.
+func (e *Engine) isObserverID(id message.NodeID) bool {
+	for _, o := range e.cfg.Observers {
+		if o == id {
+			return true
+		}
+	}
+	return false
+}
 
 // Start binds the publicized port, attaches the algorithm, launches the
 // engine goroutine and bootstraps from the observer when configured.
@@ -555,27 +635,35 @@ func (e *Engine) Start() error {
 	return nil
 }
 
-// scheduleObserverReconnect keeps trying to restore the observer link in
-// the background until it succeeds or the engine stops, pacing attempts
-// with capped exponential backoff so a crashed observer is not hammered
-// by its whole cluster at a fixed interval.
+// scheduleObserverReconnect launches the background loop that restores
+// an observer link, pacing attempts with the engine's persistent capped
+// backoff so a crashed tier is not hammered by its whole cluster at a
+// fixed interval, and rotating to the next failover-list entry after
+// each failed attempt. At most one loop runs at a time: a second caller
+// (a racing observerGone, say) would otherwise double-advance the
+// rotation and double-dial.
 func (e *Engine) scheduleObserverReconnect() {
 	e.mu.Lock()
-	if e.stopping || e.departing {
+	if e.stopping || e.departing || e.obsRetrying {
 		// A departing node deregistered on purpose; redialing the observer
 		// now would race the shutdown (and un-depart the node in the
 		// observer's eyes).
 		e.mu.Unlock()
 		return
 	}
+	e.obsRetrying = true
 	e.mu.Unlock()
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
-		bo := e.newBackoff(int64(e.cfg.Observer.IP))
+		defer func() {
+			e.mu.Lock()
+			e.obsRetrying = false
+			e.mu.Unlock()
+		}()
 		for {
-			d := bo.next()
-			e.rec.Emit(trace.KindBackoff, e.cfg.Observer, 0, int64(d))
+			d := e.obsBackoff.next()
+			e.rec.Emit(trace.KindBackoff, e.Observer(), 0, int64(d))
 			select {
 			case <-e.done:
 				return
@@ -584,6 +672,7 @@ func (e *Engine) scheduleObserverReconnect() {
 			if err := e.connectObserver(); err == nil {
 				return
 			}
+			e.advanceObserver()
 		}
 	}()
 }
@@ -594,8 +683,10 @@ func (e *Engine) connectObserver() error {
 		e.mu.Unlock()
 		return nil
 	}
+	target := e.observerTargetLocked()
+	idx := e.obsIdx
 	e.mu.Unlock()
-	conn, err := e.cfg.Transport.DialFrom(e.id.Addr(), e.cfg.Observer.Addr(), e.cfg.DialTimeout)
+	conn, err := e.cfg.Transport.DialFrom(e.id.Addr(), target.Addr(), e.cfg.DialTimeout)
 	if err != nil {
 		return err
 	}
@@ -604,7 +695,7 @@ func (e *Engine) connectObserver() error {
 		_ = conn.Close()
 		return err
 	}
-	o := &observerLink{ring: queue.New(256), conn: conn}
+	o := &observerLink{ring: queue.New(256), conn: conn, peer: target}
 	e.mu.Lock()
 	if e.obs != nil || e.stopping || e.departing {
 		// Shutdown (or a competing connect) won the race while this dial
@@ -615,14 +706,38 @@ func (e *Engine) connectObserver() error {
 		return nil
 	}
 	e.obs = o
+	prev := e.obsLast
+	e.obsLast = target
+	pending := e.obsPending
+	e.obsPending = nil
 	e.mu.Unlock()
+	// A successful registration restarts the backoff progression: a
+	// flapping observer must not leave healthy nodes stuck at max
+	// backoff for the next flap.
+	e.obsBackoff.reset()
+	if !prev.IsZero() && prev != target {
+		e.counters.AddFailover()
+		e.rec.Emit(trace.KindObsFailover, target, 0, int64(idx))
+	}
 	e.wg.Add(2)
 	go e.runObserverWriter(o)
 	go e.runObserverReader(o)
 
+	// Boot first — it (re-)registers the node — then the stash of
+	// reports and traces that were in flight when the previous link
+	// died, in their original order.
 	boot := message.New(protocol.TypeBoot, e.id, 0, 0, nil)
 	if !o.ring.TryPush(boot) {
 		boot.Release()
+	}
+	for i, m := range pending {
+		if !o.ring.TryPush(m) {
+			for _, mm := range pending[i:] {
+				e.counters.AddDropped(int64(mm.WireLen()))
+				mm.Release()
+			}
+			break
+		}
 	}
 	return nil
 }
@@ -774,6 +889,14 @@ func (e *Engine) Stop() {
 	for _, s := range senders {
 		s.ring.Drain()
 	}
+	e.mu.Lock()
+	pending := e.obsPending
+	e.obsPending = nil
+	e.mu.Unlock()
+	for _, m := range pending {
+		e.counters.AddDropped(int64(m.WireLen()))
+		m.Release()
+	}
 	if invariant.Enabled {
 		// Every gauge-tracked ring is drained and the parked backlog
 		// released: the memory budget must reconcile to exactly zero
@@ -906,7 +1029,10 @@ func (e *Engine) Send(m *message.Msg, dest message.NodeID) {
 		return // self-sends are meaningless in the overlay
 	}
 	m.Retain()
-	if !e.cfg.Observer.IsZero() && dest == e.cfg.Observer {
+	if e.isObserverID(dest) {
+		// Any failover-list entry counts as "the observer": after a
+		// failover an algorithm still holding the old address must not
+		// open an overlay link to a dead (or live) observer.
 		e.sendToObserver(m)
 		return
 	}
@@ -926,9 +1052,21 @@ func (e *Engine) SendNew(m *message.Msg, dests ...message.NodeID) {
 // API interface.
 func (e *Engine) Finish(m *message.Msg) { m.Release() }
 
+// maxObsPending bounds the stash of observer-bound messages retained
+// across an observer failover; overflow falls back to the drop counter.
+const maxObsPending = 256
+
 func (e *Engine) sendToObserver(m *message.Msg) {
 	e.mu.Lock()
 	o := e.obs
+	if o == nil && !e.stopping && !e.departing && len(e.obsPending) < maxObsPending {
+		// Between observer links (failover in progress): stash instead
+		// of dropping, flushed after the next successful registration so
+		// reports spanning the switch are not lost.
+		e.obsPending = append(e.obsPending, m)
+		e.mu.Unlock()
+		return
+	}
 	e.mu.Unlock()
 	if o == nil || !o.ring.TryPush(m) {
 		e.counters.AddDropped(int64(m.WireLen()))
@@ -1066,8 +1204,9 @@ func (e *Engine) senderGone(s *sender) {
 		protocol.LinkEvent{Peer: s.peer, Upstream: false}.Encode())
 }
 
-// observerGone clears the observer link after a failure and begins
-// reconnecting.
+// observerGone clears the observer link after a failure, salvages its
+// queued messages into the failover stash, rotates to the next observer
+// and begins reconnecting.
 func (e *Engine) observerGone(o *observerLink) {
 	e.mu.Lock()
 	if e.obs != o {
@@ -1078,9 +1217,29 @@ func (e *Engine) observerGone(o *observerLink) {
 	stopping := e.stopping
 	e.mu.Unlock()
 	o.ring.Close()
-	o.ring.Drain()
 	_ = o.conn.Close()
+	// Salvage whatever the dead link never wrote — reports, traces — so
+	// the messages survive the failover instead of draining to nowhere.
+	var salvaged []*message.Msg
+	for {
+		m, ok := o.ring.TryPop()
+		if !ok {
+			break
+		}
+		salvaged = append(salvaged, m)
+	}
+	e.mu.Lock()
+	for _, m := range salvaged {
+		if stopping || e.stopping || len(e.obsPending) >= maxObsPending {
+			e.counters.AddDropped(int64(m.WireLen()))
+			m.Release()
+			continue
+		}
+		e.obsPending = append(e.obsPending, m)
+	}
+	e.mu.Unlock()
 	if !stopping {
+		e.advanceObserver()
 		e.scheduleObserverReconnect()
 	}
 }

@@ -551,6 +551,7 @@ func (e *Engine) handshake(conn net.Conn) {
 type observerLink struct {
 	ring *queue.Ring
 	conn net.Conn
+	peer message.NodeID // the observer this link registered with
 }
 
 // runObserverWriter drains the observer ring to the wire.
@@ -587,6 +588,8 @@ func (e *Engine) runObserverReader(o *observerLink) {
 			e.postEvent(func() { e.observerGone(o) })
 			return
 		}
-		e.deliverControl(m, e.cfg.Observer)
+		// Attribute to the observer this link registered with — after a
+		// failover that is no longer cfg.Observer.
+		e.deliverControl(m, o.peer)
 	}
 }

@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/vnet"
+)
+
+// newStashEngine builds an unstarted engine with the given shard count and
+// a tiny batch size, so the algorithm shard's MPSC inbox
+// (handoffCapFactor x BatchSize slots) is easy to saturate. The engine is
+// never started: funnel, retryPending and drainForStop are shard-local,
+// so a test goroutine can play the shard goroutine's role directly.
+func newStashEngine(t *testing.T, shards int) *Engine {
+	t.Helper()
+	n := vnet.New()
+	t.Cleanup(n.Close)
+	e, err := New(Config{
+		ID:        message.MakeID("10.0.0.1", 7000),
+		Transport: VNet{Net: n},
+		Algorithm: nopAlg{},
+		Shards:    shards,
+		BatchSize: 4,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
+}
+
+func stashMsg(app, seq uint32) *message.Msg {
+	return message.New(message.FirstDataType, message.MakeID("10.0.0.2", 7000), app, seq, nil)
+}
+
+// fillInbox saturates the algorithm shard's inbox with filler messages
+// (app math.MaxUint32), mirroring the producer-side gauge accounting that
+// funnel performs, and returns how many were pushed.
+func fillInbox(e *Engine) int {
+	alg := e.shards[0]
+	n := 0
+	for {
+		m := stashMsg(fillerApp, uint32(n))
+		if !alg.inbox.TryPush(xfer{m: m}) {
+			m.Release()
+			return n
+		}
+		e.bufBytes.Add(int64(m.WireLen()))
+		alg.inboxDepth.Add(1)
+		n++
+	}
+}
+
+const fillerApp = ^uint32(0)
+
+// popOne consumes one inbox item the way the algorithm shard's scheduler
+// does, returning ok=false on an empty inbox.
+func popOne(e *Engine) (*message.Msg, bool) {
+	alg := e.shards[0]
+	x, ok := alg.inbox.TryPop()
+	if !ok {
+		return nil, false
+	}
+	alg.inboxDepth.Add(-1)
+	e.bufBytes.Add(-int64(x.m.WireLen()))
+	return x.m, true
+}
+
+// TestFunnelStashPreservesFIFOUnderSustainedFullInbox drives the funnel
+// against a saturated inbox: everything that does not fit lands in the
+// shard-local pending stash, new arrivals queue behind the stash even
+// after room opens (per-producer FIFO), and repeated retryPending rounds
+// drain the backlog in exactly the original order with the buffered-bytes
+// gauge reconciling to zero.
+func TestFunnelStashPreservesFIFOUnderSustainedFullInbox(t *testing.T) {
+	e := newStashEngine(t, 2)
+	sh := e.shards[1]
+	fillers := fillInbox(e)
+
+	batch := make([]*message.Msg, 8)
+	for i := range batch {
+		batch[i] = stashMsg(1, uint32(i+1))
+	}
+	if !sh.funnel(batch, nil) {
+		t.Fatal("funnel into a full inbox reported unblocked")
+	}
+	if len(sh.pending) != 8 {
+		t.Fatalf("pending holds %d items, want all 8", len(sh.pending))
+	}
+	if sh.retryPending() {
+		t.Fatal("retryPending cleared against a still-full inbox")
+	}
+
+	// Open four slots. A fresh funnel batch must still queue behind the
+	// stash — jumping the line would reorder this producer's stream.
+	for i := 0; i < 4; i++ {
+		m, ok := popOne(e)
+		if !ok || m.App() != fillerApp {
+			t.Fatalf("expected filler at the inbox head, got app %d", m.App())
+		}
+		m.Release()
+	}
+	late := []*message.Msg{stashMsg(1, 9), stashMsg(1, 10)}
+	if !sh.funnel(late, nil) {
+		t.Fatal("funnel with a non-empty stash reported unblocked")
+	}
+	if len(sh.pending) != 10 {
+		t.Fatalf("pending holds %d items, want 10 (late arrivals behind the stash)", len(sh.pending))
+	}
+
+	// Alternate consuming and retrying until the backlog clears, then
+	// verify the producer's stream arrived in order.
+	var seqs []uint32
+	for rounds := 0; len(sh.pending) > 0 || e.shards[0].inbox.Len() > 0; rounds++ {
+		if rounds > 1000 {
+			t.Fatal("backlog failed to drain")
+		}
+		for {
+			m, ok := popOne(e)
+			if !ok {
+				break
+			}
+			if m.App() == 1 {
+				seqs = append(seqs, m.Seq())
+			}
+			m.Release()
+		}
+		sh.retryPending()
+	}
+	if len(sh.pending) != 0 {
+		t.Fatalf("pending holds %d items after full drain", len(sh.pending))
+	}
+	if len(seqs) != 10 {
+		t.Fatalf("consumed %d producer messages, want 10", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint32(i+1) {
+			t.Fatalf("producer stream reordered: position %d holds seq %d (full order %v)", i, s, seqs)
+		}
+	}
+	if got := e.bufBytes.Load(); got != 0 {
+		t.Fatalf("buffered-bytes gauge %d after drain, want 0", got)
+	}
+	_ = fillers
+}
+
+// TestStashDrainForStopReleasesEverything leaves a saturated inbox AND a
+// populated pending stash in place, then runs the Stop-path drain: every
+// message must be released and the gauges must reconcile to zero, with
+// nothing leaked (the ioverlay_debug build asserts the same gauges after
+// a real Stop).
+func TestStashDrainForStopReleasesEverything(t *testing.T) {
+	e := newStashEngine(t, 2)
+	sh := e.shards[1]
+	alg := e.shards[0]
+	fillInbox(e)
+
+	batch := make([]*message.Msg, 6)
+	for i := range batch {
+		batch[i] = stashMsg(1, uint32(i+1))
+	}
+	sh.funnel(batch, nil)
+	if len(sh.pending) == 0 {
+		t.Fatal("test setup: stash empty")
+	}
+
+	sh.drainForStop()
+	alg.drainForStop()
+	if len(sh.pending) != 0 || len(alg.pending) != 0 {
+		t.Fatal("pending stash survived drainForStop")
+	}
+	if alg.inbox.Len() != 0 {
+		t.Fatalf("inbox holds %d items after drainForStop", alg.inbox.Len())
+	}
+	if got := alg.inboxDepth.Load(); got != 0 {
+		t.Fatalf("inbox depth gauge %d after drainForStop, want 0", got)
+	}
+	if got := e.bufBytes.Load(); got != 0 {
+		t.Fatalf("buffered-bytes gauge %d after drainForStop, want 0", got)
+	}
+}
+
+// TestStashConcurrentProducersPreserveFIFO runs two producer shards
+// funneling into the algorithm shard's inbox while a consumer drains it,
+// with the inbox sized far below the offered load so both producers stash
+// continuously. Per-producer order must survive end to end, and the
+// buffered-bytes gauge must reconcile to zero — under the race detector
+// this doubles as the MPSC handoff's concurrency test.
+func TestStashConcurrentProducersPreserveFIFO(t *testing.T) {
+	e := newStashEngine(t, 3)
+	const perProducer = 400
+	var wg sync.WaitGroup
+	for p := 1; p <= 2; p++ {
+		wg.Add(1)
+		go func(app uint32, sh *shard) {
+			defer wg.Done()
+			seq := uint32(1)
+			for seq <= perProducer {
+				batch := make([]*message.Msg, 0, 4)
+				for len(batch) < 4 && seq <= perProducer {
+					batch = append(batch, stashMsg(app, seq))
+					seq++
+				}
+				sh.funnel(batch, nil)
+				// switchOnce's gate: no further popping (here, producing)
+				// until the stash clears.
+				for !sh.retryPending() {
+					runtime.Gosched()
+				}
+			}
+		}(uint32(p), e.shards[p])
+	}
+
+	got := map[uint32][]uint32{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.Now().Add(30 * time.Second)
+		for len(got[1])+len(got[2]) < 2*perProducer {
+			m, ok := popOne(e)
+			if !ok {
+				if time.Now().After(deadline) {
+					return
+				}
+				runtime.Gosched()
+				continue
+			}
+			got[m.App()] = append(got[m.App()], m.Seq())
+			m.Release()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	for app := uint32(1); app <= 2; app++ {
+		if len(got[app]) != perProducer {
+			t.Fatalf("producer %d: consumed %d messages, want %d", app, len(got[app]), perProducer)
+		}
+		for i, s := range got[app] {
+			if s != uint32(i+1) {
+				t.Fatalf("producer %d reordered: position %d holds seq %d", app, i, s)
+			}
+		}
+	}
+	if gauge := e.bufBytes.Load(); gauge != 0 {
+		t.Fatalf("buffered-bytes gauge %d after full drain, want 0", gauge)
+	}
+}

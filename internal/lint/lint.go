@@ -38,6 +38,7 @@ func Run(l *Loader, pkgs []*Package) []Diagnostic {
 		checkLockDiscipline(l, p, report)
 		checkHotPath(l, p, report)
 		checkShardLocal(p, report)
+		checkObsSync(p, report)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// checkObsSync enforces the federation contract from the observer tier:
+// anti-entropy code — any function in package observer whose name
+// mentions "sync", the documented naming convention of
+// internal/observer/sync.go — must never block on a ring. A sync path
+// that calls blocking Push/Pop can stall behind a node-facing ring that
+// a slow or dead peer keeps full, wedging the whole federation behind
+// one connection; drops are fine, because the next full-table round
+// repairs them. Only the non-blocking Try APIs are allowed.
+const checkNameObsSync = "obssync"
+
+var obsSyncBlocking = map[string]bool{
+	"Push":      true,
+	"Pop":       true,
+	"PushBatch": true,
+	"PopBatch":  true,
+}
+
+func checkObsSync(p *Package, report reportFunc) {
+	if p.Name != "observer" {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !strings.Contains(strings.ToLower(fd.Name.Name), "sync") {
+				continue
+			}
+			fn := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if obsSyncBlocking[sel.Sel.Name] && isRingRecv(p, call, sel) {
+					report(call.Pos(), checkNameObsSync,
+						"sync path %s blocks on Ring.%s: federation sync must use the non-blocking Try APIs (a dropped round is repaired by the next one)",
+						fn, sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Package observer (fixture obssync_a) seeds federation-sync
+// violations: anti-entropy functions that block on rings instead of
+// using the non-blocking Try APIs, risking a sync path wedged behind
+// one slow connection.
+package observer
+
+import (
+	"repro/internal/message"
+	"repro/internal/queue"
+)
+
+type peerTrunk struct {
+	ring *queue.Ring
+}
+
+func (p *peerTrunk) syncPush(m *message.Msg) error {
+	return p.ring.Push(m) // want "blocks on Ring.Push"
+}
+
+func (p *peerTrunk) absorbSyncBacklog() {
+	for {
+		m, err := p.ring.Pop() // want "blocks on Ring.Pop"
+		if err != nil {
+			return
+		}
+		m.Release()
+	}
+}
+
+func (p *peerTrunk) syncBatch(ms []*message.Msg) {
+	_, _ = p.ring.PushBatch(ms) // want "blocks on Ring.PushBatch"
+}

@@ -1,0 +1,41 @@
+// Package observer (fixture obssync_b) is the clean counterpart:
+// sync-named functions use only the non-blocking Try APIs, and blocking
+// ring use outside sync paths is out of the obssync check's scope.
+package observer
+
+import (
+	"repro/internal/message"
+	"repro/internal/queue"
+)
+
+type peerTrunk struct {
+	ring *queue.Ring
+}
+
+func (p *peerTrunk) syncTo(m *message.Msg) {
+	if !p.ring.TryPush(m) {
+		m.Release()
+	}
+}
+
+func (p *peerTrunk) syncDrain() {
+	for {
+		m, ok := p.ring.TryPop()
+		if !ok {
+			return
+		}
+		m.Release()
+	}
+}
+
+// writeLoop is a plain consumer, not a sync path: blocking here is the
+// normal ring contract.
+func (p *peerTrunk) writeLoop() {
+	for {
+		m, err := p.ring.Pop()
+		if err != nil {
+			return
+		}
+		m.Release()
+	}
+}

@@ -203,6 +203,7 @@ type Counters struct {
 	bytesDropped int64
 	msgsShed     int64
 	bytesShed    int64
+	failovers    int64
 }
 
 // CountersSnapshot is an immutable copy of Counters.
@@ -213,6 +214,9 @@ type CountersSnapshot struct {
 	BytesDropped      int64
 	MsgsShed          int64
 	BytesShed         int64
+	// Failovers counts successful observer failovers: re-registrations
+	// with a different observer after the previous link was lost.
+	Failovers int64
 }
 
 // AddIn records a received message of n bytes.
@@ -252,6 +256,13 @@ func (c *Counters) AddShed(n int64) {
 	c.bytesDropped += n
 }
 
+// AddFailover records one successful observer failover.
+func (c *Counters) AddFailover() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failovers++
+}
+
 // Snapshot copies the counters.
 func (c *Counters) Snapshot() CountersSnapshot {
 	c.mu.Lock()
@@ -261,6 +272,7 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		BytesIn: c.bytesIn, BytesOut: c.bytesOut,
 		MsgsDropped: c.msgsDropped, BytesDropped: c.bytesDropped,
 		MsgsShed: c.msgsShed, BytesShed: c.bytesShed,
+		Failovers: c.failovers,
 	}
 }
 

@@ -12,13 +12,17 @@ import (
 
 // Command sends an arbitrary control message to a node; the building
 // block of the observer's control panel. It reports whether a route to
-// the node existed.
+// the node existed. A node homed at a federation peer is reached by
+// relaying the command over that peer's trunk; the home observer unwraps
+// it and delivers over the node's direct route.
 func (o *Observer) Command(dest message.NodeID, typ message.Type, payload []byte) bool {
 	o.mu.Lock()
-	n, ok := o.nodes[dest]
 	var out *route
-	if ok {
+	if n, ok := o.nodes[dest]; ok {
 		out = n.out
+		if out == nil && !n.departed && !n.home.IsZero() && n.home != o.cfg.ID {
+			out = o.peers[n.home]
+		}
 	}
 	o.mu.Unlock()
 	if out == nil {
@@ -113,14 +117,16 @@ func (o *Observer) Nodes() []message.NodeID {
 	return ids
 }
 
-// Alive lists nodes with a live route and recent traffic, sorted.
+// Alive lists nodes alive in the merged federation view, sorted: nodes
+// with a live local route and recent traffic, plus nodes whose home
+// observer's synced liveness claim is still fresh.
 func (o *Observer) Alive() []message.NodeID {
 	cutoff := time.Now().Add(-o.cfg.StaleAfter)
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	ids := make([]message.NodeID, 0, len(o.nodes))
 	for id, n := range o.nodes {
-		if n.out != nil && n.lastSeen.After(cutoff) {
+		if (n.out != nil && n.lastSeen.After(cutoff)) || o.remoteAliveLocked(n, cutoff) {
 			ids = append(ids, id)
 		}
 	}

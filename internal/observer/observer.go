@@ -30,6 +30,7 @@ const (
 	DefaultBootstrapCount  = 8
 	DefaultRequestInterval = 500 * time.Millisecond
 	DefaultStaleAfter      = 5 * time.Second
+	DefaultSyncInterval    = 200 * time.Millisecond
 )
 
 // TraceRecord is one centrally logged trace message.
@@ -58,12 +59,27 @@ type Config struct {
 	Seed int64
 	// Logf, when set, receives debug logging.
 	Logf func(format string, args ...any)
+	// Peers lists the other observers of a federated deployment. The
+	// observer dials a trunk to each peer (and accepts theirs) over the
+	// same hello machinery proxies use, and runs anti-entropy sync of its
+	// registration table across the trunks, so a node may register with
+	// any federation member and bootstrap sets are served from the merged
+	// view. The federation assumes a full mesh: every observer lists
+	// every other.
+	Peers []message.NodeID
+	// SyncInterval paces anti-entropy rounds to federation peers; zero
+	// uses the default, negative disables proactive sync (inbound syncs
+	// are still absorbed).
+	SyncInterval time.Duration
 }
 
-// route is an outbound path for commands to one node.
+// route is an outbound path for commands to one node, or — for a
+// federation trunk — to a peer observer.
 type route struct {
-	ring  *queue.Ring
-	proxy bool // wrap commands in a Relay envelope
+	ring      *queue.Ring
+	conn      net.Conn
+	proxy     bool // wrap commands in a Relay envelope
+	peerTrunk bool // a federation trunk to another observer
 }
 
 // maxNodeEvents bounds the flight-recorder events retained per node; the
@@ -78,6 +94,15 @@ type nodeState struct {
 	lastReport protocol.Report
 	hasReport  bool
 	departed   bool // deregistered gracefully, as opposed to failed
+	// Federation state. seq versions the membership entry: the home
+	// observer bumps it on material changes (register, route loss,
+	// departure) and peers adopt whichever version is highest, so the
+	// merged view converges without per-message traffic. home names the
+	// observer holding the node's direct route; remoteAlive mirrors that
+	// observer's liveness claim for nodes homed elsewhere.
+	seq         uint64
+	home        message.NodeID
+	remoteAlive bool
 	// events accumulates the flight-recorder tails shipped with each
 	// report, deduplicated by sequence number (a re-requested report can
 	// carry overlap); lastEventSeq is the newest sequence retained.
@@ -85,15 +110,21 @@ type nodeState struct {
 	lastEventSeq uint64
 }
 
-// Observer is the centralized monitoring and control server.
+// Observer is the centralized monitoring and control server — or, with
+// Config.Peers set, one member of a federated observer tier.
 type Observer struct {
 	cfg      Config
 	listener net.Listener
 	rng      *rand.Rand
+	rec      *trace.Recorder // the observer's own flight recorder
 
-	mu     sync.Mutex
-	nodes  map[message.NodeID]*nodeState
-	traces []TraceRecord
+	mu      sync.Mutex
+	nodes   map[message.NodeID]*nodeState
+	peers   map[message.NodeID]*route // live federation trunks, by peer
+	conns   map[net.Conn]struct{}     // every live conn, so Stop can unblock readers
+	closing bool
+	traces  []TraceRecord
+	fed     FederationStats
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -117,10 +148,23 @@ func New(cfg Config) (*Observer, error) {
 	if cfg.StaleAfter <= 0 {
 		cfg.StaleAfter = DefaultStaleAfter
 	}
+	if cfg.SyncInterval == 0 {
+		cfg.SyncInterval = DefaultSyncInterval
+	}
+	peers := cfg.Peers[:0:0]
+	for _, p := range cfg.Peers {
+		if !p.IsZero() && p != cfg.ID {
+			peers = append(peers, p)
+		}
+	}
+	cfg.Peers = peers
 	return &Observer{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+		rec:   trace.New(1024),
 		nodes: make(map[message.NodeID]*nodeState),
+		peers: make(map[message.NodeID]*route),
+		conns: make(map[net.Conn]struct{}),
 		done:  make(chan struct{}),
 	}, nil
 }
@@ -141,6 +185,14 @@ func (o *Observer) Start() error {
 		o.wg.Add(1)
 		go o.requestLoop()
 	}
+	for _, p := range o.cfg.Peers {
+		o.wg.Add(1)
+		go o.peerDialLoop(p)
+	}
+	if o.cfg.SyncInterval > 0 && len(o.cfg.Peers) > 0 {
+		o.wg.Add(1)
+		go o.syncLoop()
+	}
 	return nil
 }
 
@@ -152,14 +204,45 @@ func (o *Observer) Stop() {
 			_ = o.listener.Close()
 		}
 		o.mu.Lock()
+		o.closing = true
 		for _, n := range o.nodes {
 			if n.out != nil {
 				n.out.ring.Close()
 			}
 		}
+		for _, p := range o.peers {
+			p.ring.Close()
+		}
+		// Closing the conns (not just the rings) unblocks every reader
+		// goroutine whose far side is still alive — with federation the
+		// remote observer outlives us, so waiting for it to hang up would
+		// deadlock Stop.
+		for c := range o.conns {
+			_ = c.Close()
+		}
 		o.mu.Unlock()
 		o.wg.Wait()
 	})
+}
+
+// trackConn registers a live connection for Stop-time teardown; it
+// reports false (and closes the conn) when the observer is already
+// stopping.
+func (o *Observer) trackConn(conn net.Conn) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closing {
+		conn.Close()
+		return false
+	}
+	o.conns[conn] = struct{}{}
+	return true
+}
+
+func (o *Observer) untrackConn(conn net.Conn) {
+	o.mu.Lock()
+	delete(o.conns, conn)
+	o.mu.Unlock()
 }
 
 func (o *Observer) logf(format string, args ...any) {
@@ -180,22 +263,32 @@ func (o *Observer) acceptLoop() {
 	}
 }
 
-// serveConn handles one inbound connection: a node's observer link or a
-// proxy's trunk. The first message must be a hello.
+// serveConn handles one inbound connection: a node's observer link, a
+// proxy's trunk, or a peer observer's federation trunk. The first message
+// must be a hello; its App field discriminates the connection kind.
 func (o *Observer) serveConn(conn net.Conn) {
 	defer o.wg.Done()
 	defer conn.Close()
+	if !o.trackConn(conn) {
+		return
+	}
+	defer o.untrackConn(conn)
 	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 	hello, err := message.Read(conn, nil, 256)
 	if err != nil || hello.Type() != protocol.TypeHello {
 		return
 	}
 	_ = conn.SetReadDeadline(time.Time{})
-	isProxy := hello.App() == protocol.HelloProxy
+	app := hello.App()
 	peer := hello.Sender()
 	hello.Release()
 
-	out := &route{ring: queue.New(256), proxy: isProxy}
+	if app == protocol.HelloObserver {
+		o.runPeerTrunk(conn, peer)
+		return
+	}
+	isProxy := app == protocol.HelloProxy
+	out := &route{ring: queue.New(256), conn: conn, proxy: isProxy}
 	o.wg.Add(1)
 	go o.writeLoop(conn, out.ring)
 	defer out.ring.Close()
@@ -257,6 +350,9 @@ func (o *Observer) handle(m *message.Msg, out *route) {
 			n.absorbEvents(rp.Events)
 		}
 		o.mu.Unlock()
+		// Federate the raw report so peers' timeline/histogram/topology
+		// aggregation sees every node, not just the ones homed with them.
+		o.fanoutReport(m)
 	case protocol.TypeDepart:
 		// Graceful deregistration — the paper's departure, distinct from
 		// a crash: the node is removed from the bootstrap set immediately
@@ -266,6 +362,8 @@ func (o *Observer) handle(m *message.Msg, out *route) {
 		if n, ok := o.nodes[from]; ok {
 			n.out = nil
 			n.departed = true
+			n.home = o.cfg.ID
+			n.seq++ // version the departure for the federation
 		}
 		o.mu.Unlock()
 		o.logf("node %s departed", from)
@@ -283,9 +381,13 @@ func (o *Observer) handle(m *message.Msg, out *route) {
 	}
 }
 
-// register records (or refreshes) a node and its outbound route.
+// register records (or refreshes) a node and its outbound route. A
+// material change — new route, rejoin after departure, or a node adopted
+// from a peer observer — bumps the entry's federation version; refreshes
+// over the unchanged route do not, so steady-state traffic produces no
+// sync churn.
 func (o *Observer) register(id message.NodeID, out *route) {
-	if id.IsZero() || id == o.cfg.ID {
+	if id.IsZero() || id == o.cfg.ID || o.isPeerID(id) {
 		return
 	}
 	o.mu.Lock()
@@ -295,7 +397,23 @@ func (o *Observer) register(id message.NodeID, out *route) {
 		n = &nodeState{id: id}
 		o.nodes[id] = n
 	}
+	if n.out != out || n.home != o.cfg.ID || n.departed {
+		n.seq++
+		if old := n.out; old != nil && old != out && !old.proxy && !old.peerTrunk {
+			// The node re-registered over a fresh direct connection (an
+			// engine failover retries idempotently); the superseded
+			// conn/ring pair would otherwise leak until process exit.
+			// Proxy trunks are shared by their relayed nodes and must
+			// survive one node's re-register.
+			old.ring.Close()
+			if old.conn != nil {
+				old.conn.Close()
+			}
+		}
+	}
 	n.out = out
+	n.home = o.cfg.ID
+	n.remoteAlive = false
 	n.lastSeen = time.Now()
 	n.departed = false // a node heard from again has (re)joined
 }
@@ -309,6 +427,9 @@ func (o *Observer) markRouteGone(out *route) {
 	for _, n := range o.nodes {
 		if n.out == out {
 			n.out = nil
+			if n.home == o.cfg.ID {
+				n.seq++ // version the loss so peers drop the node too
+			}
 		}
 	}
 }
@@ -321,11 +442,17 @@ func (o *Observer) markRouteGone(out *route) {
 // the order must vary, or every joiner in a small overlay contacts the
 // same first host and early experiments always build the same topology.
 func (o *Observer) bootstrapSet(exclude message.NodeID) []message.NodeID {
+	cutoff := time.Now().Add(-o.cfg.StaleAfter)
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	alive := make([]message.NodeID, 0, len(o.nodes))
 	for id, n := range o.nodes {
-		if id != exclude && n.out != nil {
+		if id == exclude {
+			continue
+		}
+		// Merged federation view: a live direct route, or a fresh
+		// liveness claim synced from the node's home observer.
+		if n.out != nil || o.remoteAliveLocked(n, cutoff) {
 			alive = append(alive, id)
 		}
 	}
@@ -346,7 +473,7 @@ func (o *Observer) sendRoute(out *route, dest message.NodeID, m *message.Msg) {
 		m.Release()
 		return
 	}
-	if out.proxy {
+	if out.proxy || out.peerTrunk {
 		var buf []byte
 		buf = m.AppendHeader(buf)
 		buf = append(buf, m.Payload()...)
@@ -359,7 +486,10 @@ func (o *Observer) sendRoute(out *route, dest message.NodeID, m *message.Msg) {
 	}
 }
 
-// requestLoop periodically asks every alive node for a status update.
+// requestLoop periodically asks every alive node homed at this observer
+// for a status update. Federated deployments leave remote nodes to their
+// home observer's requester — the reports spread through report fanout —
+// so a node is never double-polled by every federation member.
 func (o *Observer) requestLoop() {
 	defer o.wg.Done()
 	ticker := time.NewTicker(o.cfg.RequestInterval)
@@ -367,7 +497,7 @@ func (o *Observer) requestLoop() {
 	for {
 		select {
 		case <-ticker.C:
-			for _, id := range o.Alive() {
+			for _, id := range o.aliveLocal() {
 				o.Command(id, protocol.TypeRequest, nil)
 			}
 		case <-o.done:

@@ -68,6 +68,12 @@ func (o *Observer) Timeline() []TimelineEvent {
 		}
 	}
 	o.mu.Unlock()
+	// The observer's own recorder (peer trunk transitions, sync rounds)
+	// joins the merged series under the observer's ID, so a node-side
+	// failover lines up with the observer death that caused it.
+	for _, ev := range o.rec.Snapshot() {
+		merged = append(merged, TimelineEvent{Node: o.cfg.ID, Event: ev})
+	}
 	sort.Slice(merged, func(i, j int) bool {
 		a, b := merged[i], merged[j]
 		if a.Event.Nanos != b.Event.Nanos {

@@ -64,6 +64,9 @@ func allDecoderSpecs() []decoderSpec {
 		{"Tick",
 			func(b []byte) (any, error) { return DecodeTick(b) },
 			func(v any) []byte { return v.(Tick).Encode() }},
+		{"ObsSync",
+			func(b []byte) (any, error) { return DecodeObsSync(b) },
+			func(v any) []byte { return v.(ObsSync).Encode() }},
 	}
 }
 
@@ -101,6 +104,10 @@ func FuzzAllPayloadDecoders(f *testing.F) {
 	f.Add(ProbeAck{Token: 1, Rate: 1e6}.Encode())
 	f.Add(Ping{UnixNano: 1 << 60, Token: 5}.Encode())
 	f.Add(Tick{Kind: 3}.Encode())
+	f.Add(ObsSync{Origin: id, Entries: []MemberEntry{
+		{Node: id, Home: id, Seq: 4, Alive: true},
+		{Node: message.MakeID("10.0.0.2", 7000), Seq: 9, Departed: true},
+	}}.Encode())
 
 	specs := allDecoderSpecs()
 	f.Fuzz(func(t *testing.T, b []byte) {

@@ -172,6 +172,19 @@ func allPayloadCases() []payloadCase {
 			decode: func(b []byte) (any, error) { return DecodeTick(b) },
 			fixed:  4,
 		},
+		{
+			name: "ObsSync",
+			value: ObsSync{Origin: idA, Entries: []MemberEntry{
+				{Node: idB, Home: idA, Seq: 7, Alive: true},
+				{Node: idC, Home: message.NodeID{}, Seq: 1 << 40, Departed: true},
+			}},
+			encode: ObsSync{Origin: idA, Entries: []MemberEntry{
+				{Node: idB, Home: idA, Seq: 7, Alive: true},
+				{Node: idC, Home: message.NodeID{}, Seq: 1 << 40, Departed: true},
+			}}.Encode,
+			decode: func(b []byte) (any, error) { return DecodeObsSync(b) },
+			fixed:  12,
+		},
 	}
 }
 
@@ -221,7 +234,7 @@ func TestPayloadTableIsExhaustive(t *testing.T) {
 	want := []string{
 		"SetBandwidth", "BootReply", "Deploy", "Join", "Custom", "Report",
 		"Throughput", "BrokenSource", "Relay", "LinkEvent", "SlowPeer",
-		"Probe", "ProbeAck", "Ping", "Tick",
+		"Probe", "ProbeAck", "Ping", "Tick", "ObsSync",
 	}
 	have := map[string]bool{}
 	for _, tc := range allPayloadCases() {

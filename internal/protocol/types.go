@@ -33,6 +33,9 @@ const (
 	TypeLeave         message.Type = 15 // ask a node to leave an application
 	TypeCustom        message.Type = 16 // algorithm-specific command, two int params
 
+	// Observer federation.
+	TypeObsSync message.Type = 17 // observer -> observer: anti-entropy membership sync
+
 	// QoS measurement probes.
 	TypePing     message.Type = 20 // latency probe
 	TypePong     message.Type = 21 // latency probe reply
@@ -86,6 +89,8 @@ func TypeName(t message.Type) string {
 		return "leave"
 	case TypeCustom:
 		return "custom"
+	case TypeObsSync:
+		return "obsSync"
 	case TypePing:
 		return "ping"
 	case TypePong:
@@ -564,6 +569,93 @@ func DecodeBrokenSource(b []byte) (BrokenSource, error) {
 // HelloProxy is the app-field value marking a hello as coming from a
 // relay proxy rather than an overlay node.
 const HelloProxy uint32 = 1
+
+// HelloObserver is the app-field value marking a hello as coming from a
+// peer observer opening a federation trunk, which carries anti-entropy
+// membership syncs and relayed commands instead of node traffic.
+const HelloObserver uint32 = 2
+
+// Membership-entry flag bits carried in an ObsSync entry.
+const (
+	memberAlive    uint32 = 1 << 0
+	memberDeparted uint32 = 1 << 1
+)
+
+// MemberEntry is one seq-versioned registration-table entry exchanged
+// between federated observers. Home names the observer holding the
+// node's direct route (zero when the node has none anywhere); Seq is the
+// entry's version, bumped by the home observer on every material change,
+// so concurrent views merge by highest version.
+type MemberEntry struct {
+	Node     message.NodeID
+	Home     message.NodeID
+	Seq      uint64
+	Alive    bool
+	Departed bool
+}
+
+// memberEntrySize is the fixed wire size of one entry:
+// ID node + ID home + U64 seq + U32 flags.
+const memberEntrySize = 8 + 8 + 8 + 4
+
+// ObsSync is the payload of TypeObsSync: one anti-entropy round's view of
+// an observer's registration table, pushed to each federation peer.
+// Origin identifies the sending observer (the trunk's hello already
+// carries it, but syncs may be re-propagated in larger federations, and
+// liveness refreshes must be credited to the asserting home only).
+type ObsSync struct {
+	Origin  message.NodeID
+	Entries []MemberEntry
+}
+
+// Encode serializes the sync round.
+func (s ObsSync) Encode() []byte {
+	w := NewWriter(12 + memberEntrySize*len(s.Entries))
+	w.ID(s.Origin)
+	w.U32(uint32(len(s.Entries)))
+	for _, e := range s.Entries {
+		var flags uint32
+		if e.Alive {
+			flags |= memberAlive
+		}
+		if e.Departed {
+			flags |= memberDeparted
+		}
+		w.ID(e.Node).ID(e.Home).U64(e.Seq).U32(flags)
+	}
+	return w.Bytes()
+}
+
+// DecodeObsSync parses an ObsSync payload, guarding the entry count
+// against the bytes actually present so forged headers latch as errors.
+func DecodeObsSync(b []byte) (ObsSync, error) {
+	r := NewReader(b)
+	s := ObsSync{Origin: r.ID()}
+	n := r.U32()
+	if r.Err() != nil {
+		return s, r.Err()
+	}
+	if n > uint32(r.Remaining()/memberEntrySize) {
+		r.fail(fmt.Errorf("%w: member list of %d", ErrTruncated, n))
+		return s, r.Err()
+	}
+	s.Entries = make([]MemberEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		e := MemberEntry{Node: r.ID(), Home: r.ID(), Seq: r.U64()}
+		flags := r.U32()
+		if r.Err() != nil {
+			return s, r.Err()
+		}
+		if flags&^(memberAlive|memberDeparted) != 0 {
+			r.fail(fmt.Errorf("%w: member flags %#x out of range", ErrInvalid, flags))
+			return s, r.Err()
+		}
+		e.Alive = flags&memberAlive != 0
+		e.Departed = flags&memberDeparted != 0
+		s.Entries = append(s.Entries, e)
+	}
+	return s, r.Err()
+}
 
 // Relay is the payload of TypeRelay: a command enveloped by the observer
 // for the proxy to unwrap and deliver to Dest over the node's inbound

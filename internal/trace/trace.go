@@ -66,6 +66,14 @@ const (
 	// KindProbeBW records a completed bandwidth probe: Value is the
 	// estimated rate in bytes/sec, Peer the probed node.
 	KindProbeBW
+	// KindObsFailover records an engine switching observers: Peer is the
+	// observer now targeted, Value its index in the configured failover
+	// list.
+	KindObsFailover
+	// KindObsSync records one absorbed federation sync round on an
+	// observer: Peer is the sync's origin observer, Value the number of
+	// entries whose merge changed local state.
+	KindObsSync
 )
 
 // KindName returns a short stable label for a kind, suitable for
@@ -92,6 +100,10 @@ func KindName(k Kind) string {
 		return "probe-rtt"
 	case KindProbeBW:
 		return "probe-bw"
+	case KindObsFailover:
+		return "obs-failover"
+	case KindObsSync:
+		return "obs-sync"
 	default:
 		return fmt.Sprintf("kind-%d", uint8(k))
 	}
