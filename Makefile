@@ -51,7 +51,9 @@ race:
 # ending with a saturated round — interior kills while every receiver
 # uplink is throttled below the stream rate — plus the observer-failover
 # round, where a 3-observer federated tier is killed member by member
-# under node churn. Runs with assertions armed.
+# under node churn, and the dial-storm round, where half-open connection
+# floods hammer the stream's listeners while the admission gate sheds
+# them. Runs with assertions armed.
 chaos:
 	$(GO) test -race -tags ioverlay_debug -run Chaos ./internal/chaos/...
 

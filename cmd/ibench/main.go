@@ -29,7 +29,7 @@ import (
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 5,6,7,8,9,11,12,14,15,16,17,18,19 (empty = all)")
 	table := flag.String("table", "", "table to regenerate: 3 (empty = all)")
-	exp := flag.String("exp", "", "named experiment to regenerate: churn, overload, timeline (empty = all)")
+	exp := flag.String("exp", "", "named experiment to regenerate: churn, overload, timeline, dialstorm (empty = all)")
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
 	debugAddr := flag.String("debug", "", "serve expvar/pprof debug endpoints on this address while running (e.g. 127.0.0.1:6060)")
 	flag.Parse()
@@ -166,6 +166,21 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderOverload(res))
+		fmt.Println()
+		return nil
+	})
+
+	runStep([]string{"dialstorm"}, func() error {
+		cfg := experiments.DialStormConfig{}
+		if !*full {
+			cfg.N = 14
+			cfg.StormFor = 1500 * time.Millisecond
+		}
+		res, err := experiments.DialStorm(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderDialStorm(res))
 		fmt.Println()
 		return nil
 	})

@@ -76,6 +76,11 @@ func run() error {
 	totalStr := flag.String("total", "0", "emulated total bandwidth")
 	lastMileStr := flag.String("lastmile", "100KB", "last-mile bandwidth for node-stress computation")
 	bufMsgs := flag.Int("buffers", 64, "receiver/sender buffer capacity in messages")
+	maxHandshakes := flag.Int("max-handshakes", 0, "concurrent inbound handshake cap; excess connections get a one-frame busy refusal (0 = default 64, negative disables admission control)")
+	acceptRate := flag.Float64("accept-rate", 0, "sustained per-source accept rate in connections/sec (0 = default 16)")
+	greylistAfter := flag.Int("greylist-after", 0, "consecutive rate refusals before a source is greylisted (0 = default 8)")
+	greylistFor := flag.Duration("greylist-for", 0, "how long a greylisted source's connections are closed silently (0 = default 2s)")
+	busyProbe := flag.Duration("busy-probe", 0, "post-hello window a dialer listens for a busy refusal (0 = default 5ms, negative disables)")
 	debugAddr := flag.String("debug", "", "serve expvar/pprof debug endpoints on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
@@ -146,6 +151,12 @@ func run() error {
 		DownBW:    down,
 		RecvBuf:   *bufMsgs,
 		SendBuf:   *bufMsgs,
+
+		MaxHandshakes: *maxHandshakes,
+		AcceptRate:    *acceptRate,
+		GreylistAfter: *greylistAfter,
+		GreylistFor:   *greylistFor,
+		BusyProbe:     *busyProbe,
 	}
 	if *obsStr != "" {
 		for _, part := range strings.Split(*obsStr, ",") {

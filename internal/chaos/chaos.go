@@ -43,6 +43,12 @@ const (
 	// over to a surviving observer; there is no restart counterpart — the
 	// point of the round is living without the victim.
 	KillObserver
+	// DialStorm floods the listed nodes' listeners with raw connections
+	// from many distinct spoofed sources — Rate dials/sec per target for
+	// Duration — none of which ever completes a handshake. The admission
+	// gate must shed the storm while established links and the control
+	// plane keep flowing.
+	DialStorm
 )
 
 // String names the event kind.
@@ -62,6 +68,8 @@ func (k Kind) String() string {
 		return "saturate"
 	case KillObserver:
 		return "kill-observer"
+	case DialStorm:
+		return "dial-storm"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -85,8 +93,13 @@ type Event struct {
 	// Stall is the delivery stall duration for Flaky.
 	Stall time.Duration
 	// Rate is the uplink throttle in bytes/sec for Saturate (0 restores
-	// full bandwidth).
+	// full bandwidth), or the per-target dial rate in dials/sec for
+	// DialStorm.
 	Rate int64
+	// Duration is how long a DialStorm keeps hammering its targets; the
+	// event is synchronous, so the runner only probes recovery once the
+	// storm has ended.
+	Duration time.Duration
 }
 
 // String renders a compact description for logs and reports.
@@ -104,6 +117,8 @@ func (e Event) String() string {
 			return fmt.Sprintf("saturate %v off", e.Nodes)
 		}
 		return fmt.Sprintf("saturate %v rate=%d", e.Nodes, e.Rate)
+	case DialStorm:
+		return fmt.Sprintf("dial-storm %v rate=%d/s for=%s", e.Nodes, e.Rate, e.Duration)
 	default:
 		return e.Kind.String()
 	}

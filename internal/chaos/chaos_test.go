@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/message"
@@ -316,6 +318,7 @@ func (sc *soakCluster) ops() chaos.Ops {
 				Class: protocol.BandwidthUp, Rate: rate,
 			})
 		},
+		DialStorm: sc.dialStorm,
 		Mark:      func(chaos.Event) { sc.markBaselines() },
 		Recovered: sc.steady,
 		Dropped: func() int64 {
@@ -326,6 +329,42 @@ func (sc *soakCluster) ops() chaos.Ops {
 			return total
 		},
 	}
+}
+
+// dialStorm floods each target's listener with half-open connections —
+// rate dials/sec per target for d — from a mix of unique spoofed hosts
+// (exercising the handshake-token cap) and one repeat-offender host
+// (exercising per-source rate limiting and the greylist). No connection
+// ever sends a hello: each lingers a while pinning its handshake token,
+// then hangs up without a goodbye.
+func (sc *soakCluster) dialStorm(nodes []int, rate int64, d time.Duration) {
+	const linger = 300 * time.Millisecond
+	interval := time.Second / time.Duration(rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	var wg sync.WaitGroup
+	seq := 0
+	for start := time.Now(); time.Since(start) < d; time.Sleep(interval) {
+		for _, idx := range nodes {
+			seq++
+			src := fmt.Sprintf("10.99.%d.%d:%d", seq/250%250, seq%250+1, 40000+seq%20000)
+			if seq%4 == 0 { // repeat offender: same host, fresh port
+				src = fmt.Sprintf("10.99.250.250:%d", 40000+seq)
+			}
+			wg.Add(1)
+			go func(src, dst string) {
+				defer wg.Done()
+				conn, err := sc.net.DialFrom(src, dst)
+				if err != nil {
+					return // backlog overflow: the storm sheds itself
+				}
+				time.Sleep(linger)
+				conn.Close()
+			}(src, sc.ids[idx].Addr())
+		}
+	}
+	wg.Wait()
 }
 
 // TestChaosSoakSurvivesChurn is the acceptance soak: a seeded schedule of
@@ -483,5 +522,67 @@ func TestChaosSoakShardedSwitch(t *testing.T) {
 				buf[:runtime.Stack(buf, true)])
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestChaosDialStorm points a connection storm at the stream's interior
+// while it is live: half-open connections from thousands of spoofed
+// sources hammer the source and two interior forwarders, with a kill and
+// a restart landing between the storm waves. The admission gate must shed
+// the storm — in-flight handshakes stay under the cap, repeat offenders
+// get greylisted — without starving established links: delivery to every
+// receiver continues, and the restarted node rejoins through the very
+// listeners being stormed.
+func TestChaosDialStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const nodes = 10
+	sc := newSoakCluster(t, nodes, 0)
+	defer sc.stop()
+	sc.session()
+
+	schedule := []chaos.Event{
+		{After: 100 * time.Millisecond, Kind: chaos.DialStorm,
+			Nodes: []int{0, 1, 2}, Rate: 300, Duration: time.Second},
+		{After: 100 * time.Millisecond, Kind: chaos.Kill, Nodes: []int{3}},
+		{After: 100 * time.Millisecond, Kind: chaos.DialStorm,
+			Nodes: []int{0, 1}, Rate: 300, Duration: 500 * time.Millisecond},
+		{After: 100 * time.Millisecond, Kind: chaos.Restart, Nodes: []int{3}},
+	}
+	r := &chaos.Runner{
+		Ops:             sc.ops(),
+		RecoveryTimeout: 30 * time.Second,
+		Logf:            t.Logf,
+	}
+	rep := r.Run(schedule)
+	t.Logf("\n%s", rep.Render())
+	if rep.Unrecovered != 0 {
+		t.Errorf("%d events never recovered:\n%s", rep.Unrecovered, sc.describe())
+	}
+
+	// The gate engaged rather than absorbed: in-flight handshakes never
+	// exceeded the cap on any stormed node, and refusals were issued.
+	var shed int64
+	for _, i := range []int{0, 1, 2} {
+		st := sc.engs[i].Admission()
+		if st.InFlightPeak > admission.DefaultMaxHandshakes {
+			t.Errorf("node %d: in-flight handshake peak %d exceeds cap %d",
+				i, st.InFlightPeak, admission.DefaultMaxHandshakes)
+		}
+		shed += st.ShedBusy + st.ShedRate + st.ShedGreylist
+	}
+	if shed == 0 {
+		t.Error("storm was never shed: admission gate did not engage")
+	}
+
+	// With the storm over and every fault undone, the session is intact.
+	sc.markBaselines()
+	deadline := time.Now().Add(10 * time.Second)
+	for !sc.steady() {
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster degraded after the storm:\n%s", sc.describe())
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

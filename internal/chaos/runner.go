@@ -27,6 +27,10 @@ type Ops struct {
 	// KillObserver crashes one member of the observer tier (the index is
 	// an observer index, not an overlay-node index).
 	KillObserver func(idx int)
+	// DialStorm floods the listed nodes' listeners with raw never-
+	// completing connections at rate dials/sec per target for d. The call
+	// is synchronous: it returns when the storm is over.
+	DialStorm func(nodes []int, rate int64, d time.Duration)
 
 	// Mark is called immediately after an event is applied, before
 	// recovery polling starts; callers snapshot delivery baselines here.
@@ -200,6 +204,10 @@ func (r *Runner) apply(ev Event) {
 			if r.Ops.KillObserver != nil {
 				r.Ops.KillObserver(n)
 			}
+		}
+	case DialStorm:
+		if r.Ops.DialStorm != nil {
+			r.Ops.DialStorm(ev.Nodes, ev.Rate, ev.Duration)
 		}
 	}
 }

@@ -15,6 +15,10 @@ type backoff struct {
 	max     time.Duration
 	attempt int
 	rng     *rand.Rand
+	// floorNext is a one-shot minimum for the next delay: a busy
+	// acceptor's retry-after hint lands here so the next attempt waits at
+	// least that long, whatever the exponential schedule says.
+	floorNext time.Duration
 }
 
 // newBackoff builds a retry pacer; seed makes the jitter sequence
@@ -49,7 +53,26 @@ func (b *backoff) next() time.Duration {
 	if j > b.max {
 		j = b.max
 	}
+	if f := b.floorNext; f > 0 {
+		b.floorNext = 0
+		if j < f {
+			j = f
+		}
+		if j > b.max {
+			// An adversarial hint must not stall the dialer past its own
+			// configured ceiling.
+			j = b.max
+		}
+	}
 	return j
+}
+
+// floor arms a one-shot minimum for the next delay; the acceptor's
+// retry-after hint from a Busy frame. Non-positive hints are ignored.
+func (b *backoff) floor(d time.Duration) {
+	if d > b.floorNext {
+		b.floorNext = d
+	}
 }
 
 // reset restarts the progression after a successful attempt.

@@ -59,6 +59,42 @@ func TestBackoffResetRestartsProgression(t *testing.T) {
 	}
 }
 
+// TestBackoffFloorIsOneShot checks the Busy retry-after hint semantics:
+// floor() raises exactly the next delay to at least the hint, and the
+// attempt after that returns to the normal jittered schedule.
+func TestBackoffFloorIsOneShot(t *testing.T) {
+	const base, max = 10 * time.Millisecond, 500 * time.Millisecond
+	b := newBackoff(base, max, 11)
+	const hint = 200 * time.Millisecond
+	b.floor(hint)
+	if d := b.next(); d < hint {
+		t.Fatalf("floored delay = %v, want >= hint %v", d, hint)
+	}
+	// One-shot: the second delay follows the exponential schedule (attempt
+	// 1 of a 10ms base is at most 25ms with jitter), not the stale hint.
+	if d := b.next(); d >= hint {
+		t.Fatalf("post-floor delay = %v, floor was not one-shot", d)
+	}
+}
+
+// TestBackoffFloorClampedToCap checks an adversarial retry-after hint
+// cannot stall the dialer past its own configured ceiling.
+func TestBackoffFloorClampedToCap(t *testing.T) {
+	const base, max = 10 * time.Millisecond, 100 * time.Millisecond
+	b := newBackoff(base, max, 13)
+	b.floor(time.Hour)
+	if d := b.next(); d > max {
+		t.Fatalf("floored delay = %v, want clamped to cap %v", d, max)
+	}
+	// A larger pending hint wins; a smaller or negative one never lowers it.
+	b.floor(50 * time.Millisecond)
+	b.floor(80 * time.Millisecond)
+	b.floor(-time.Second)
+	if d := b.next(); d < 80*time.Millisecond || d > max {
+		t.Fatalf("floored delay = %v, want within [80ms, cap]", d)
+	}
+}
+
 // TestBackoffDefaultsApplied checks zero inputs fall back to the engine
 // defaults instead of producing zero (busy-loop) delays.
 func TestBackoffDefaultsApplied(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/bandwidth"
 	"repro/internal/invariant"
 	"repro/internal/message"
@@ -50,6 +51,7 @@ const (
 	DefaultRetryMax         = 5 * time.Second
 	DefaultDepartureGrace   = 2 * time.Second
 	DefaultEventLog         = 1024
+	DefaultBusyProbe        = 5 * time.Millisecond
 )
 
 // Config parameterizes an Engine.
@@ -117,6 +119,28 @@ type Config struct {
 	// HandshakeTimeout bounds how long a new inbound connection may take
 	// to identify itself with a hello message.
 	HandshakeTimeout time.Duration
+	// MaxHandshakes bounds concurrent in-flight inbound handshakes: an
+	// admission token is held from Accept until the link is registered,
+	// and connections past the bound are shed pre-handshake with a
+	// one-frame Busy reply. Zero selects admission.DefaultMaxHandshakes;
+	// negative disables admission control entirely (every connection is
+	// admitted, the pre-PR-8 behavior).
+	MaxHandshakes int
+	// AcceptRate and AcceptBurst bound per-source admissions (sustained
+	// per second / bucket depth); GreylistAfter consecutive rate refusals
+	// greylist the source for GreylistFor, during which its connections
+	// are closed without even a Busy frame. Zeros select the admission
+	// package defaults.
+	AcceptRate    float64
+	AcceptBurst   int
+	GreylistAfter int
+	GreylistFor   time.Duration
+	// BusyProbe is how long a dialer listens for a Busy refusal after
+	// sending its hello before treating the link as admitted. Sender
+	// links are one-directional past the hello, so nothing else ever
+	// arrives in that window. Zero selects DefaultBusyProbe; negative
+	// disables the probe (refusals then surface as write failures).
+	BusyProbe time.Duration
 	// DialTimeout bounds each outgoing connection attempt.
 	DialTimeout time.Duration
 	// DialAttempts is how many times a sender tries to reach a peer
@@ -208,6 +232,9 @@ func (c *Config) applyDefaults() {
 	if c.EventLog == 0 {
 		c.EventLog = DefaultEventLog
 	}
+	if c.BusyProbe == 0 {
+		c.BusyProbe = DefaultBusyProbe
+	}
 	// Normalize the two observer fields into one another so every code
 	// path can use Observers as the failover list and Observer as its
 	// head.
@@ -243,6 +270,15 @@ type Engine struct {
 	counters metrics.Counters
 
 	listener net.Listener
+
+	// gate is the connection-storm admission controller consulted between
+	// Accept and handshake; nil (admit everything) when Config.
+	// MaxHandshakes is negative. Safe from any goroutine.
+	gate *admission.Gate
+	// busyWriters bounds the short-lived goroutines writing Busy refusal
+	// frames, so a storm of refused connections cannot balloon into a
+	// goroutine flood; past the bound connections are shed silently.
+	busyWriters atomic.Int32
 
 	mu        sync.Mutex
 	receivers map[message.NodeID]*receiver
@@ -304,6 +340,11 @@ type Engine struct {
 	// is reset after every successful registration. Only the singleton
 	// reconnect loop (or Start, before any loop exists) touches it.
 	obsBackoff *backoff
+	// obsBusyHint carries a Busy refusal's retry-after hint (nanoseconds)
+	// from the observer reader goroutine to the reconnect loop, which
+	// floors its next delay with it; atomic because the two goroutines
+	// never synchronize otherwise.
+	obsBusyHint atomic.Int64
 
 	// Engine-goroutine-only state (the algorithm shard's goroutine).
 	pingSent  map[uint32]time.Time
@@ -367,6 +408,15 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.EventLog > 0 {
 		e.rec = trace.New(cfg.EventLog)
 	}
+	if cfg.MaxHandshakes >= 0 {
+		e.gate = admission.New(admission.Config{
+			MaxHandshakes: cfg.MaxHandshakes,
+			SourceRate:    cfg.AcceptRate,
+			SourceBurst:   cfg.AcceptBurst,
+			GreylistAfter: cfg.GreylistAfter,
+			GreylistFor:   cfg.GreylistFor,
+		})
+	}
 	for peer, rate := range cfg.LinkBW {
 		e.linkRates[peer] = rate
 	}
@@ -377,6 +427,11 @@ func New(cfg Config) (*Engine, error) {
 // and debug endpoints; nil when recording is disabled. Safe from any
 // goroutine.
 func (e *Engine) Recorder() *trace.Recorder { return e.rec }
+
+// Admission snapshots the admission gate's counters — admitted and shed
+// connections, in-flight handshake tokens and their peak. Zero when
+// admission control is disabled. Safe from any goroutine.
+func (e *Engine) Admission() admission.Stats { return e.gate.Stats() }
 
 // Events snapshots the flight recorder's currently retained events in
 // sequence order. Safe from any goroutine.
@@ -662,6 +717,11 @@ func (e *Engine) scheduleObserverReconnect() {
 			e.mu.Unlock()
 		}()
 		for {
+			// An observer that refused us with a Busy frame told us when to
+			// come back; honor it over the exponential schedule.
+			if h := e.obsBusyHint.Swap(0); h > 0 {
+				e.obsBackoff.floor(time.Duration(h))
+			}
 			d := e.obsBackoff.next()
 			e.rec.Emit(trace.KindBackoff, e.Observer(), 0, int64(d))
 			select {
@@ -1016,6 +1076,13 @@ func (e *Engine) senderLocked(peer message.NodeID) *sender {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.senders[peer]
+}
+
+// hasSender reports whether the node holds an outbound link to peer —
+// the admission path's definition of an established neighbor, exempt
+// from watermark shedding.
+func (e *Engine) hasSender(peer message.NodeID) bool {
+	return e.senderLocked(peer) != nil
 }
 
 // ----- sending -----

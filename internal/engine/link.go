@@ -2,16 +2,19 @@ package engine
 
 import (
 	"bufio"
+	"errors"
 	"net"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/bandwidth"
 	"repro/internal/message"
 	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/queue"
 	"repro/internal/trace"
+	"repro/internal/vnet"
 )
 
 // receiver owns one incoming persistent connection: a dedicated goroutine
@@ -260,6 +263,8 @@ func newSender(peer message.NodeID, bufMsgs int, linkRate int64, gauge, held *me
 // try — before the link is declared down.
 func (e *Engine) runSender(s *sender) {
 	defer e.wg.Done()
+	// dialPeer writes the hello and listens for a Busy refusal, so a
+	// returned connection is already admitted by the peer's gate.
 	conn, err := e.dialPeer(s)
 	if err != nil {
 		e.logf("dial %s: %v", s.peer, err)
@@ -270,14 +275,6 @@ func (e *Engine) runSender(s *sender) {
 	}
 	s.conn = conn
 	close(s.connReady)
-
-	hello := message.New(protocol.TypeHello, e.id, 0, 0, nil)
-	if _, err := hello.WriteTo(conn); err != nil {
-		_ = conn.Close()
-		e.dropQueued(s)
-		e.postEvent(func() { e.senderGone(s) })
-		return
-	}
 	e.rec.Emit(trace.KindLinkUp, s.peer, 0, 0)
 
 	bufw := bufio.NewWriterSize(conn, 32<<10)
@@ -436,9 +433,18 @@ func (e *Engine) runSender(s *sender) {
 	}
 }
 
+// errPeerBusy marks a dial attempt refused by the peer's admission gate
+// with a Busy frame; the carried hint floors the next backoff delay.
+var errPeerBusy = errors.New("engine: peer refused admission (busy)")
+
 // dialPeer attempts the outgoing connection to s.peer, retrying with
 // backoff until it succeeds, the attempt budget is exhausted, or the
-// engine stops.
+// engine stops. It owns the whole client side of the handshake: after a
+// connection is established it writes the hello, then listens briefly
+// (Config.BusyProbe) for a Busy refusal from the peer's admission gate.
+// A refusal consumes the attempt and floors the next backoff delay with
+// the acceptor's retry-after hint; silence means admitted — sender links
+// are one-directional past the hello, so nothing else ever arrives.
 func (e *Engine) dialPeer(s *sender) (net.Conn, error) {
 	bo := e.newBackoff(int64(s.peer.IP)<<16 ^ int64(s.peer.Port))
 	var lastErr error
@@ -453,12 +459,59 @@ func (e *Engine) dialPeer(s *sender) (net.Conn, error) {
 			}
 		}
 		conn, err := e.cfg.Transport.DialFrom(e.id.Addr(), s.peer.Addr(), e.cfg.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		hello := message.New(protocol.TypeHello, e.id, 0, 0, nil)
+		if _, err := hello.WriteTo(conn); err != nil {
+			_ = conn.Close()
+			lastErr = err
+			continue
+		}
+		hint, err := e.probeBusy(conn)
 		if err == nil {
 			return conn, nil
 		}
+		_ = conn.Close()
 		lastErr = err
+		if hint > 0 {
+			bo.floor(hint)
+		}
 	}
 	return nil, lastErr
+}
+
+// probeBusy listens for a Busy refusal after the hello. It returns
+// (0, nil) when the probe window passes silently (admitted), or the
+// refusal's retry-after hint and errPeerBusy when the peer shed the
+// connection. Any other frame or a closed connection is an error too: a
+// greylisted source is closed without a frame, and an admitted sender
+// link never receives anything.
+func (e *Engine) probeBusy(conn net.Conn) (time.Duration, error) {
+	if e.cfg.BusyProbe < 0 {
+		return 0, nil
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(e.cfg.BusyProbe))
+	m, err := message.Read(conn, nil, 256)
+	if err != nil {
+		_ = conn.SetReadDeadline(time.Time{})
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return 0, nil // silence: admitted
+		}
+		return 0, err // hung up pre-handshake (greylist shed, crash)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	defer m.Release()
+	if m.Type() != protocol.TypeBusy {
+		return 0, errPeerBusy // protocol violation; drop the link attempt
+	}
+	bz, derr := protocol.DecodeBusy(m.Payload())
+	if derr != nil {
+		return 0, errPeerBusy
+	}
+	return time.Duration(bz.RetryAfterNanos), errPeerBusy
 }
 
 // buffersWriter is the vectored-write fast path vnet connections provide:
@@ -489,34 +542,164 @@ func (e *Engine) dropQueued(s *sender) {
 	}
 }
 
-// acceptLoop admits incoming connections on the publicized port.
+// AcceptClosed reports whether an Accept error means the listener itself
+// is gone (closed by Stop, or torn down with the network) rather than a
+// transient per-accept failure like EMFILE or ECONNABORTED.
+func AcceptClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, vnet.ErrListenerClosed) ||
+		errors.Is(err, vnet.ErrNetworkDown)
+}
+
+// maxBusyWriters bounds concurrent Busy-frame writer goroutines; refusals
+// past the bound are closed silently (the dialer's probe treats the hangup
+// as a failed attempt, so only the hint is lost).
+const maxBusyWriters = 64
+
+// busyWriteTimeout bounds each Busy-frame write so a stalled refused peer
+// cannot pin its writer goroutine.
+const busyWriteTimeout = 100 * time.Millisecond
+
+// acceptLoop admits incoming connections on the publicized port. Each
+// accepted connection passes the admission gate before any handshake
+// goroutine is spawned, and transient Accept errors are survived with
+// capped backoff — only a closed listener (or engine shutdown) ends the
+// loop. Nothing here blocks on rings or holds the engine lock across
+// conn I/O: a refused connection costs at most one token-bucket update
+// and one asynchronous Busy frame.
 func (e *Engine) acceptLoop(l net.Listener) {
 	defer e.wg.Done()
+	bo := e.newBackoff(0x61636370) // "accp": distinct jitter sequence
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			return
+			if AcceptClosed(err) {
+				return
+			}
+			// Transient (EMFILE, ECONNABORTED): back off and retry
+			// instead of silently dropping off the network forever.
+			e.counters.AddAcceptRetry()
+			e.rec.Emit(trace.KindAccept, message.NodeID{}, 0, int64(admission.AcceptRetry))
+			d := bo.next()
+			e.rec.Emit(trace.KindBackoff, message.NodeID{}, 0, int64(d))
+			select {
+			case <-e.done:
+				return
+			case <-time.After(d):
+			}
+			continue
 		}
+		bo.reset()
+		dec, hint := e.gate.Admit(sourceHost(conn.RemoteAddr()))
+		if dec != admission.Admitted {
+			e.shedConn(conn, dec, hint)
+			continue
+		}
+		e.counters.AddConnIn()
 		e.wg.Add(1)
 		go e.handshake(conn)
 	}
 }
 
+// sourceHost extracts the admission-gate source key from a remote
+// address: the host alone, so every connection from one node shares a
+// rate bucket whatever ephemeral port it dialed from.
+func sourceHost(a net.Addr) string {
+	s := a.String()
+	if host, _, err := net.SplitHostPort(s); err == nil {
+		return host
+	}
+	return s
+}
+
+// shedConn disposes of a refused connection: greylisted sources are
+// closed outright, everything else gets a one-frame Busy reply carrying
+// the retry-after hint — written from a bounded, wg-tracked goroutine
+// with a write deadline so a storm of refusals can neither block the
+// accept loop nor balloon into a goroutine flood.
+func (e *Engine) shedConn(conn net.Conn, dec admission.Decision, hint time.Duration) {
+	e.counters.AddConnShed()
+	e.rec.Emit(trace.KindAccept, message.NodeID{}, 0, int64(dec))
+	reason := protocol.BusyHandshakes
+	if dec == admission.ShedRate {
+		reason = protocol.BusyRate
+	}
+	e.sendBusy(conn, dec == admission.ShedGreylist, reason, hint)
+}
+
+// sendBusy writes the Busy refusal frame asynchronously and closes conn;
+// silent skips the frame (greylisted sources earn no reply, and neither
+// do refusals past the writer bound).
+func (e *Engine) sendBusy(conn net.Conn, silent bool, reason protocol.BusyReason, hint time.Duration) {
+	if silent || e.busyWriters.Load() >= maxBusyWriters {
+		_ = conn.Close()
+		return
+	}
+	e.busyWriters.Add(1)
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer e.busyWriters.Add(-1)
+		defer conn.Close()
+		_ = conn.SetWriteDeadline(time.Now().Add(busyWriteTimeout))
+		busy := message.New(protocol.TypeBusy, e.id, 0, 0,
+			protocol.Busy{Reason: reason, RetryAfterNanos: int64(hint)}.Encode())
+		_, _ = busy.WriteTo(conn)
+		busy.Release()
+	}()
+}
+
+// failHandshake accounts for an admitted connection whose handshake died
+// — a bad first frame or a hello that never arrived — so the loss is
+// visible in counters and on the timeline instead of a silent close.
+func (e *Engine) failHandshake(conn net.Conn, dec admission.Decision) {
+	e.counters.AddHandshakeFailed()
+	e.rec.Emit(trace.KindAccept, message.NodeID{}, 0, int64(dec))
+	_ = conn.Close()
+}
+
 // handshake reads the mandatory hello message that carries the dialing
 // node's identity, then registers the connection as a receiver link.
 // Config.HandshakeTimeout bounds how long the connection may take to
-// identify itself.
+// identify itself. The caller's admission token is held for the whole
+// function — released only here, when the link is registered or the
+// handshake has died — so MaxHandshakes bounds these goroutines exactly.
 func (e *Engine) handshake(conn net.Conn) {
 	defer e.wg.Done()
+	defer e.gate.Release()
 	_ = conn.SetReadDeadline(time.Now().Add(e.cfg.HandshakeTimeout))
 	m, err := message.Read(conn, nil, 256)
-	if err != nil || m.Type() != protocol.TypeHello {
-		_ = conn.Close()
+	if err != nil {
+		dec := admission.BadHello
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			dec = admission.Timeout
+		}
+		e.failHandshake(conn, dec)
+		return
+	}
+	if m.Type() != protocol.TypeHello {
+		m.Release()
+		e.failHandshake(conn, admission.BadHello)
 		return
 	}
 	_ = conn.SetReadDeadline(time.Time{})
 	peer := m.Sender()
 	m.Release()
+
+	// Watermark-coupled degradation: past the memory-budget watermark the
+	// node is already shedding buffered data, so new data-plane links from
+	// strangers are refused too — they would only widen the firehose.
+	// Observer links are control-plane and always admitted, and so are
+	// established neighbors (a peer we hold a sender to dialing back): a
+	// shedding node must keep exchanging control traffic — pings, slow-peer
+	// reports, reparent commands — with the overlay it is already part of,
+	// or it can never dig itself out.
+	if e.shedding.Load() && !e.isObserverID(peer) && !e.hasSender(peer) {
+		e.counters.AddConnShed()
+		e.rec.Emit(trace.KindAccept, peer, 0, int64(admission.ShedWatermark))
+		e.sendBusy(conn, false, protocol.BusyWatermark, e.gate.RetryAfter())
+		return
+	}
 
 	r := newReceiver(peer, conn, e.cfg.RecvBuf, &e.bufBytes, &e.heldBytes)
 	r.sh = e.shardFor(peer)
@@ -535,6 +718,7 @@ func (e *Engine) handshake(conn net.Conn) {
 		old.ring.Close()
 	}
 	e.armInactivity(r)
+	e.rec.Emit(trace.KindAccept, peer, 0, int64(admission.Admitted))
 	e.rec.Emit(trace.KindLinkUp, peer, 0, 1)
 	e.wg.Add(1)
 	go e.runReceiver(r)
@@ -587,6 +771,16 @@ func (e *Engine) runObserverReader(o *observerLink) {
 		if err != nil {
 			e.postEvent(func() { e.observerGone(o) })
 			return
+		}
+		if m.Type() == protocol.TypeBusy {
+			// The observer's admission gate refused this registration; it
+			// will hang up next. Stash the retry-after hint so the
+			// reconnect loop waits at least that long before redialing.
+			if bz, derr := protocol.DecodeBusy(m.Payload()); derr == nil {
+				e.obsBusyHint.Store(bz.RetryAfterNanos)
+			}
+			m.Release()
+			continue
 		}
 		// Attribute to the observer this link registered with — after a
 		// failover that is no longer cfg.Observer.

@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/chaos"
+	"repro/internal/engine"
+	"repro/internal/tree"
+)
+
+// DialStormConfig parameterizes the connection-storm experiment: a live
+// multicast session whose source and hottest interior forwarders are
+// flooded with half-open connections from thousands of spoofed sources.
+// The admission gate must shed the storm at the listener — bounded
+// in-flight handshakes, Busy refusals, greylisting — while the
+// established tree keeps streaming and the control lane stays empty.
+type DialStormConfig struct {
+	// N is the session size including the source (default 16).
+	N int
+	// Rate is the source's send rate in bytes/sec (default 256 KBps).
+	Rate int64
+	// MsgSize is the data payload size (default 1 KB).
+	MsgSize int
+	// MaxHandshakes is the per-engine in-flight handshake cap (default
+	// admission.DefaultMaxHandshakes).
+	MaxHandshakes int
+	// StormRate is the dial rate per stormed listener in dials/sec
+	// (default 400).
+	StormRate int64
+	// StormFor is how long the storm runs (default 2s).
+	StormFor time.Duration
+	// Targets is how many listeners are stormed: the source plus the
+	// interior nodes with the most children (default 3).
+	Targets int
+	// Linger is how long each half-open connection pins its handshake
+	// token before hanging up (default 300ms).
+	Linger time.Duration
+	// MeasureWindow is the pre-storm throughput sampling window
+	// (default 1s).
+	MeasureWindow time.Duration
+	// RecoveryTimeout bounds the post-storm steady-state wait (default 30s).
+	RecoveryTimeout time.Duration
+}
+
+func (c *DialStormConfig) applyDefaults() {
+	if c.N <= 0 {
+		c.N = 16
+	}
+	if c.Rate <= 0 {
+		c.Rate = 256 << 10
+	}
+	if c.MsgSize <= 0 {
+		c.MsgSize = 1 << 10
+	}
+	if c.MaxHandshakes <= 0 {
+		c.MaxHandshakes = admission.DefaultMaxHandshakes
+	}
+	if c.StormRate <= 0 {
+		c.StormRate = 400
+	}
+	if c.StormFor <= 0 {
+		c.StormFor = 2 * time.Second
+	}
+	if c.Targets <= 0 {
+		c.Targets = 3
+	}
+	if c.Linger <= 0 {
+		c.Linger = 300 * time.Millisecond
+	}
+	if c.MeasureWindow <= 0 {
+		c.MeasureWindow = time.Second
+	}
+	if c.RecoveryTimeout <= 0 {
+		c.RecoveryTimeout = 30 * time.Second
+	}
+}
+
+// DialStormResult is the experiment's outcome.
+type DialStormResult struct {
+	// Targets lists the stormed node indices (0 is the source).
+	Targets []int
+	// Dials is how many storm connections were attempted.
+	Dials int64
+	// PreRate and StormTput are aggregate receiver delivery in bytes/sec
+	// before and during the storm: established links must not starve.
+	PreRate, StormTput float64
+	// CtrlDelay is the worst control-lane queueing delay sampled on any
+	// stormed engine while the storm ran; admission work never queues
+	// behind the data plane, so it stays near zero.
+	CtrlDelay time.Duration
+	// InFlightPeak is the highest concurrent handshake count any stormed
+	// engine saw; it must stay at or under Cap.
+	InFlightPeak int64
+	Cap          int64
+	// Admission outcomes summed over the stormed engines.
+	Admitted, ShedBusy, ShedRate, ShedGreylist int64
+	// HandshakesFailed counts admitted storm connections that then died
+	// pre-registration (bad hello or timeout); AcceptRetries counts
+	// transient listener errors survived.
+	HandshakesFailed, AcceptRetries int64
+	// Recovered/Recovery report the post-storm steady-state probe.
+	Recovered bool
+	Recovery  time.Duration
+}
+
+// DialStorm runs the connection-storm experiment.
+func DialStorm(cfg DialStormConfig) (*DialStormResult, error) {
+	cfg.applyDefaults()
+	c, err := NewCluster(true)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Stop()
+
+	algs := make([]*tree.Tree, cfg.N)
+	baseline := make([]int64, cfg.N)
+	for i := cfg.N - 1; i >= 0; i-- {
+		algs[i] = &tree.Tree{
+			Variant:    tree.Random,
+			App:        treeApp,
+			LastMile:   1 << 20,
+			AutoRejoin: true,
+		}
+		_, err := c.AddNode(nodeID(i), algs[i], func(conf *engine.Config) {
+			conf.StatusInterval = 50 * time.Millisecond
+			conf.InactivityTimeout = 600 * time.Millisecond
+			conf.RetryBase = 50 * time.Millisecond
+			conf.MemoryBudget = 1 << 20
+			conf.MaxHandshakes = cfg.MaxHandshakes
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !c.Obs.WaitForNodes(cfg.N, 10*time.Second) {
+		return nil, fmt.Errorf("bootstrap incomplete (%d alive)", len(c.Obs.Alive()))
+	}
+	time.Sleep(200 * time.Millisecond)
+	c.Obs.Deploy(nodeID(0), treeApp, cfg.Rate, uint32(cfg.MsgSize))
+	time.Sleep(300 * time.Millisecond) // announce flood
+	for i := 1; i < cfg.N; i++ {
+		c.Obs.Join(nodeID(i), treeApp, nodeID((i-1)/2))
+		if err := waitJoin(algs[i], 10*time.Second); err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+
+	recvTotal := func() int64 {
+		var total int64
+		for i := 1; i < cfg.N; i++ {
+			total += algs[i].ReceivedBytes()
+		}
+		return total
+	}
+	steady := func() bool {
+		for i := 1; i < cfg.N; i++ {
+			if !algs[i].InSession() || algs[i].ReceivedBytes() <= baseline[i] {
+				return false
+			}
+		}
+		return true
+	}
+	mark := func() {
+		for i := 1; i < cfg.N; i++ {
+			baseline[i] = algs[i].ReceivedBytes()
+		}
+	}
+	mark()
+	deadline := time.Now().Add(15 * time.Second)
+	for !steady() {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("session never reached steady state")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	res := &DialStormResult{Cap: int64(cfg.MaxHandshakes)}
+	res.PreRate = rateOver(cfg.MeasureWindow, recvTotal)
+
+	// Storm the source plus the interior nodes with the widest fan-out:
+	// those listeners carry the most established links, so starving them
+	// would hurt the stream the most.
+	type interior struct{ idx, children int }
+	var ints []interior
+	for i := 1; i < cfg.N; i++ {
+		if n := len(algs[i].Children()); n > 0 {
+			ints = append(ints, interior{i, n})
+		}
+	}
+	sort.Slice(ints, func(a, b int) bool {
+		if ints[a].children != ints[b].children {
+			return ints[a].children > ints[b].children
+		}
+		return ints[a].idx < ints[b].idx
+	})
+	res.Targets = []int{0}
+	for i := 0; i < len(ints) && len(res.Targets) < cfg.Targets; i++ {
+		res.Targets = append(res.Targets, ints[i].idx)
+	}
+
+	// Sample the stormed engines' control-lane delay while the storm runs:
+	// the acceptance criterion is that admission work never queues repair
+	// traffic behind the flood.
+	stopSampling := make(chan struct{})
+	var samplerDone sync.WaitGroup
+	samplerDone.Add(1)
+	go func() {
+		defer samplerDone.Done()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			for _, idx := range res.Targets {
+				if ctrl, _ := c.Engines[nodeID(idx)].QueueDelays(); ctrl > res.CtrlDelay {
+					res.CtrlDelay = ctrl
+				}
+			}
+		}
+	}()
+
+	var dials atomic.Int64
+	storm := func(nodes []int, rate int64, d time.Duration) {
+		interval := time.Second / time.Duration(rate)
+		if interval <= 0 {
+			interval = time.Millisecond
+		}
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		r0 := recvTotal()
+		seq := 0
+		for time.Since(t0) < d {
+			for _, idx := range nodes {
+				seq++
+				src := fmt.Sprintf("10.99.%d.%d:%d", seq/250%250, seq%250+1, 40000+seq%20000)
+				if seq%4 == 0 { // repeat offender for the rate limiter
+					src = fmt.Sprintf("10.99.250.250:%d", 40000+seq)
+				}
+				dials.Add(1)
+				wg.Add(1)
+				go func(src, dst string) {
+					defer wg.Done()
+					conn, err := c.Net.DialFrom(src, dst)
+					if err != nil {
+						return
+					}
+					time.Sleep(cfg.Linger)
+					conn.Close()
+				}(src, nodeID(idx).Addr())
+			}
+			time.Sleep(interval)
+		}
+		// The during-storm delivery rate is measured over the storm's own
+		// wall time, before the stragglers' lingers drain.
+		res.StormTput = float64(recvTotal()-r0) / time.Since(t0).Seconds()
+		wg.Wait()
+	}
+
+	ops := chaos.Ops{
+		DialStorm: storm,
+		Mark:      func(chaos.Event) { mark() },
+		Recovered: steady,
+	}
+	r := &chaos.Runner{Ops: ops, RecoveryTimeout: cfg.RecoveryTimeout}
+	rep := r.Run([]chaos.Event{{
+		Kind:     chaos.DialStorm,
+		Nodes:    res.Targets,
+		Rate:     cfg.StormRate,
+		Duration: cfg.StormFor,
+	}})
+	close(stopSampling)
+	samplerDone.Wait()
+
+	res.Dials = dials.Load()
+	res.Recovered = rep.Results[0].Recovered
+	res.Recovery = rep.Results[0].Recovery
+	for _, idx := range res.Targets {
+		e := c.Engines[nodeID(idx)]
+		st := e.Admission()
+		if st.InFlightPeak > res.InFlightPeak {
+			res.InFlightPeak = st.InFlightPeak
+		}
+		res.Admitted += st.Admitted
+		res.ShedBusy += st.ShedBusy
+		res.ShedRate += st.ShedRate
+		res.ShedGreylist += st.ShedGreylist
+		cnt := e.Counters()
+		res.HandshakesFailed += cnt.HandshakesFailed
+		res.AcceptRetries += cnt.AcceptRetries
+	}
+	return res, nil
+}
+
+// RenderDialStorm formats the experiment's outcome.
+func RenderDialStorm(res *DialStormResult) string {
+	var b strings.Builder
+	b.WriteString("DialStorm: half-open connection flood vs a live stream\n")
+	fmt.Fprintf(&b, "  stormed listeners %v, %d dials attempted\n", res.Targets, res.Dials)
+	fmt.Fprintf(&b, "  delivered  pre-storm %8.1f KB/s   during storm %8.1f KB/s  (%.0f%% retained)\n",
+		res.PreRate/KB, res.StormTput/KB, 100*res.StormTput/max1(res.PreRate))
+	fmt.Fprintf(&b, "  handshakes in-flight peak %d / cap %d   ctrl-delay max %s\n",
+		res.InFlightPeak, res.Cap, res.CtrlDelay.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  admission  admitted %d  shed busy %d / rate %d / greylist %d\n",
+		res.Admitted, res.ShedBusy, res.ShedRate, res.ShedGreylist)
+	fmt.Fprintf(&b, "  aftermath  failed handshakes %d  accept retries %d\n",
+		res.HandshakesFailed, res.AcceptRetries)
+	state := "recovered"
+	if !res.Recovered {
+		state = "TIMEOUT"
+	}
+	fmt.Fprintf(&b, "  post-storm steady state: %s in %s\n",
+		state, res.Recovery.Round(time.Millisecond))
+	return b.String()
+}
+
+func max1(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// checkAdmission enforces the connection-storm contract of the admission
+// layer: accept-path code — listener loops, pre-handshake shedding, and
+// the handshake itself — runs while the node may be under a dial flood,
+// so every admission decision must stay O(1) and non-blocking. Two
+// rules, applied to the engine and observer packages (and fixtures):
+//
+//   - no accept-path function may block on a ring: a Busy refusal or a
+//     hello read must never wait behind a data-full lane;
+//   - no accept-path function may perform connection I/O while holding
+//     a mutex: a stalled remote extends the critical section
+//     indefinitely, letting one mute dialer freeze admission (and, for
+//     the engine lock, the whole switch).
+//
+// Accept-path functions are recognized by the documented naming
+// convention: any function whose name mentions accept or handshake, plus
+// the shedding helpers (serveConn, shedConn, sendBusy, probeBusy).
+const checkNameAdmission = "admission"
+
+var admissionHelperNames = map[string]bool{
+	"serveConn": true,
+	"shedConn":  true,
+	"sendBusy":  true,
+	"probeBusy": true,
+}
+
+func isAdmissionPath(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "accept") ||
+		strings.Contains(lower, "handshake") ||
+		admissionHelperNames[name]
+}
+
+var admissionBlockingRing = map[string]bool{
+	"Push":      true,
+	"Pop":       true,
+	"PushBatch": true,
+	"PopBatch":  true,
+}
+
+func checkAdmission(p *Package, report reportFunc) {
+	if p.Name != "engine" && p.Name != "observer" {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isAdmissionPath(fd.Name.Name) {
+				continue
+			}
+			fn := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if admissionBlockingRing[sel.Sel.Name] && isRingRecv(p, call, sel) {
+					report(call.Pos(), checkNameAdmission,
+						"accept path %s blocks on Ring.%s: admission must shed, never wait on a data lane",
+						fn, sel.Sel.Name)
+				}
+				return true
+			})
+			scanLockRegions(fd.Body,
+				func(call *ast.CallExpr) bool { return isConnIO(p, call) },
+				func(call *ast.CallExpr) {
+					report(call.Pos(), checkNameAdmission,
+						"accept path %s performs connection I/O with a lock held: one stalled dialer would freeze admission",
+						fn)
+				})
+		}
+	}
+}
+
+// isConnIO recognizes frame or byte I/O against a network connection:
+// the message package's Read/Write (whose first argument is always a
+// conn), io.ReadFull, and Read/Write method calls on a receiver whose
+// name mentions conn.
+func isConnIO(p *Package, call *ast.CallExpr) bool {
+	if pkg, fn, ok := pkgQualifiedCallee(p.Info, call); ok {
+		if pkg == "io" && fn == "ReadFull" {
+			return true
+		}
+		return (fn == "Read" || fn == "Write") && strings.HasSuffix(pkg, "/message")
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Read" && sel.Sel.Name != "Write" {
+		return false
+	}
+	return strings.Contains(strings.ToLower(lastComponent(sel.X)), "conn")
+}

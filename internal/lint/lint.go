@@ -39,6 +39,7 @@ func Run(l *Loader, pkgs []*Package) []Diagnostic {
 		checkHotPath(l, p, report)
 		checkShardLocal(p, report)
 		checkObsSync(p, report)
+		checkAdmission(p, report)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos

@@ -204,6 +204,10 @@ type Counters struct {
 	msgsShed     int64
 	bytesShed    int64
 	failovers    int64
+	connsIn      int64
+	connsShed    int64
+	hsFailed     int64
+	acceptRetry  int64
 }
 
 // CountersSnapshot is an immutable copy of Counters.
@@ -217,6 +221,17 @@ type CountersSnapshot struct {
 	// Failovers counts successful observer failovers: re-registrations
 	// with a different observer after the previous link was lost.
 	Failovers int64
+	// ConnsIn counts inbound connections admitted past the admission
+	// gate; ConnsShed those refused before a handshake was attempted
+	// (token exhaustion, rate limit, greylist, or watermark shedding).
+	ConnsIn   int64
+	ConnsShed int64
+	// HandshakesFailed counts admitted connections whose handshake then
+	// died: bad hello, handshake timeout, or a peer that hung up.
+	HandshakesFailed int64
+	// AcceptRetries counts transient listener Accept errors survived by
+	// backing off and retrying instead of abandoning the listener.
+	AcceptRetries int64
 }
 
 // AddIn records a received message of n bytes.
@@ -263,6 +278,34 @@ func (c *Counters) AddFailover() {
 	c.failovers++
 }
 
+// AddConnIn records one inbound connection admitted past the gate.
+func (c *Counters) AddConnIn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.connsIn++
+}
+
+// AddConnShed records one inbound connection refused before a handshake.
+func (c *Counters) AddConnShed() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.connsShed++
+}
+
+// AddHandshakeFailed records an admitted connection whose handshake died.
+func (c *Counters) AddHandshakeFailed() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hsFailed++
+}
+
+// AddAcceptRetry records one transient listener Accept error survived.
+func (c *Counters) AddAcceptRetry() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.acceptRetry++
+}
+
 // Snapshot copies the counters.
 func (c *Counters) Snapshot() CountersSnapshot {
 	c.mu.Lock()
@@ -273,6 +316,8 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		MsgsDropped: c.msgsDropped, BytesDropped: c.bytesDropped,
 		MsgsShed: c.msgsShed, BytesShed: c.bytesShed,
 		Failovers: c.failovers,
+		ConnsIn:   c.connsIn, ConnsShed: c.connsShed,
+		HandshakesFailed: c.hsFailed, AcceptRetries: c.acceptRetry,
 	}
 }
 

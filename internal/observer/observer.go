@@ -10,16 +10,20 @@
 package observer
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/engine"
 	"repro/internal/message"
+	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/queue"
 	"repro/internal/trace"
@@ -71,6 +75,25 @@ type Config struct {
 	// uses the default, negative disables proactive sync (inbound syncs
 	// are still absorbed).
 	SyncInterval time.Duration
+	// MaxHandshakes bounds concurrent in-flight inbound handshakes
+	// (accepted but not yet identified by a hello): the observer's
+	// admission gate, sized like the engine's. Zero uses the admission
+	// package default; negative disables the gate entirely. The observer
+	// is every node's registration point, so a connection storm lands
+	// here first — the gate keeps the hello readers bounded while
+	// registered links and federation trunks stay untouched.
+	MaxHandshakes int
+	// AcceptRate and AcceptBurst configure the per-source admission rate
+	// limit (connections/second and bucket depth); zero uses the
+	// admission package defaults.
+	AcceptRate  float64
+	AcceptBurst int
+	// GreylistAfter and GreylistFor configure the flapping-source
+	// greylist: after GreylistAfter consecutive rate refusals a source is
+	// silently dropped for GreylistFor. Zero uses the admission package
+	// defaults.
+	GreylistAfter int
+	GreylistFor   time.Duration
 }
 
 // route is an outbound path for commands to one node, or — for a
@@ -117,6 +140,11 @@ type Observer struct {
 	listener net.Listener
 	rng      *rand.Rand
 	rec      *trace.Recorder // the observer's own flight recorder
+	gate     *admission.Gate // inbound admission control; nil when disabled
+	counters metrics.Counters
+	// busyWriters bounds the concurrent Busy-refusal writer goroutines,
+	// as in the engine: past the bound refusals are closed silently.
+	busyWriters atomic.Int32
 
 	mu      sync.Mutex
 	nodes   map[message.NodeID]*nodeState
@@ -158,7 +186,7 @@ func New(cfg Config) (*Observer, error) {
 		}
 	}
 	cfg.Peers = peers
-	return &Observer{
+	o := &Observer{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
 		rec:   trace.New(1024),
@@ -166,8 +194,24 @@ func New(cfg Config) (*Observer, error) {
 		peers: make(map[message.NodeID]*route),
 		conns: make(map[net.Conn]struct{}),
 		done:  make(chan struct{}),
-	}, nil
+	}
+	if cfg.MaxHandshakes >= 0 {
+		o.gate = admission.New(admission.Config{
+			MaxHandshakes: cfg.MaxHandshakes,
+			SourceRate:    cfg.AcceptRate,
+			SourceBurst:   cfg.AcceptBurst,
+			GreylistAfter: cfg.GreylistAfter,
+			GreylistFor:   cfg.GreylistFor,
+		})
+	}
+	return o, nil
 }
+
+// Admission reports the admission gate's counters.
+func (o *Observer) Admission() admission.Stats { return o.gate.Stats() }
+
+// Counters reports the observer's connection-handling counters.
+func (o *Observer) Counters() metrics.CountersSnapshot { return o.counters.Snapshot() }
 
 // ID reports the observer identity.
 func (o *Observer) ID() message.NodeID { return o.cfg.ID }
@@ -251,39 +295,165 @@ func (o *Observer) logf(format string, args ...any) {
 	}
 }
 
+// Accept-retry backoff for transient listener errors (EMFILE,
+// ECONNABORTED): capped doubling, like the peer-trunk redial pacer.
+const (
+	acceptRetryBase = 5 * time.Millisecond
+	acceptRetryMax  = 500 * time.Millisecond
+)
+
+// maxBusyWriters and busyWriteTimeout bound the Busy-refusal writers,
+// mirroring the engine's accept path.
+const (
+	maxBusyWriters   = 64
+	busyWriteTimeout = 100 * time.Millisecond
+)
+
+// acceptLoop admits inbound connections: node registrations, proxy
+// trunks, and federation trunks. Every connection passes the admission
+// gate before a hello reader is spawned — except those arriving from a
+// configured federation peer, which are always admitted: a connection
+// storm of joining nodes must not cut the observer tier apart. Transient
+// Accept errors back off and retry; only a closed listener ends the loop.
 func (o *Observer) acceptLoop() {
 	defer o.wg.Done()
+	delay := acceptRetryBase
 	for {
 		conn, err := o.listener.Accept()
 		if err != nil {
-			return
+			if engine.AcceptClosed(err) {
+				return
+			}
+			o.counters.AddAcceptRetry()
+			o.rec.Emit(trace.KindAccept, message.NodeID{}, 0, int64(admission.AcceptRetry))
+			select {
+			case <-o.done:
+				return
+			case <-time.After(delay):
+			}
+			if delay *= 2; delay > acceptRetryMax {
+				delay = acceptRetryMax
+			}
+			continue
 		}
+		delay = acceptRetryBase
+		host := sourceHost(conn.RemoteAddr())
+		if !o.isPeerHost(host) {
+			if dec, hint := o.gate.Admit(host); dec != admission.Admitted {
+				o.shedConn(conn, dec, hint)
+				continue
+			}
+		} else {
+			o.gate.Bypass()
+		}
+		o.counters.AddConnIn()
 		o.wg.Add(1)
 		go o.serveConn(conn)
 	}
 }
 
+// sourceHost extracts the admission-gate source key from a remote
+// address: the host alone, so every connection from one node shares a
+// rate bucket whatever ephemeral port it dialed from.
+func sourceHost(a net.Addr) string {
+	s := a.String()
+	if host, _, err := net.SplitHostPort(s); err == nil {
+		return host
+	}
+	return s
+}
+
+// isPeerHost reports whether host names a configured federation peer.
+func (o *Observer) isPeerHost(host string) bool {
+	for _, p := range o.cfg.Peers {
+		if h, _, err := net.SplitHostPort(p.Addr()); err == nil && h == host {
+			return true
+		}
+	}
+	return false
+}
+
+// shedConn disposes of a refused connection: greylisted sources are
+// closed outright, everything else gets a one-frame Busy reply with the
+// retry-after hint, written asynchronously so a refusal storm never
+// blocks the accept loop.
+func (o *Observer) shedConn(conn net.Conn, dec admission.Decision, hint time.Duration) {
+	o.counters.AddConnShed()
+	o.rec.Emit(trace.KindAccept, message.NodeID{}, 0, int64(dec))
+	if dec == admission.ShedGreylist || o.busyWriters.Load() >= maxBusyWriters {
+		_ = conn.Close()
+		return
+	}
+	reason := protocol.BusyHandshakes
+	if dec == admission.ShedRate {
+		reason = protocol.BusyRate
+	}
+	o.busyWriters.Add(1)
+	o.wg.Add(1)
+	go func() {
+		defer o.wg.Done()
+		defer o.busyWriters.Add(-1)
+		defer conn.Close()
+		_ = conn.SetWriteDeadline(time.Now().Add(busyWriteTimeout))
+		busy := message.New(protocol.TypeBusy, o.cfg.ID, 0, 0,
+			protocol.Busy{Reason: reason, RetryAfterNanos: int64(hint)}.Encode())
+		_, _ = busy.WriteTo(conn)
+		busy.Release()
+	}()
+}
+
+// helloDeadline bounds how long an accepted connection may take to
+// identify itself; its admission token is held for exactly that window.
+const helloDeadline = 10 * time.Second
+
 // serveConn handles one inbound connection: a node's observer link, a
 // proxy's trunk, or a peer observer's federation trunk. The first message
-// must be a hello; its App field discriminates the connection kind.
+// must be a hello; its App field discriminates the connection kind. The
+// caller's admission token is held from Accept until the hello resolves
+// (the link is registered or the handshake dies), so MaxHandshakes bounds
+// these readers exactly; a handshake that dies is counted and lands on
+// the flight recorder instead of vanishing in a silent close.
 func (o *Observer) serveConn(conn net.Conn) {
 	defer o.wg.Done()
 	defer conn.Close()
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			o.gate.Release()
+		}
+	}
+	defer release()
 	if !o.trackConn(conn) {
 		return
 	}
 	defer o.untrackConn(conn)
-	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	_ = conn.SetReadDeadline(time.Now().Add(helloDeadline))
 	hello, err := message.Read(conn, nil, 256)
-	if err != nil || hello.Type() != protocol.TypeHello {
+	if err != nil {
+		dec := admission.BadHello
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			dec = admission.Timeout
+		}
+		o.counters.AddHandshakeFailed()
+		o.rec.Emit(trace.KindAccept, message.NodeID{}, 0, int64(dec))
+		return
+	}
+	if hello.Type() != protocol.TypeHello {
+		hello.Release()
+		o.counters.AddHandshakeFailed()
+		o.rec.Emit(trace.KindAccept, message.NodeID{}, 0, int64(admission.BadHello))
 		return
 	}
 	_ = conn.SetReadDeadline(time.Time{})
 	app := hello.App()
 	peer := hello.Sender()
 	hello.Release()
+	o.rec.Emit(trace.KindAccept, peer, app, int64(admission.Admitted))
 
 	if app == protocol.HelloObserver {
+		release() // trunk registered; the token covered only the hello
 		o.runPeerTrunk(conn, peer)
 		return
 	}
@@ -296,6 +466,7 @@ func (o *Observer) serveConn(conn net.Conn) {
 	if !isProxy {
 		o.register(peer, out)
 	}
+	release() // registered (or a proxy trunk, registered per relayed node)
 	for {
 		m, err := message.Read(conn, nil, message.DefaultMaxPayload)
 		if err != nil {

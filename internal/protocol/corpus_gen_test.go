@@ -71,6 +71,8 @@ func TestRegenerateSeedCorpus(t *testing.T) {
 			{Node: message.MakeID("10.0.0.2", 7000), Home: id, Seq: 3, Alive: true},
 			{Node: message.MakeID("10.0.0.3", 7000), Seq: 8, Departed: true},
 		}}.Encode())
+	writeCorpusFile(t, "FuzzAllPayloadDecoders", "seed-busy",
+		Busy{Reason: BusyRate, RetryAfterNanos: 125_000_000}.Encode())
 	writeCorpusFile(t, "FuzzReaderPrimitives", "seed-mixed",
 		[]byte{0, 3, 4, 5, 1, 2},
 		NewWriter(0).U32(9).ID(id).IDs([]message.NodeID{id}).String("s").U64(1).F64(2.5).Bytes())

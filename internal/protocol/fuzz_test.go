@@ -67,6 +67,9 @@ func allDecoderSpecs() []decoderSpec {
 		{"ObsSync",
 			func(b []byte) (any, error) { return DecodeObsSync(b) },
 			func(v any) []byte { return v.(ObsSync).Encode() }},
+		{"Busy",
+			func(b []byte) (any, error) { return DecodeBusy(b) },
+			func(v any) []byte { return v.(Busy).Encode() }},
 	}
 }
 
@@ -104,6 +107,7 @@ func FuzzAllPayloadDecoders(f *testing.F) {
 	f.Add(ProbeAck{Token: 1, Rate: 1e6}.Encode())
 	f.Add(Ping{UnixNano: 1 << 60, Token: 5}.Encode())
 	f.Add(Tick{Kind: 3}.Encode())
+	f.Add(Busy{Reason: BusyHandshakes, RetryAfterNanos: 50_000_000}.Encode())
 	f.Add(ObsSync{Origin: id, Entries: []MemberEntry{
 		{Node: id, Home: id, Seq: 4, Alive: true},
 		{Node: message.MakeID("10.0.0.2", 7000), Seq: 9, Departed: true},

@@ -173,6 +173,13 @@ func allPayloadCases() []payloadCase {
 			fixed:  4,
 		},
 		{
+			name:   "Busy",
+			value:  Busy{Reason: BusyWatermark, RetryAfterNanos: 250_000_000},
+			encode: Busy{Reason: BusyWatermark, RetryAfterNanos: 250_000_000}.Encode,
+			decode: func(b []byte) (any, error) { return DecodeBusy(b) },
+			fixed:  12,
+		},
+		{
 			name: "ObsSync",
 			value: ObsSync{Origin: idA, Entries: []MemberEntry{
 				{Node: idB, Home: idA, Seq: 7, Alive: true},
@@ -234,7 +241,7 @@ func TestPayloadTableIsExhaustive(t *testing.T) {
 	want := []string{
 		"SetBandwidth", "BootReply", "Deploy", "Join", "Custom", "Report",
 		"Throughput", "BrokenSource", "Relay", "LinkEvent", "SlowPeer",
-		"Probe", "ProbeAck", "Ping", "Tick", "ObsSync",
+		"Probe", "ProbeAck", "Ping", "Tick", "ObsSync", "Busy",
 	}
 	have := map[string]bool{}
 	for _, tc := range allPayloadCases() {

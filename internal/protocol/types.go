@@ -23,6 +23,7 @@ const (
 	TypeTrace     message.Type = 6 // node -> observer: debugging/trace record
 	TypeRelay     message.Type = 7 // observer -> proxy: enveloped command for a node
 	TypeDepart    message.Type = 8 // node -> observer: graceful deregistration; observer -> node: depart now
+	TypeBusy      message.Type = 9 // acceptor -> dialer: admission refused, retry after the carried hint
 
 	// Observer control panel actions.
 	TypeDeploy        message.Type = 10 // sDeploy: deploy an application source
@@ -75,6 +76,8 @@ func TypeName(t message.Type) string {
 		return "relay"
 	case TypeDepart:
 		return "depart"
+	case TypeBusy:
+		return "busy"
 	case TypeDeploy:
 		return "sDeploy"
 	case TypeTerminateApp:
@@ -564,6 +567,46 @@ func DecodeBrokenSource(b []byte) (BrokenSource, error) {
 	r := NewReader(b)
 	bs := BrokenSource{App: r.U32(), Upstream: r.ID()}
 	return bs, r.Err()
+}
+
+// BusyReason says why an acceptor refused admission; carried in a Busy
+// frame so the dialer (and its flight recorder) can tell transient token
+// exhaustion from deliberate overload shedding.
+type BusyReason uint32
+
+// Admission-refusal reasons.
+const (
+	BusyHandshakes BusyReason = iota + 1 // in-flight handshake tokens exhausted
+	BusyRate                             // per-source rate limit exceeded
+	BusyWatermark                        // memory budget past watermark; data-plane shed
+)
+
+// Busy is the payload of TypeBusy: the one frame an acceptor writes before
+// closing a connection it refuses to admit. RetryAfterNanos is a hint —
+// the dialer folds it into its capped backoff as a floor for the next
+// attempt; zero means "use your own schedule".
+type Busy struct {
+	Reason          BusyReason
+	RetryAfterNanos int64
+}
+
+// Encode serializes the refusal.
+func (bz Busy) Encode() []byte {
+	return NewWriter(12).U32(uint32(bz.Reason)).I64(bz.RetryAfterNanos).Bytes()
+}
+
+// DecodeBusy parses a Busy payload, rejecting unknown reason codes so a
+// forged frame latches as an error instead of decoding as garbage policy.
+func DecodeBusy(b []byte) (Busy, error) {
+	r := NewReader(b)
+	bz := Busy{Reason: BusyReason(r.U32()), RetryAfterNanos: r.I64()}
+	if r.Err() != nil {
+		return bz, r.Err()
+	}
+	if bz.Reason < BusyHandshakes || bz.Reason > BusyWatermark {
+		r.fail(fmt.Errorf("%w: busy reason %d out of range", ErrInvalid, bz.Reason))
+	}
+	return bz, r.Err()
 }
 
 // HelloProxy is the app-field value marking a hello as coming from a

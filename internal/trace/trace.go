@@ -74,6 +74,12 @@ const (
 	// observer: Peer is the sync's origin observer, Value the number of
 	// entries whose merge changed local state.
 	KindObsSync
+	// KindAccept records one inbound admission decision on a listener:
+	// Peer is the remote end (zero when the connection died before a
+	// hello identified it), Value an admission.Decision code — admitted,
+	// busy-shed, rate-limited, greylisted, watermark-shed, bad hello,
+	// handshake timeout, or an Accept retry after a transient error.
+	KindAccept
 )
 
 // KindName returns a short stable label for a kind, suitable for
@@ -104,6 +110,8 @@ func KindName(k Kind) string {
 		return "obs-failover"
 	case KindObsSync:
 		return "obs-sync"
+	case KindAccept:
+		return "accept"
 	default:
 		return fmt.Sprintf("kind-%d", uint8(k))
 	}

@@ -26,6 +26,11 @@ var (
 	ErrConnectionRefused = errors.New("vnet: connection refused")
 	ErrListenerClosed    = errors.New("vnet: listener closed")
 	ErrNetworkDown       = errors.New("vnet: network closed")
+	// ErrAcceptTransient is the injected transient Accept failure
+	// (standing in for EMFILE/ECONNABORTED on a real socket): the accept
+	// attempt failed but the listener itself is still healthy, so a
+	// correct accept loop backs off and retries instead of exiting.
+	ErrAcceptTransient = errors.New("vnet: transient accept error")
 )
 
 // Network is one virtual internet. Addresses are arbitrary "host:port"
@@ -281,19 +286,63 @@ type Listener struct {
 	address string
 	backlog chan *Conn
 
-	mu     sync.Mutex
-	closed bool
+	mu        sync.Mutex
+	closed    bool
+	failNext  int // pending injected transient Accept failures
+	failTotal int // lifetime injected failures delivered
 }
 
 var _ net.Listener = (*Listener)(nil)
 
-// Accept waits for the next inbound connection.
+// Accept waits for the next inbound connection. Injected transient
+// failures (InjectAcceptErrors) are delivered first, before blocking on
+// the backlog, the way a real accept(2) surfaces EMFILE ahead of the
+// queued connections it cannot yet take.
 func (l *Listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if l.failNext > 0 {
+		l.failNext--
+		l.failTotal++
+		l.mu.Unlock()
+		return nil, ErrAcceptTransient
+	}
+	l.mu.Unlock()
 	c, ok := <-l.backlog
 	if !ok {
 		return nil, ErrListenerClosed
 	}
 	return c, nil
+}
+
+// InjectAcceptErrors arms the listener at address to fail its next count
+// Accept calls with ErrAcceptTransient, reporting whether a listener was
+// found. Connections queued meanwhile stay in the backlog and are
+// delivered once the injected failures are consumed.
+func (n *Network) InjectAcceptErrors(address string, count int) bool {
+	n.mu.Lock()
+	l, ok := n.listeners[address]
+	n.mu.Unlock()
+	if !ok {
+		return false
+	}
+	l.mu.Lock()
+	l.failNext += count
+	l.mu.Unlock()
+	return true
+}
+
+// AcceptErrorsDelivered reports how many injected transient failures the
+// listener at address has surfaced so far.
+func (n *Network) AcceptErrorsDelivered(address string) int {
+	n.mu.Lock()
+	l, ok := n.listeners[address]
+	n.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failTotal
 }
 
 // Close stops accepting; established connections are unaffected.
