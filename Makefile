@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt build test vet lint fuzz race chaos bench bench-shards trace-smoke
+.PHONY: ci fmt build test vet lint lint-baseline fuzz race chaos bench bench-shards trace-smoke
 
 # ci is the tier-1 gate: everything here must pass before a change lands.
 ci: fmt vet lint build test trace-smoke fuzz race chaos
@@ -15,11 +15,21 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# lint runs ioverlayvet, the repo's own invariant linter: algorithm
-# purity, control-lane discipline, lock ordering, and hot-path hygiene.
-# Findings are build breaks.
+# lint runs ioverlayvet, the repo's own invariant linter — ten checks on
+# the whole-program call graph: algorithm purity, control-lane
+# discipline, lock discipline and lock ordering, hot-path hygiene,
+# shard-local ownership, observer-sync rules, admission non-blocking
+# rules, atomic-field consistency, and goroutine lifecycle accounting.
+# Non-baselined findings (and stale baseline entries) are build breaks;
+# per-check timings go to stderr.
 lint:
-	$(GO) run ./cmd/ioverlayvet ./...
+	$(GO) run ./cmd/ioverlayvet -timing -baseline lint.baseline ./...
+
+# lint-baseline regenerates lint.baseline from the current findings. Use
+# it only to accept a finding deliberately, and add a justification
+# comment above each new entry before committing.
+lint-baseline:
+	$(GO) run ./cmd/ioverlayvet -write-baseline lint.baseline ./...
 
 build:
 	$(GO) build ./...

@@ -258,3 +258,112 @@ func TestDecisionStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestEvictionPrefersStalest pins the LRU direction of the source-table
+// eviction: when the table is full, the entry with the oldest lastSeen
+// goes — not an arbitrary one — and recently touched entries survive
+// with their state intact. The evicted source's history (here, a live
+// greylist) is forgotten with it, which is the documented cost of the
+// bound.
+func TestEvictionPrefersStalest(t *testing.T) {
+	clk := newFakeClock()
+	g := New(Config{
+		MaxHandshakes: 1000, SourceRate: 0.001, SourceBurst: 1,
+		GreylistAfter: 1, GreylistFor: time.Hour, MaxSources: 3, Now: clk.Now,
+	})
+	// Burn B's only token, then strike it out: B is greylisted for an hour.
+	if d, _ := g.Admit("B"); d != Admitted {
+		t.Fatal("B's first admission refused")
+	}
+	g.Release()
+	if d, _ := g.Admit("B"); d != ShedGreylist {
+		t.Fatal("B's second admission should have greylisted it")
+	}
+	// A and C arrive later; the table is now at its bound of 3 and B holds
+	// the oldest lastSeen.
+	clk.Advance(time.Millisecond)
+	g.Admit("A")
+	g.Release()
+	clk.Advance(time.Millisecond)
+	g.Admit("C")
+	g.Release()
+	// D forces an eviction: B (stalest) must be the victim.
+	clk.Advance(time.Millisecond)
+	if d, _ := g.Admit("D"); d != Admitted {
+		t.Fatal("D refused")
+	}
+	g.Release()
+	st := g.Stats()
+	if st.Sources != 3 {
+		t.Fatalf("Sources = %d, want 3 (bound exceeded)", st.Sources)
+	}
+	if st.Evicted != 1 {
+		t.Fatalf("Evicted = %d, want 1", st.Evicted)
+	}
+	// A's entry survived: its burst token is spent, so unlike a fresh
+	// source it is refused (and, at GreylistAfter 1, immediately
+	// greylisted) rather than admitted.
+	if d, _ := g.Admit("A"); d == Admitted {
+		t.Fatal("A admitted: its entry was evicted despite being fresher than B")
+	}
+	// B is admitted immediately despite its hour-long greylist: eviction
+	// erased the entry, proving B was the one dropped. (This re-inserts B,
+	// evicting the then-stalest entry — checked after the assertions above.)
+	if d, _ := g.Admit("B"); d != Admitted {
+		t.Fatal("B still greylisted: the eviction hit a fresher entry instead")
+	}
+	g.Release()
+}
+
+// TestSourceBoundNeverExceeded hammers the gate with far more distinct
+// sources than the table admits and checks the bound holds after every
+// single arrival, with the overflow accounted in Evicted.
+func TestSourceBoundNeverExceeded(t *testing.T) {
+	clk := newFakeClock()
+	g := New(Config{MaxHandshakes: 1000, MaxSources: 4, Now: clk.Now})
+	for i := 0; i < 100; i++ {
+		clk.Advance(time.Millisecond)
+		if d, _ := g.Admit(fmt.Sprintf("10.1.%d.%d", i/256, i%256)); d != Admitted {
+			t.Fatalf("admission %d refused", i)
+		}
+		g.Release()
+		if st := g.Stats(); st.Sources > 4 {
+			t.Fatalf("after arrival %d: Sources = %d, bound of 4 exceeded", i, st.Sources)
+		}
+	}
+	st := g.Stats()
+	if st.Sources != 4 {
+		t.Fatalf("Sources = %d, want 4", st.Sources)
+	}
+	if st.Evicted != 96 {
+		t.Fatalf("Evicted = %d, want 96", st.Evicted)
+	}
+}
+
+// TestGreylistExpiresExactlyAfterGreylistFor pins the window boundary: a
+// greylisted source left quiet is shed strictly inside the window and
+// admitted at exactly GreylistFor — the greylist is a timed penalty, not
+// a permanent ban.
+func TestGreylistExpiresExactlyAfterGreylistFor(t *testing.T) {
+	clk := newFakeClock()
+	g := New(Config{
+		MaxHandshakes: 1000, SourceRate: 1, SourceBurst: 1,
+		GreylistAfter: 1, GreylistFor: time.Second, Now: clk.Now,
+	})
+	if d, _ := g.Admit("10.0.0.1"); d != Admitted {
+		t.Fatal("first admission refused")
+	}
+	g.Release()
+	if d, _ := g.Admit("10.0.0.1"); d != ShedGreylist {
+		t.Fatal("second admission should have greylisted the source")
+	}
+	clk.Advance(time.Second - time.Nanosecond)
+	if d, _ := g.Admit("10.0.0.1"); d != ShedGreylist {
+		t.Fatal("shed expected strictly inside the greylist window")
+	}
+	// The touch above re-armed the window; wait it out fully this time.
+	clk.Advance(time.Second)
+	if d, _ := g.Admit("10.0.0.1"); d != Admitted {
+		t.Fatal("greylist did not expire at GreylistFor")
+	}
+}

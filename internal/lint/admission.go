@@ -16,7 +16,9 @@ import (
 //   - no accept-path function may perform connection I/O while holding
 //     a mutex: a stalled remote extends the critical section
 //     indefinitely, letting one mute dialer freeze admission (and, for
-//     the engine lock, the whole switch).
+//     the engine lock, the whole switch). The rule is interprocedural:
+//     a helper called under the lock is flagged if anything it reaches
+//     in the module performs connection I/O, with the witness path.
 //
 // Accept-path functions are recognized by the documented naming
 // convention: any function whose name mentions accept or handshake, plus
@@ -44,10 +46,11 @@ var admissionBlockingRing = map[string]bool{
 	"PopBatch":  true,
 }
 
-func checkAdmission(p *Package, report reportFunc) {
+func checkAdmission(g *Graph, p *Package, report reportFunc) {
 	if p.Name != "engine" && p.Name != "observer" {
 		return
 	}
+	connIO := g.Transitive(EffConnIO)
 	for _, f := range p.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
@@ -71,12 +74,31 @@ func checkAdmission(p *Package, report reportFunc) {
 				}
 				return true
 			})
-			scanLockRegions(fd.Body,
-				func(call *ast.CallExpr) bool { return isConnIO(p, call) },
-				func(call *ast.CallExpr) {
+			scanLockRegions(p, fd.Body,
+				func(call *ast.CallExpr) bool {
+					if isConnIO(p, call) {
+						return true
+					}
+					callee := methodCallee(g.l, p.Info, call)
+					return callee != nil && connIO[callee]&EffConnIO != 0
+				},
+				func(call *ast.CallExpr, held []string) {
+					if !heldAny(held) {
+						return
+					}
+					if isConnIO(p, call) {
+						report(call.Pos(), checkNameAdmission,
+							"accept path %s performs connection I/O with a lock held: one stalled dialer would freeze admission",
+							fn)
+						return
+					}
+					callee := methodCallee(g.l, p.Info, call)
+					path := g.WitnessPath(callee, func(f *Fn) bool {
+						return g.Effects(f)&EffConnIO != 0
+					}, nil)
 					report(call.Pos(), checkNameAdmission,
-						"accept path %s performs connection I/O with a lock held: one stalled dialer would freeze admission",
-						fn)
+						"accept path %s calls %s with a lock held, and it reaches connection I/O (via %s): one stalled dialer would freeze admission",
+						fn, exprText(call.Fun), pathString(path))
 				})
 		}
 	}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline support: a committed list of accepted diagnostics, so the
+// linter can gate CI on *new* findings while known ones are suppressed
+// with a written record. Entries deliberately omit line numbers — a
+// baselined finding should survive unrelated edits above it — and match
+// on (module-relative file, check, message). Witness-path messages are
+// rendered without positions for the same reason.
+//
+// File format, one entry per line:
+//
+//	relative/file.go: checkname: message text
+//
+// Blank lines and lines starting with '#' are comments; the justification
+// for each suppression lives right next to it.
+
+// Baseline is a set of accepted diagnostics.
+type Baseline struct {
+	entries map[string]bool
+}
+
+func baselineKey(file, check, message string) string {
+	return file + ": " + check + ": " + message
+}
+
+// relPath renders a diagnostic filename relative to root (the module
+// root), falling back to the name unchanged.
+func relPath(root, file string) string {
+	if root == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// ParseBaseline parses baseline text. Malformed lines are errors: a typo
+// in a suppression must not silently re-enable (or worse, widen) it.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	b := &Baseline{entries: make(map[string]bool)}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, ": ", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want \"file: check: message\", got %q", i+1, line)
+		}
+		b.entries[baselineKey(parts[0], parts[1], parts[2])] = true
+	}
+	return b, nil
+}
+
+// LoadBaseline reads and parses a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := ParseBaseline(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Len reports the number of baseline entries.
+func (b *Baseline) Len() int { return len(b.entries) }
+
+// Filter splits diagnostics into kept (not baselined) and suppressed,
+// and returns the stale entries — baseline lines no diagnostic matched,
+// which means the underlying issue was fixed and the suppression should
+// be deleted. root is the module root for relativizing filenames.
+func (b *Baseline) Filter(root string, diags []Diagnostic) (kept, suppressed []Diagnostic, stale []string) {
+	matched := make(map[string]bool, len(b.entries))
+	for _, d := range diags {
+		key := baselineKey(relPath(root, d.Pos.Filename), d.Check, d.Message)
+		if b.entries[key] {
+			matched[key] = true
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	for key := range b.entries {
+		if !matched[key] {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+	return kept, suppressed, stale
+}
+
+// FormatBaseline renders diagnostics as baseline lines (sorted, deduped),
+// ready to append under a justification comment.
+func FormatBaseline(root string, diags []Diagnostic) string {
+	seen := make(map[string]bool, len(diags))
+	var lines []string
+	for _, d := range diags {
+		key := baselineKey(relPath(root, d.Pos.Filename), d.Check, d.Message)
+		if !seen[key] {
+			seen[key] = true
+			lines = append(lines, key)
+		}
+	}
+	sort.Strings(lines)
+	if len(lines) == 0 {
+		return ""
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func baselineDiags() []Diagnostic {
+	return []Diagnostic{
+		{Pos: token.Position{Filename: "/mod/internal/engine/engine.go", Line: 42}, Check: "hotpath", Message: "fmt.Sprintf on the hot path in Send: formatting allocates per message"},
+		{Pos: token.Position{Filename: "/mod/internal/queue/ring.go", Line: 7}, Check: "lockorder", Message: "lock-order cycle a -> b -> a: potential deadlock (x)"},
+	}
+}
+
+// TestBaselineRoundTrip: findings written with FormatBaseline must be
+// fully suppressed when parsed back, with nothing kept and nothing stale.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := baselineDiags()
+	text := FormatBaseline("/mod", diags)
+	b, err := ParseBaseline([]byte("# a justification\n\n" + text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("parsed %d entries, want 2", b.Len())
+	}
+	kept, suppressed, stale := b.Filter("/mod", diags)
+	if len(kept) != 0 || len(suppressed) != 2 || len(stale) != 0 {
+		t.Fatalf("round trip: kept=%d suppressed=%d stale=%d, want 0/2/0", len(kept), len(suppressed), len(stale))
+	}
+}
+
+// TestBaselineLineNumbersIrrelevant: a baselined finding that moves to a
+// different line must stay suppressed — entries match on file, check,
+// and message only.
+func TestBaselineLineNumbersIrrelevant(t *testing.T) {
+	diags := baselineDiags()
+	b, err := ParseBaseline([]byte(FormatBaseline("/mod", diags)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags[0].Pos.Line = 999
+	kept, suppressed, stale := b.Filter("/mod", diags)
+	if len(kept) != 0 || len(suppressed) != 2 || len(stale) != 0 {
+		t.Fatalf("after line move: kept=%d suppressed=%d stale=%d, want 0/2/0", len(kept), len(suppressed), len(stale))
+	}
+}
+
+// TestBaselineStaleAndKept: an entry whose finding disappeared is
+// reported stale, and a finding with no entry is kept.
+func TestBaselineStaleAndKept(t *testing.T) {
+	diags := baselineDiags()
+	b, err := ParseBaseline([]byte(FormatBaseline("/mod", diags)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := Diagnostic{Pos: token.Position{Filename: "/mod/internal/vnet/pipe.go", Line: 3}, Check: "algpurity", Message: "select reachable from Process"}
+	kept, suppressed, stale := b.Filter("/mod", []Diagnostic{diags[0], fresh})
+	if len(kept) != 1 || kept[0].Check != "algpurity" {
+		t.Fatalf("kept = %v, want the fresh algpurity finding", kept)
+	}
+	if len(suppressed) != 1 {
+		t.Fatalf("suppressed = %v, want the baselined hotpath finding", suppressed)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0], "lockorder") {
+		t.Fatalf("stale = %v, want the fixed lockorder entry", stale)
+	}
+}
+
+// TestBaselineMalformedLineRejected: a typo in a suppression must be a
+// parse error, not a silently ignored (or widened) entry.
+func TestBaselineMalformedLineRejected(t *testing.T) {
+	if _, err := ParseBaseline([]byte("internal/engine/engine.go hotpath broken\n")); err == nil {
+		t.Fatal("malformed baseline line accepted")
+	}
+}
+
+// TestBaselineRelPathOutsideRoot: diagnostics outside the module root
+// keep their absolute path rather than a ../ relative one.
+func TestBaselineRelPathOutsideRoot(t *testing.T) {
+	if got := relPath("/mod", "/elsewhere/x.go"); got != "/elsewhere/x.go" {
+		t.Fatalf("relPath escaped the root: %q", got)
+	}
+	if got := relPath("/mod", "/mod/internal/a.go"); got != "internal/a.go" {
+		t.Fatalf("relPath = %q, want internal/a.go", got)
+	}
+}

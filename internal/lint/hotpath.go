@@ -16,6 +16,12 @@ import (
 //     use the monotonic deadline helpers instead;
 //   - passing *message.Msg to a variadic ...any (fmt or logf) boxes the
 //     pointer into an interface, allocating per message.
+//
+// The rules apply interprocedurally within the engine package: a hot
+// region may not launder a fmt call through a helper. The walk stays
+// inside the package — the ring and transport layers the loops call into
+// are measured by their own benchmarks, and descending into them would
+// indict every error path they keep off the fast path.
 const checkNameHotPath = "hotpath"
 
 // hotWholeBody functions are hot from the first statement.
@@ -24,7 +30,9 @@ var hotWholeBody = map[string]bool{"Send": true, "retryParked": true}
 // hotLoopsOnly functions are hot inside their for loops only.
 var hotLoopsOnly = map[string]bool{"switchOnce": true, "runSender": true, "runReceiver": true}
 
-func checkHotPath(l *Loader, p *Package, report reportFunc) {
+const effHotAlloc = EffFmt | EffTimeNow | EffLogf
+
+func checkHotPath(g *Graph, p *Package, report reportFunc) {
 	if p.Name != "engine" {
 		return
 	}
@@ -45,18 +53,21 @@ func checkHotPath(l *Loader, p *Package, report reportFunc) {
 				continue
 			}
 			for _, region := range regions {
-				scanHotRegion(p, name, region, report)
+				scanHotRegion(g, p, name, region, report)
 			}
 		}
 	}
 }
 
-func scanHotRegion(p *Package, fn string, region *ast.BlockStmt, report reportFunc) {
+func scanHotRegion(g *Graph, p *Package, fn string, region *ast.BlockStmt, report reportFunc) {
+	samePkg := func(e Edge) bool { return e.To.Pkg == p }
+	isHot := func(f *Fn) bool { return g.Effects(f)&effHotAlloc != 0 }
 	ast.Inspect(region, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
+		isLogf := false
 		if pkgPath, name, ok := pkgQualifiedCallee(p.Info, call); ok {
 			switch {
 			case pkgPath == "fmt":
@@ -68,8 +79,21 @@ func scanHotRegion(p *Package, fn string, region *ast.BlockStmt, report reportFu
 			}
 		}
 		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "logf" {
+			isLogf = true
 			report(call.Pos(), checkNameHotPath,
 				"logf on the hot path in %s: log outside the per-message loop", fn)
+		}
+		// A helper called from the hot region is as hot as the region:
+		// flag it if anything it reaches inside the package formats,
+		// reads the clock, or logs. Detection and witness use the same
+		// same-package walk, so every finding has a concrete path.
+		if callee := methodCallee(g.l, p.Info, call); callee != nil && callee.Pkg == p && !isLogf {
+			if path := g.WitnessPath(callee, isHot, samePkg); path != nil {
+				eff := g.Effects(path[len(path)-1]) & effHotAlloc
+				report(call.Pos(), checkNameHotPath,
+					"%s on the hot path in %s reaches %s (via %s): keep formatting and clock reads out of the per-message loop",
+					exprText(call.Fun), fn, describeHotEffect(eff), pathString(path))
+			}
 		}
 		for _, arg := range call.Args {
 			if tv, ok := p.Info.Types[arg]; ok && tv.Type != nil {
@@ -81,6 +105,18 @@ func scanHotRegion(p *Package, fn string, region *ast.BlockStmt, report reportFu
 		}
 		return true
 	})
+}
+
+// describeHotEffect renders the dominant hot-path hazard bit.
+func describeHotEffect(eff Effect) string {
+	switch {
+	case eff&EffFmt != 0:
+		return "a fmt call"
+	case eff&EffTimeNow != 0:
+		return "time.Now"
+	default:
+		return "logf"
+	}
 }
 
 // isFormatCall reports whether call is a variadic ...any sink (fmt.* or

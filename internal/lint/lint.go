@@ -7,6 +7,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, positioned so editors can jump to it.
@@ -20,10 +21,75 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
 }
 
+// Timing records how long one check took over the analyzed package set.
+type Timing struct {
+	Check    string
+	Duration time.Duration
+}
+
+// CheckNames lists every check the analyzer runs, in execution order.
+func CheckNames() []string {
+	names := make([]string, len(allChecks))
+	for i, c := range allChecks {
+		names[i] = c.name
+	}
+	return names
+}
+
+// allChecks is the registry: the ten invariants, each a closure over the
+// shared call graph.
+var allChecks = []struct {
+	name string
+	run  func(g *Graph, pkgs []*Package, report reportFunc)
+}{
+	{checkNamePurity, checkPurity},
+	{checkNameCtrlLane, func(g *Graph, pkgs []*Package, report reportFunc) {
+		for _, p := range pkgs {
+			checkCtrlLane(g, p, report)
+		}
+	}},
+	{checkNameLockDiscipline, func(g *Graph, pkgs []*Package, report reportFunc) {
+		for _, p := range pkgs {
+			checkLockDiscipline(g, p, report)
+		}
+	}},
+	{checkNameHotPath, func(g *Graph, pkgs []*Package, report reportFunc) {
+		for _, p := range pkgs {
+			checkHotPath(g, p, report)
+		}
+	}},
+	{checkNameShardLocal, func(g *Graph, pkgs []*Package, report reportFunc) {
+		for _, p := range pkgs {
+			checkShardLocal(p, report)
+		}
+	}},
+	{checkNameObsSync, func(g *Graph, pkgs []*Package, report reportFunc) {
+		for _, p := range pkgs {
+			checkObsSync(p, report)
+		}
+	}},
+	{checkNameAdmission, func(g *Graph, pkgs []*Package, report reportFunc) {
+		for _, p := range pkgs {
+			checkAdmission(g, p, report)
+		}
+	}},
+	{checkNameLockOrder, checkLockOrder},
+	{checkNameAtomicField, checkAtomicField},
+	{checkNameGoLifecycle, checkGoLifecycle},
+}
+
 // Run executes every check against the given packages (which must have
 // been produced by the same Loader, so the call-graph index is shared)
 // and returns findings sorted by position.
 func Run(l *Loader, pkgs []*Package) []Diagnostic {
+	diags, _ := RunTimed(l, pkgs)
+	return diags
+}
+
+// RunTimed is Run plus a per-check wall-clock breakdown (the graph build
+// is attributed to the first check that runs).
+func RunTimed(l *Loader, pkgs []*Package) ([]Diagnostic, []Timing) {
+	g := BuildGraph(l)
 	var diags []Diagnostic
 	report := func(pos token.Pos, check, format string, args ...any) {
 		diags = append(diags, Diagnostic{
@@ -32,14 +98,11 @@ func Run(l *Loader, pkgs []*Package) []Diagnostic {
 			Message: fmt.Sprintf(format, args...),
 		})
 	}
-	checkPurity(l, pkgs, report)
-	for _, p := range pkgs {
-		checkCtrlLane(l, p, report)
-		checkLockDiscipline(l, p, report)
-		checkHotPath(l, p, report)
-		checkShardLocal(p, report)
-		checkObsSync(p, report)
-		checkAdmission(p, report)
+	timings := make([]Timing, 0, len(allChecks))
+	for _, c := range allChecks {
+		start := time.Now()
+		c.run(g, pkgs, report)
+		timings = append(timings, Timing{Check: c.name, Duration: time.Since(start)})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -61,7 +124,7 @@ func Run(l *Loader, pkgs []*Package) []Diagnostic {
 			out = append(out, d)
 		}
 	}
-	return out
+	return out, timings
 }
 
 type reportFunc func(pos token.Pos, check, format string, args ...any)
@@ -155,68 +218,6 @@ func lastComponent(e ast.Expr) string {
 func looksLikeMutex(e ast.Expr) bool {
 	n := strings.ToLower(lastComponent(e))
 	return strings.Contains(n, "mu") || strings.Contains(n, "lock")
-}
-
-// lockEvent is one entry in the linear lock-region scan of a body.
-type lockEvent struct {
-	pos  token.Pos
-	kind int // +1 lock, -1 unlock, 0 candidate call
-	call *ast.CallExpr
-}
-
-// scanLockRegions walks a function body in source order, tracking mutex
-// acquire/release pairs, and invokes flag for every call for which
-// candidate returns true while at least one mutex is held. A deferred
-// unlock keeps the mutex held for the remainder of the body (which is
-// exactly the property the checks care about). The scan is linear over
-// source positions — branchy early-unlock patterns can yield false
-// negatives, never false positives on straight-line hold regions.
-func scanLockRegions(body *ast.BlockStmt, candidate func(*ast.CallExpr) bool, flag func(*ast.CallExpr)) {
-	var events []lockEvent
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch st := n.(type) {
-		case *ast.DeferStmt:
-			if sel, ok := st.Call.Fun.(*ast.SelectorExpr); ok {
-				name := sel.Sel.Name
-				if (name == "Unlock" || name == "RUnlock") && looksLikeMutex(sel.X) {
-					// Deferred unlock: the mutex stays held to the end of
-					// the body, so no release event is recorded.
-					return false
-				}
-			}
-		case *ast.CallExpr:
-			if sel, ok := st.Fun.(*ast.SelectorExpr); ok && looksLikeMutex(sel.X) {
-				switch sel.Sel.Name {
-				case "Lock", "RLock":
-					events = append(events, lockEvent{pos: st.Pos(), kind: +1})
-					return true
-				case "Unlock", "RUnlock":
-					events = append(events, lockEvent{pos: st.Pos(), kind: -1})
-					return true
-				}
-			}
-			if candidate(st) {
-				events = append(events, lockEvent{pos: st.Pos(), kind: 0, call: st})
-			}
-		}
-		return true
-	})
-	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
-	depth := 0
-	for _, ev := range events {
-		switch ev.kind {
-		case +1:
-			depth++
-		case -1:
-			if depth > 0 {
-				depth--
-			}
-		default:
-			if depth > 0 {
-				flag(ev.call)
-			}
-		}
-	}
 }
 
 // forLoopBodies returns the bodies of all for/range loops inside body.

@@ -61,8 +61,8 @@ func TestFixturesFlagSeededViolations(t *testing.T) {
 			}
 		}
 	}
-	if len(pkgs) < 8 {
-		t.Fatalf("expected at least 8 fixture packages (2 per check), found %d", len(pkgs))
+	if len(pkgs) < 24 {
+		t.Fatalf("expected at least 24 fixture packages (every check covered), found %d", len(pkgs))
 	}
 	if total == 0 {
 		t.Fatal("no want markers found in fixtures")
@@ -112,10 +112,10 @@ func TestFixturesFlagSeededViolations(t *testing.T) {
 	}
 }
 
-// TestShippedTreeClean is the acceptance gate for false positives: the
-// analyzer must report nothing on the real module. This is also the
-// in-test form of `make lint`.
-func TestShippedTreeClean(t *testing.T) {
+// loadWholeModule loads every package under the module root (cmd/
+// included) with one shared loader.
+func loadWholeModule(t *testing.T) (*Loader, []*Package) {
+	t.Helper()
 	loader, err := NewLoader(".")
 	if err != nil {
 		t.Fatal(err)
@@ -136,7 +136,70 @@ func TestShippedTreeClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("expected to load the whole module, got only %d packages", len(pkgs))
 	}
-	for _, d := range Run(loader, pkgs) {
-		t.Errorf("false positive on shipped tree: %s", d)
+	return loader, pkgs
+}
+
+// TestShippedTreeClean is the acceptance gate for false positives: every
+// finding on the real module must either be fixed or carried in the
+// committed baseline with a justification — and every baseline entry
+// must still correspond to a live finding. This is the in-test form of
+// `make lint`.
+func TestShippedTreeClean(t *testing.T) {
+	loader, pkgs := loadWholeModule(t)
+	diags := Run(loader, pkgs)
+	baseline, err := LoadBaseline(filepath.Join(loader.ModuleRoot, "lint.baseline"))
+	if err != nil {
+		t.Fatalf("load committed baseline: %v", err)
+	}
+	kept, _, stale := baseline.Filter(loader.ModuleRoot, diags)
+	for _, d := range kept {
+		t.Errorf("non-baselined finding on shipped tree: %s", d)
+	}
+	for _, s := range stale {
+		t.Errorf("stale baseline entry (finding fixed, entry not removed): %s", s)
+	}
+}
+
+// TestCmdPackagesAnalyzed pins the analyzer's coverage of the command
+// tree: expanding the module root must pick up every main package under
+// cmd/, and the checks must run over them in the same pass as the
+// library packages.
+func TestCmdPackagesAnalyzed(t *testing.T) {
+	loader, pkgs := loadWholeModule(t)
+	cmds := make(map[string]bool)
+	for _, p := range pkgs {
+		if strings.Contains(p.Path, "/cmd/") {
+			cmds[p.Path] = true
+			if p.Name != "main" {
+				t.Errorf("package %s under cmd/ is %q, want main", p.Path, p.Name)
+			}
+		}
+	}
+	for _, want := range []string{"ioverlayvet", "inode", "iobserver"} {
+		if !cmds[loader.ModulePath+"/cmd/"+want] {
+			t.Errorf("cmd/%s not loaded by ExpandPackages; commands are not being linted", want)
+		}
+	}
+	if len(cmds) < 4 {
+		t.Errorf("expected at least 4 cmd packages, got %d (%v)", len(cmds), cmds)
+	}
+}
+
+// TestRunTimedCoversEveryCheck pins the registry plumbing: one timing
+// entry per check, in execution order, ten checks total.
+func TestRunTimedCoversEveryCheck(t *testing.T) {
+	loader, pkgs := loadWholeModule(t)
+	_, timings := RunTimed(loader, pkgs)
+	names := CheckNames()
+	if len(names) != 10 {
+		t.Fatalf("expected 10 registered checks, got %d: %v", len(names), names)
+	}
+	if len(timings) != len(names) {
+		t.Fatalf("got %d timings for %d checks", len(timings), len(names))
+	}
+	for i, tm := range timings {
+		if tm.Check != names[i] {
+			t.Errorf("timing %d is for %q, want %q", i, tm.Check, names[i])
+		}
 	}
 }

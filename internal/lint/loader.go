@@ -63,6 +63,7 @@ type Loader struct {
 	fakes         map[string]*types.Package // placeholder packages for external imports
 	FuncOf        map[types.Object]*Fn      // func/method object -> declaration
 	MethodsByName map[string][]*Fn          // method name -> all decls (conservative fallback)
+	Fns           []*Fn                     // every indexed declaration, in load order
 }
 
 // NewLoader locates the module root (the nearest go.mod above dir) and
@@ -246,6 +247,7 @@ func (l *Loader) indexFuncs(p *Package) {
 				continue
 			}
 			fn := &Fn{Pkg: p, Decl: fd}
+			l.Fns = append(l.Fns, fn)
 			if obj := p.Info.Defs[fd.Name]; obj != nil {
 				l.FuncOf[obj] = fn
 			}

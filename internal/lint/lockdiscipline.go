@@ -10,19 +10,23 @@ import (
 //   - queue: a Ring method that acquires the ring mutex must not call
 //     another exported Ring method through the receiver while holding it
 //     (every exported method takes the same mutex — the call would
-//     deadlock, since sync.Mutex is not reentrant).
+//     deadlock, since sync.Mutex is not reentrant). The held-set is
+//     tracked per lock identity, so an auxiliary lock a Ring method
+//     takes does not implicate the ring mutex.
 //
 //   - engine: no algorithm upcall (alg.Process, notifyAlg, deliverToAlg)
-//     may run with an engine lock held. Process may reenter the engine
-//     through the API, which retakes engine locks.
-const checkNameLock = "lockorder"
+//     may run with an engine lock held — directly or through any chain
+//     of module-local helpers. Process may reenter the engine through
+//     the API, which retakes engine locks. Transitive findings carry the
+//     witness call path to the upcall.
+const checkNameLockDiscipline = "lockdiscipline"
 
-func checkLockDiscipline(l *Loader, p *Package, report reportFunc) {
+func checkLockDiscipline(g *Graph, p *Package, report reportFunc) {
 	switch p.Name {
 	case "queue":
 		checkRingLocks(p, report)
 	case "engine":
-		checkEngineUpcalls(p, report)
+		checkEngineUpcalls(g, p, report)
 	}
 }
 
@@ -43,7 +47,7 @@ func checkRingLocks(p *Package, report reportFunc) {
 			if recvName == "" {
 				continue
 			}
-			scanLockRegions(fd.Body,
+			scanLockRegions(p, fd.Body,
 				func(call *ast.CallExpr) bool {
 					sel, ok := call.Fun.(*ast.SelectorExpr)
 					if !ok || !ast.IsExported(sel.Sel.Name) {
@@ -52,26 +56,52 @@ func checkRingLocks(p *Package, report reportFunc) {
 					id, ok := sel.X.(*ast.Ident)
 					return ok && id.Name == recvName
 				},
-				func(call *ast.CallExpr) {
-					report(call.Pos(), checkNameLock,
+				func(call *ast.CallExpr, held []string) {
+					if !ringMutexHeld(held) {
+						return
+					}
+					report(call.Pos(), checkNameLockDiscipline,
 						"%s calls exported Ring method %s while holding the ring mutex: sync.Mutex is not reentrant", fd.Name.Name, exprText(call.Fun))
 				})
 		}
 	}
 }
 
-func checkEngineUpcalls(p *Package, report reportFunc) {
+func checkEngineUpcalls(g *Graph, p *Package, report reportFunc) {
+	// A call made under the engine lock is as dangerous as a direct
+	// upcall if anything it transitively reaches hands control to the
+	// algorithm.
+	upcalls := g.Transitive(EffAlgUpcall)
+	reachesUpcall := func(fn *Fn) bool { return fn != nil && upcalls[fn]&EffAlgUpcall != 0 }
 	for _, f := range p.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			scanLockRegions(fd.Body,
-				func(call *ast.CallExpr) bool { return isAlgUpcall(call) },
-				func(call *ast.CallExpr) {
-					report(call.Pos(), checkNameLock,
-						"%s invokes the algorithm callback %s with an engine lock held: Process may reenter the engine and deadlock", fd.Name.Name, exprText(call.Fun))
+			scanLockRegions(p, fd.Body,
+				func(call *ast.CallExpr) bool {
+					if isAlgUpcall(call) {
+						return true
+					}
+					return reachesUpcall(methodCallee(g.l, p.Info, call))
+				},
+				func(call *ast.CallExpr, held []string) {
+					if !heldAny(held) {
+						return
+					}
+					if isAlgUpcall(call) {
+						report(call.Pos(), checkNameLockDiscipline,
+							"%s invokes the algorithm callback %s with an engine lock held: Process may reenter the engine and deadlock", fd.Name.Name, exprText(call.Fun))
+						return
+					}
+					callee := methodCallee(g.l, p.Info, call)
+					path := g.WitnessPath(callee, func(fn *Fn) bool {
+						return g.Effects(fn)&EffAlgUpcall != 0
+					}, nil)
+					report(call.Pos(), checkNameLockDiscipline,
+						"%s calls %s with an engine lock held, and it reaches the algorithm callback (via %s): Process may reenter the engine and deadlock",
+						fd.Name.Name, exprText(call.Fun), pathString(path))
 				})
 		}
 	}

@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lock-region analysis, keyed by lock identity.
+//
+// The scanner walks a body in source order and tracks which mutexes are
+// held at each point. Unlike the earlier depth-counter version, every
+// mutex is tracked separately: a deferred Unlock of mutex A pins A (and
+// only A) held to the end of the body, and an Unlock of B never releases
+// a held A. The scan stays linear over source positions, so branchy
+// early-unlock shapes can still yield false negatives — never false
+// positives on straight-line hold regions, the documented bias.
+//
+// Function-literal bodies are scanned as their own scopes with an empty
+// held set: a closure's locks are taken when the closure runs, not where
+// it is written, so attributing them to the surrounding stream would
+// corrupt both the enclosing and the closure's regions.
+
+// lockID renders a stable identity for the mutex named by expr (the
+// receiver of a Lock/Unlock call): "pkg.Type.field" for struct fields,
+// "pkg.var" for package-level mutexes, and a local/spelling fallback
+// otherwise. Identities are per declaration, not per instance — the
+// granularity every static lock-order analysis works at.
+func lockID(p *Package, expr ast.Expr) string {
+	e := expr
+	for {
+		if par, ok := e.(*ast.ParenExpr); ok {
+			e = par.X
+			continue
+		}
+		break
+	}
+	shortQual := func(tp *types.Package) string { return tp.Name() }
+	switch t := e.(type) {
+	case *ast.SelectorExpr:
+		if s := p.Info.Selections[t]; s != nil {
+			recv := s.Recv()
+			for {
+				if ptr, ok := recv.(*types.Pointer); ok {
+					recv = ptr.Elem()
+					continue
+				}
+				break
+			}
+			return types.TypeString(recv, shortQual) + "." + t.Sel.Name
+		}
+	case *ast.Ident:
+		if obj := p.Info.Uses[t]; obj != nil {
+			if obj.Pkg() != nil {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+			return obj.Name()
+		}
+	}
+	return p.Name + ":" + exprText(e)
+}
+
+// lockEvent is one entry in the linear scan of a single scope.
+type lockEvent struct {
+	pos   token.Pos
+	kind  int    // +1 acquire, -1 release, 2 deferred release, 0 candidate
+	id    string // lock identity for kind != 0
+	rlock bool   // RLock/RUnlock
+	call  *ast.CallExpr
+}
+
+// lockScope is one body (function or function literal) with nested
+// literals split out.
+type lockScope struct {
+	events []lockEvent
+	inner  []*lockScope
+}
+
+// classifyLockCall recognizes Lock/RLock/Unlock/RUnlock on a mutex-named
+// receiver.
+func classifyLockCall(call *ast.CallExpr) (recv ast.Expr, kind int, rlock bool, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || !looksLikeMutex(sel.X) {
+		return nil, 0, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		return sel.X, +1, false, true
+	case "RLock":
+		return sel.X, +1, true, true
+	case "Unlock":
+		return sel.X, -1, false, true
+	case "RUnlock":
+		return sel.X, -1, true, true
+	}
+	return nil, 0, false, false
+}
+
+// collectLockScope builds the event stream for one scope, descending
+// into blocks but splitting function literals into child scopes.
+func collectLockScope(p *Package, body ast.Node, candidate func(*ast.CallExpr) bool) *lockScope {
+	sc := &lockScope{}
+	spawned := spawnedCalls(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			if st == body {
+				return true
+			}
+			sc.inner = append(sc.inner, collectLockScope(p, st.Body, candidate))
+			return false
+		case *ast.DeferStmt:
+			if recv, kind, rlock, ok := classifyLockCall(st.Call); ok && kind == -1 {
+				sc.events = append(sc.events, lockEvent{
+					pos: st.Pos(), kind: 2, id: lockID(p, recv), rlock: rlock,
+				})
+				return false
+			}
+		case *ast.CallExpr:
+			if spawned[st] {
+				// A spawned call runs on its own goroutine, not inside
+				// this hold region (the literal case is split out above).
+				return true
+			}
+			if recv, kind, rlock, ok := classifyLockCall(st); ok {
+				sc.events = append(sc.events, lockEvent{
+					pos: st.Pos(), kind: kind, id: lockID(p, recv), rlock: rlock,
+				})
+				return true
+			}
+			if candidate != nil && candidate(st) {
+				sc.events = append(sc.events, lockEvent{pos: st.Pos(), kind: 0, call: st})
+			}
+		}
+		return true
+	})
+	sort.Slice(sc.events, func(i, j int) bool { return sc.events[i].pos < sc.events[j].pos })
+	return sc
+}
+
+// replayScope runs the linear held-set simulation over one scope and its
+// nested literal scopes (each literal starts with nothing held). flag is
+// invoked for every candidate call with the sorted set of identities
+// held at that point (possibly empty).
+func replayScope(sc *lockScope, flag func(call *ast.CallExpr, held []string)) {
+	held := make(map[string]int)
+	sticky := make(map[string]bool) // deferred unlock: held to end of body
+	order := []string{}
+	snapshot := func() []string {
+		var ids []string
+		for _, id := range order {
+			if held[id] > 0 {
+				ids = append(ids, id)
+			}
+		}
+		return ids
+	}
+	for _, ev := range sc.events {
+		switch ev.kind {
+		case +1:
+			if held[ev.id] == 0 {
+				order = append(order, ev.id)
+			}
+			held[ev.id]++
+		case -1:
+			// Release only the named mutex, only if actually held, and
+			// never one pinned by a deferred unlock.
+			if held[ev.id] > 0 && !sticky[ev.id] {
+				held[ev.id]--
+			}
+		case 2:
+			sticky[ev.id] = true
+		case 0:
+			flag(ev.call, snapshot())
+		}
+	}
+	for _, inner := range sc.inner {
+		replayScope(inner, flag)
+	}
+}
+
+// scanLockRegions walks a function body tracking per-identity mutex hold
+// regions and invokes flag for every call for which candidate returns
+// true, together with the identities held at that point. Calls made while
+// nothing is held are reported with an empty held set, so callers decide
+// the policy.
+func scanLockRegions(p *Package, body *ast.BlockStmt, candidate func(*ast.CallExpr) bool, flag func(call *ast.CallExpr, held []string)) {
+	sc := collectLockScope(p, body, candidate)
+	replayScope(sc, flag)
+}
+
+// heldAny reports whether any lock is held.
+func heldAny(held []string) bool { return len(held) > 0 }
+
+// heldMatching reports whether any held identity satisfies pred.
+func heldMatching(held []string, pred func(string) bool) bool {
+	for _, id := range held {
+		if pred(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// ----- per-function lock facts for the lockorder check -----
+
+// lockPair is one direct held→acquired observation.
+type lockPair struct {
+	held, acq string
+	pos       token.Pos
+}
+
+// lockCall is one resolved call made with locks held.
+type lockCall struct {
+	held []string
+	to   *Fn
+	pos  token.Pos
+}
+
+// lockFacts summarizes one function's lock behavior.
+type lockFacts struct {
+	acquires map[string]token.Pos // identity -> first acquire site
+	pairs    []lockPair
+	calls    []lockCall
+}
+
+// lockFactsOf computes the lock facts for fn: which mutexes it acquires,
+// which ordered held→acquired pairs its body exhibits, and which resolved
+// calls it makes while holding locks.
+func lockFactsOf(g *Graph, fn *Fn) *lockFacts {
+	p := fn.Pkg
+	facts := &lockFacts{acquires: make(map[string]token.Pos)}
+	resolved := func(call *ast.CallExpr) *Fn {
+		if callee := methodCallee(g.l, p.Info, call); callee != nil {
+			return callee
+		}
+		return nil
+	}
+	sc := collectLockScope(p, fn.Decl.Body, func(call *ast.CallExpr) bool {
+		return resolved(call) != nil || len(g.ifaceImplementers(p.Info, call)) > 0
+	})
+	var replay func(sc *lockScope)
+	replay = func(sc *lockScope) {
+		held := make(map[string]int)
+		sticky := make(map[string]bool)
+		order := []string{}
+		snapshot := func() []string {
+			var ids []string
+			for _, id := range order {
+				if held[id] > 0 {
+					ids = append(ids, id)
+				}
+			}
+			return ids
+		}
+		for _, ev := range sc.events {
+			switch ev.kind {
+			case +1:
+				if _, seen := facts.acquires[ev.id]; !seen {
+					facts.acquires[ev.id] = ev.pos
+				}
+				for _, h := range snapshot() {
+					if h != ev.id {
+						facts.pairs = append(facts.pairs, lockPair{held: h, acq: ev.id, pos: ev.pos})
+					}
+				}
+				if held[ev.id] == 0 {
+					order = append(order, ev.id)
+				}
+				held[ev.id]++
+			case -1:
+				if held[ev.id] > 0 && !sticky[ev.id] {
+					held[ev.id]--
+				}
+			case 2:
+				sticky[ev.id] = true
+			case 0:
+				ids := snapshot()
+				if len(ids) == 0 {
+					continue
+				}
+				if callee := resolved(ev.call); callee != nil {
+					facts.calls = append(facts.calls, lockCall{held: ids, to: callee, pos: ev.pos})
+					continue
+				}
+				for _, impl := range g.ifaceImplementers(p.Info, ev.call) {
+					facts.calls = append(facts.calls, lockCall{held: ids, to: impl, pos: ev.pos})
+				}
+			}
+		}
+		for _, inner := range sc.inner {
+			replay(inner)
+		}
+	}
+	replay(sc)
+	return facts
+}
+
+// ringMutexHeld reports whether the held set contains the Ring's own
+// mutex (as opposed to some auxiliary lock a Ring method might take).
+func ringMutexHeld(held []string) bool {
+	return heldMatching(held, func(id string) bool {
+		return strings.HasSuffix(id, "Ring.mu")
+	})
+}

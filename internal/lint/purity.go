@@ -8,12 +8,14 @@ import (
 
 // checkPurity enforces the paper's single-threaded algorithm guarantee:
 // Algorithm.Process runs on the engine goroutine and must never block or
-// spawn concurrency. Transitively over the module-local call graph from
-// every Process implementation, the check forbids goroutine spawns,
-// channel operations (send, receive, select, range-over-channel),
-// time.Sleep, network dial/listen calls, blocking waits on unresolved
-// receivers, and engine.API calls made while a mutex is held (a lock
-// held across a reentrant upcall is a deadlock in waiting).
+// spawn concurrency. Interprocedurally over the call graph from every
+// Process implementation — direct calls and conservative interface
+// fan-outs alike — the check forbids goroutine spawns, channel
+// operations (send, receive, select, range-over-channel), time.Sleep,
+// network dial/listen calls, blocking waits on unresolved receivers, and
+// engine.API calls made while a mutex is held (a lock held across a
+// reentrant upcall is a deadlock in waiting). Every finding is reported
+// at the offending site with the witness call path from Process.
 //
 // Traversal stops at engine.API interface methods naturally (interfaces
 // have no bodies) and is prevented from descending into the runtime-side
@@ -30,37 +32,26 @@ var runtimePkgNames = map[string]bool{
 	"proxy": true, "metrics": true, "experiments": true,
 }
 
-func checkPurity(l *Loader, pkgs []*Package, report reportFunc) {
-	type item struct {
-		fn   *Fn
-		root string
-	}
-	var work []item
+func checkPurity(g *Graph, pkgs []*Package, report reportFunc) {
+	requested := make(map[*Package]bool, len(pkgs))
 	for _, p := range pkgs {
-		for _, f := range p.Files {
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if ok && isProcessImpl(fd) {
-					fn := &Fn{Pkg: p, Decl: fd}
-					work = append(work, item{fn: fn, root: fn.Name()})
-				}
-			}
-		}
+		requested[p] = true
 	}
-	visited := make(map[*ast.FuncDecl]bool)
-	for len(work) > 0 {
-		it := work[0]
-		work = work[1:]
-		if visited[it.fn.Decl] {
+	follow := func(e Edge) bool { return !runtimePkgNames[e.To.Pkg.Name] }
+	visited := make(map[*Fn]bool)
+	for _, fn := range g.l.Fns {
+		if !requested[fn.Pkg] || !isProcessImpl(fn.Decl) {
 			continue
 		}
-		visited[it.fn.Decl] = true
-		callees := scanPureBody(l, it.fn, it.root, report)
-		for _, c := range callees {
-			if runtimePkgNames[c.Pkg.Name] {
+		root := fn.Name()
+		for _, r := range g.ReachableFrom(fn, follow) {
+			// The same helper can be reached from several Process roots;
+			// report its violations once, for the first root that gets there.
+			if visited[r.Fn] {
 				continue
 			}
-			work = append(work, item{fn: c, root: it.root})
+			visited[r.Fn] = true
+			scanPureBody(g, r.Fn, root, r.Path, report)
 		}
 	}
 }
@@ -87,15 +78,14 @@ var blockingExternals = map[string][]string{
 	"os":   {"Pipe"},
 }
 
-// scanPureBody reports purity violations in fn's body and returns the
-// module-local callees to continue the walk through.
-func scanPureBody(l *Loader, fn *Fn, root string, report reportFunc) []*Fn {
+// scanPureBody reports purity violations in fn's body. path is the
+// witness call chain from the Process root (root first, fn last).
+func scanPureBody(g *Graph, fn *Fn, root string, path []*Fn, report reportFunc) {
 	info := fn.Pkg.Info
 	where := ""
-	if fn.Name() != root {
-		where = " via " + fn.Name()
+	if len(path) > 1 {
+		where = " via " + pathString(path[1:])
 	}
-	var callees []*Fn
 	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
 		switch st := n.(type) {
 		case *ast.GoStmt:
@@ -129,9 +119,8 @@ func scanPureBody(l *Loader, fn *Fn, root string, report reportFunc) []*Fn {
 				}
 				return true
 			}
-			if callee := methodCallee(l, info, st); callee != nil {
-				callees = append(callees, callee)
-				return true
+			if methodCallee(g.l, info, st) != nil || len(g.ifaceImplementers(info, st)) > 0 {
+				return true // resolved: the graph walk visits the callee itself
 			}
 			// Unresolved method call (receiver type outside the module):
 			// a bare .Wait() is a blocking sync.WaitGroup/sync.Cond wait.
@@ -145,13 +134,15 @@ func scanPureBody(l *Loader, fn *Fn, root string, report reportFunc) []*Fn {
 	// Second pass: engine.API upcalls made while a mutex is held. The
 	// engine may call back into the algorithm; holding an algorithm lock
 	// across the upcall inverts the lock order and can deadlock.
-	scanLockRegions(fn.Decl.Body,
+	scanLockRegions(fn.Pkg, fn.Decl.Body,
 		func(call *ast.CallExpr) bool { return isAPICall(info, call) },
-		func(call *ast.CallExpr) {
+		func(call *ast.CallExpr, held []string) {
+			if !heldAny(held) {
+				return
+			}
 			report(call.Pos(), checkNamePurity,
 				"engine.API call %s while holding a lock, reachable from %s%s: release before calling the engine", exprText(call.Fun), root, where)
 		})
-	return callees
 }
 
 // isAPICall reports whether call invokes a method through the engine.API

@@ -25,7 +25,7 @@ func (s *server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
-		go s.handshake(conn)
+		go s.handshake(conn) // want "is not tied to the lifecycle"
 	}
 }
 

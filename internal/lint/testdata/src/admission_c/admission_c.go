@@ -1,0 +1,34 @@
+// Package observer (fixture admission_c) seeds a laundered admission
+// violation: the accept path holds the table lock while calling a helper
+// that, one hop down, reads from the connection. The interprocedural
+// walk must flag the helper call under the lock with the witness path to
+// the I/O. The same helper called after the unlock is clean.
+package observer
+
+import (
+	"net"
+	"sync"
+)
+
+type gate struct {
+	mu    sync.Mutex
+	seen  int
+	admit bool
+}
+
+func (g *gate) acceptOne(conn net.Conn) {
+	g.mu.Lock()
+	g.seen++
+	g.greet(conn) // want "reaches connection I/O"
+	g.mu.Unlock()
+	g.greet(conn) // ok: lock released
+}
+
+func (g *gate) greet(conn net.Conn) {
+	g.hello(conn)
+}
+
+func (g *gate) hello(conn net.Conn) {
+	var b [4]byte
+	conn.Read(b[:])
+}

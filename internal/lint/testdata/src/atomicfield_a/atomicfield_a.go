@@ -1,0 +1,35 @@
+// Package atomicfield_a (fixture) seeds the classic mixed-access race:
+// a counter field bumped through sync/atomic on the hot path but read
+// plainly elsewhere. The plain accesses inside the constructor and Stop
+// are sanctioned — the object is not shared during those phases.
+package atomicfield_a
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	last int64
+}
+
+func New() *counter {
+	c := &counter{}
+	c.hits = 0 // ok: construction is single-threaded
+	return c
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) peek() int64 {
+	return c.hits // want "every access must go through sync/atomic"
+}
+
+func (c *counter) note(v int64) {
+	c.last = v // ok: last is never accessed atomically
+}
+
+func (c *counter) Stop() {
+	c.hits = 0 // ok: teardown is single-threaded
+	c.last = 0
+}

@@ -1,0 +1,43 @@
+// Package atomicfield_b (fixture) exercises the exemption fixpoint: a
+// helper reachable only from constructors and teardown inherits their
+// single-threaded sanction, while a helper with any live caller does
+// not — its plain accesses to an atomically-used field are races.
+package atomicfield_b
+
+import "sync/atomic"
+
+type gauge struct {
+	v int64
+}
+
+func NewGauge() *gauge {
+	g := &gauge{}
+	g.reset()
+	return g
+}
+
+// reset is called only from NewGauge and Stop, so the exemption
+// propagates to it: no diagnostics here.
+func (g *gauge) reset() {
+	g.v = 0
+}
+
+func (g *gauge) Read() int64 {
+	return atomic.LoadInt64(&g.v)
+}
+
+// drain is called from Sample, a live method, so its plain accesses are
+// flagged even though drain itself looks like a teardown helper.
+func (g *gauge) drain() int64 {
+	v := g.v // want "every access must go through sync/atomic"
+	g.v = 0  // want "every access must go through sync/atomic"
+	return v
+}
+
+func (g *gauge) Sample() int64 {
+	return g.drain()
+}
+
+func (g *gauge) Stop() {
+	g.reset()
+}

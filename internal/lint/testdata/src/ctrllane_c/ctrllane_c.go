@@ -1,0 +1,34 @@
+// Package queue (fixture ctrllane_c) seeds a shed path that drops
+// control messages through a helper: the shed function itself never
+// touches the control lane, but a helper it calls pops from it. The
+// interprocedural walk must flag the pop in the helper with the witness
+// path from the shed root. The data-lane eviction chain is clean.
+package queue
+
+type lane struct {
+	items []int
+}
+
+type R2 struct {
+	ctrl lane
+	data lane
+}
+
+func (r *R2) ShedOldest() {
+	r.evict()
+	r.evictData()
+}
+
+func (r *R2) evict() {
+	r.popLocked(&r.ctrl) // want "reaches a control-lane pop"
+}
+
+func (r *R2) evictData() {
+	r.popLocked(&r.data)
+}
+
+func (r *R2) popLocked(l *lane) {
+	if len(l.items) > 0 {
+		l.items = l.items[1:]
+	}
+}

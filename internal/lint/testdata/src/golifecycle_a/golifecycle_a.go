@@ -1,0 +1,84 @@
+// Package engine (fixture golifecycle_a) seeds goroutine-lifecycle
+// violations: spawns with no WaitGroup Add before them whose targets
+// neither signal the group nor watch a stop channel, an untied goroutine
+// literal, and a spawn through an interface the loader cannot resolve.
+// The certified shapes — Add-before-go, a stop-channel select in the
+// target, a Done in the literal — must stay clean.
+package engine
+
+import "sync"
+
+type emitter interface {
+	Emit()
+}
+
+type Core struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	out  chan int
+	em   emitter
+}
+
+func (c *Core) Start() {
+	c.wg.Add(1)
+	go c.run() // ok: the Add above covers the spawn
+}
+
+func (c *Core) run() {
+	defer c.wg.Done()
+	for v := range c.out {
+		_ = v
+	}
+}
+
+func (c *Core) Kick() {
+	go c.pump() // want "is not tied to the lifecycle"
+}
+
+func (c *Core) pump() {
+	for v := range c.out {
+		_ = v
+	}
+}
+
+func (c *Core) Watch() {
+	go c.loop() // ok: loop watches the stop channel
+}
+
+func (c *Core) loop() {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case v := <-c.out:
+			_ = v
+		}
+	}
+}
+
+// Deep spawns through a wrapper: the lifecycle evidence is one call
+// away, which the transitive closure must find.
+func (c *Core) Deep() {
+	go c.relay() // ok: relay reaches the stop watch through loop
+}
+
+func (c *Core) relay() {
+	c.loop()
+}
+
+func (c *Core) Fire() {
+	go func() { // want "goroutine literal"
+		c.out <- 1
+	}()
+}
+
+func (c *Core) Flush() {
+	go func() { // ok: the Done ties the literal to the group
+		defer c.wg.Done()
+		c.out <- 2
+	}()
+}
+
+func (c *Core) Alert() {
+	go c.em.Emit() // want "unresolved target"
+}

@@ -1,0 +1,50 @@
+// Package observer (fixture golifecycle_b) seeds lifecycle violations
+// in the observer tier: a relay goroutine spawned with no Add and no
+// stop watch leaks past Stop and keeps reporting into the next test's
+// observer. The reconciliation shapes — a target that waits on the
+// group, a collector selecting on done — must stay clean.
+package observer
+
+import "sync"
+
+type Obs struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	feed chan int
+}
+
+func (o *Obs) Run() {
+	go o.collect() // ok: collect watches the done channel
+}
+
+func (o *Obs) collect() {
+	for {
+		select {
+		case <-o.done:
+			return
+		case v := <-o.feed:
+			_ = v
+		}
+	}
+}
+
+func (o *Obs) Leak() {
+	go o.relay() // want "is not tied to the lifecycle"
+}
+
+func (o *Obs) relay() {
+	for v := range o.feed {
+		_ = v
+	}
+}
+
+// Depart hands teardown to a goroutine; the target waits on the group,
+// so it *is* the reconciliation — the e.Stop/e.Depart idiom.
+func (o *Obs) Depart() {
+	go o.settle() // ok: settle waits on the group
+}
+
+func (o *Obs) settle() {
+	o.wg.Wait()
+	close(o.done)
+}

@@ -1,0 +1,33 @@
+// Package engine (fixture hotpath_d) seeds a laundered hot-path
+// violation: the switch loop itself is clean, but a helper it calls
+// reads the clock two hops down. The interprocedural walk must flag the
+// helper call in the loop with the witness path to the clock read.
+package engine
+
+import "time"
+
+type E struct {
+	n     int64
+	stamp int64
+}
+
+func (e *E) switchOnce() bool {
+	for i := 0; i < 4; i++ {
+		e.audit() // want "keep formatting and clock reads out of the per-message loop"
+		e.n++
+	}
+	return e.n > 0
+}
+
+func (e *E) audit() {
+	e.mark()
+}
+
+func (e *E) mark() {
+	e.stamp = time.Now().UnixNano()
+}
+
+// prepare runs outside the hot loop: the same chain is fine here.
+func (e *E) prepare() {
+	e.audit()
+}

@@ -1,0 +1,60 @@
+// Package queue (fixture lock_c) exercises the per-identity held-set
+// semantics of the lock scanner. An auxiliary statsMu must not implicate
+// the ring mutex: exported calls under statsMu alone are fine, a
+// deferred statsMu unlock must not pin the ring mutex held, and
+// releasing statsMu must not release the ring mutex. The statsMu/mu
+// nesting in Snapshot and Flush also runs in opposite orders, seeding a
+// lock-order cycle.
+package queue
+
+import "sync"
+
+type Ring struct {
+	mu      sync.Mutex
+	statsMu sync.Mutex
+	n       int
+	peak    int
+}
+
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Stats calls an exported method while holding only the auxiliary lock:
+// legal, and the old shared-depth scanner's false positive.
+func (r *Ring) Stats() int {
+	r.statsMu.Lock()
+	n := r.Len()
+	r.statsMu.Unlock()
+	return n
+}
+
+// Snapshot releases statsMu but still holds the ring mutex at the Len
+// call: the per-identity scanner must keep mu held across the statsMu
+// unlock. The statsMu acquire under mu is also half of the lock-order
+// cycle with Flush.
+func (r *Ring) Snapshot() int {
+	r.mu.Lock()
+	r.statsMu.Lock() // want "lock-order cycle"
+	if r.n > r.peak {
+		r.peak = r.n
+	}
+	r.statsMu.Unlock()
+	n := r.Len() // want "while holding the ring mutex"
+	r.mu.Unlock()
+	return n
+}
+
+// Flush defers the statsMu unlock; the ring mutex is released before the
+// Len call, so nothing ring-related may be flagged — the old scanner's
+// sticky defer kept every mutex held to the end of the body.
+func (r *Ring) Flush() int {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	r.mu.Lock()
+	r.peak = r.n
+	r.mu.Unlock()
+	return r.Len()
+}

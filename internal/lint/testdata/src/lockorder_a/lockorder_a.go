@@ -1,0 +1,40 @@
+// Package lockorder_a (fixture) seeds a direct AB/BA lock-order cycle:
+// one method acquires muA then muB, another acquires muB then muA. Two
+// goroutines running the two methods concurrently can each take their
+// first lock and wait forever on the second. The cycle is reported once,
+// at the acquire completing the edge out of the smallest identity.
+package lockorder_a
+
+import "sync"
+
+type node struct {
+	muA sync.Mutex
+	muB sync.Mutex
+	n   int
+}
+
+func (s *node) left() {
+	s.muA.Lock()
+	s.muB.Lock() // want "lock-order cycle"
+	s.n++
+	s.muB.Unlock()
+	s.muA.Unlock()
+}
+
+func (s *node) right() {
+	s.muB.Lock()
+	s.muA.Lock()
+	s.n--
+	s.muA.Unlock()
+	s.muB.Unlock()
+}
+
+// straight holds both locks in the same order as left: consistent
+// ordering on its own is fine and must not be flagged.
+func (s *node) straight() {
+	s.muA.Lock()
+	s.muB.Lock()
+	s.n = 0
+	s.muB.Unlock()
+	s.muA.Unlock()
+}

@@ -1,0 +1,39 @@
+// Package lockorder_b (fixture) seeds a transitive lock-order cycle:
+// neither function takes both locks itself — each holds one lock and
+// calls a helper that acquires the other, so the inversion is only
+// visible on the call graph. The diagnostic carries the witness call
+// path to each acquire.
+package lockorder_b
+
+import "sync"
+
+type pair struct {
+	muX sync.Mutex
+	muY sync.Mutex
+	x   int
+	y   int
+}
+
+func (p *pair) bumpX() {
+	p.muX.Lock()
+	p.x++
+	p.muX.Unlock()
+}
+
+func (p *pair) bumpY() {
+	p.muY.Lock()
+	p.y++
+	p.muY.Unlock()
+}
+
+func (p *pair) lockstepX() {
+	p.muX.Lock()
+	p.bumpY() // want "potential deadlock"
+	p.muX.Unlock()
+}
+
+func (p *pair) lockstepY() {
+	p.muY.Lock()
+	p.bumpX()
+	p.muY.Unlock()
+}

@@ -1,0 +1,42 @@
+// Package purity_c (fixture) seeds a purity violation hidden behind an
+// interface: Process delivers through a module-local interface, and one
+// implementer sleeps. The conservative fan-out must assume any
+// implementer can be behind the value and follow the call into it.
+package purity_c
+
+import "time"
+
+type Msg struct {
+	N int
+}
+
+type Verdict int
+
+type sink interface {
+	Deliver(*Msg)
+}
+
+type alg struct {
+	s sink
+}
+
+func (a *alg) Process(m *Msg) Verdict {
+	a.s.Deliver(m)
+	return 0
+}
+
+// fastSink is the clean implementer: nothing to flag.
+type fastSink struct {
+	seen int
+}
+
+func (f *fastSink) Deliver(m *Msg) {
+	f.seen++
+}
+
+// slowSink blocks — reachable from Process through the interface.
+type slowSink struct{}
+
+func (s *slowSink) Deliver(m *Msg) {
+	time.Sleep(time.Millisecond) // want "Process must never block or touch the network"
+}
