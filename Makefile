@@ -44,7 +44,7 @@ FUZZTIME ?= 10s
 fuzz:
 	@for f in FuzzAllPayloadDecoders FuzzReaderPrimitives; do \
 		$(GO) test ./internal/protocol -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) || exit 1; done
-	@for f in FuzzDecode FuzzRead FuzzReadContinued FuzzWireRoundTrip; do \
+	@for f in FuzzDecode FuzzRead FuzzReadContinued FuzzWireRoundTrip FuzzDgramDecode; do \
 		$(GO) test ./internal/message -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) || exit 1; done
 
 # The concurrency-heavy data-path packages additionally run under the race

@@ -29,7 +29,7 @@ import (
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 5,6,7,8,9,11,12,14,15,16,17,18,19 (empty = all)")
 	table := flag.String("table", "", "table to regenerate: 3 (empty = all)")
-	exp := flag.String("exp", "", "named experiment to regenerate: churn, overload, timeline, dialstorm (empty = all)")
+	exp := flag.String("exp", "", "named experiment to regenerate: churn, overload, timeline, dialstorm, udploss (empty = all)")
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
 	debugAddr := flag.String("debug", "", "serve expvar/pprof debug endpoints on this address while running (e.g. 127.0.0.1:6060)")
 	flag.Parse()
@@ -181,6 +181,20 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderDialStorm(res))
+		fmt.Println()
+		return nil
+	})
+
+	runStep([]string{"udploss"}, func() error {
+		cfg := experiments.UDPLossConfig{}
+		if *full {
+			cfg.Window = 3 * time.Second
+		}
+		res, err := experiments.UDPLoss(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderUDPLoss(res))
 		fmt.Println()
 		return nil
 	})

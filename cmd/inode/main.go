@@ -81,6 +81,8 @@ func run() error {
 	greylistAfter := flag.Int("greylist-after", 0, "consecutive rate refusals before a source is greylisted (0 = default 8)")
 	greylistFor := flag.Duration("greylist-for", 0, "how long a greylisted source's connections are closed silently (0 = default 2s)")
 	busyProbe := flag.Duration("busy-probe", 0, "post-hello window a dialer listens for a busy refusal (0 = default 5ms, negative disables)")
+	transport := flag.String("transport", "tcp", "data lane transport: tcp (reliable streams) or udp (datagrams for data; control stays on TCP)")
+	mtu := flag.Int("mtu", 0, "outgoing datagram size cap in bytes for -transport udp (0 = default 1400)")
 	debugAddr := flag.String("debug", "", "serve expvar/pprof debug endpoints on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
@@ -157,6 +159,14 @@ func run() error {
 		GreylistAfter: *greylistAfter,
 		GreylistFor:   *greylistFor,
 		BusyProbe:     *busyProbe,
+	}
+	switch *transport {
+	case "tcp":
+	case "udp":
+		cfg.DatagramData = true
+		cfg.DatagramMTU = *mtu
+	default:
+		return fmt.Errorf("unknown transport %q (want tcp or udp)", *transport)
 	}
 	if *obsStr != "" {
 		for _, part := range strings.Split(*obsStr, ",") {

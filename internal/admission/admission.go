@@ -237,6 +237,50 @@ func (g *Gate) Admit(sourceHost string) (Decision, time.Duration) {
 	return Admitted, 0
 }
 
+// AdmitDatagram decides whether an unsolicited datagram from the given
+// source host deserves further processing. It consults the greylist and
+// the per-source token bucket exactly like Admit, but takes no in-flight
+// handshake token — a datagram has no handshake to bound — so the caller
+// must not Release. Refusals strike toward the greylist the same way, so
+// a host spraying packets at an open port goes dark just like one
+// hammering the accept loop.
+func (g *Gate) AdmitDatagram(sourceHost string) Decision {
+	if g == nil {
+		return Admitted
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := g.cfg.Now()
+	s := g.source(sourceHost, now)
+	s.lastSeen = now
+	if now.Before(s.greyUntil) {
+		s.greyUntil = now.Add(g.cfg.GreylistFor)
+		g.stats.ShedGreylist++
+		return ShedGreylist
+	}
+	s.tokens += now.Sub(s.refilled).Seconds() * g.cfg.SourceRate
+	if s.tokens > float64(g.cfg.SourceBurst) {
+		s.tokens = float64(g.cfg.SourceBurst)
+	}
+	s.refilled = now
+	if s.tokens < 1 {
+		s.strikes++
+		if s.strikes >= g.cfg.GreylistAfter {
+			s.greyUntil = now.Add(g.cfg.GreylistFor)
+			s.strikes = 0
+			g.stats.ShedGreylist++
+			return ShedGreylist
+		}
+		g.stats.ShedRate++
+		return ShedRate
+	}
+	s.tokens--
+	if s.strikes > 0 {
+		s.strikes--
+	}
+	return Admitted
+}
+
 // Bypass takes an in-flight token without consulting the cap or the
 // source table — for connections a standing policy always admits, like
 // an observer's federation peers. The count stays honest (the hello

@@ -1,0 +1,434 @@
+package engine
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"repro/internal/bandwidth"
+	"repro/internal/message"
+	"repro/internal/trace"
+	"repro/internal/vnet"
+)
+
+// Datagram data plane. With Config.DatagramData set, the engine binds a
+// packet endpoint next to its stream listener and moves the data lane
+// onto it: each sender frames data messages into datagrams toward its
+// peer while the hello handshake, Busy refusals and every control-class
+// message keep riding the reliable stream connection. The stream link
+// remains the link: admission, identity, link-up/down notifications and
+// inactivity detection all still hang off it, and datagrams from a
+// source that never completed a hello are dropped at the port.
+//
+// Nothing on the datagram receive path may block: budget admission is
+// drop-head, ring pushes are TryPush, and overflow is counted loss —
+// the shared endpoint must keep draining whatever one slow ring does.
+
+// packetBatchWriter is the optional sendmmsg-shaped fast path a packet
+// endpoint may offer: a whole batch of frames to one destination in a
+// single call, amortizing the per-packet routing and handoff cost.
+// vnet's PacketConn implements it; a kernel UDP socket does not (the
+// stdlib has no sendmmsg) and takes the per-packet path.
+type packetBatchWriter interface {
+	WriteToBatch(bufs [][]byte, to net.Addr) (int, error)
+}
+
+// packetBatchReader is the matching recvmmsg-shaped fast path: drain a
+// queued packet without blocking or copying, so one wakeup can consume
+// a burst. The borrowed view is valid until its Release; the reader
+// decodes (and the reassembler or message pool copies) before reading
+// the next packet, so the borrow window is one loop iteration.
+type packetBatchReader interface {
+	TryReadDgrams(dst []vnet.Dgram) int
+}
+
+// dgramReadBatch caps the messages one reader wakeup accumulates before
+// handing them to the switch.
+const dgramReadBatch = 64
+
+// runSenderDgram is the sender drain loop in datagram mode. conn is the
+// established (admitted) stream connection: control messages are written
+// to it directly; data messages leave as datagrams through the engine's
+// shared packet endpoint. A datagram send error loses that message but
+// not the link — UDP send failures are transient — while a control write
+// error tears the link down exactly like the stream path.
+func (e *Engine) runSenderDgram(s *sender, conn net.Conn) {
+	dest, err := e.cfg.Transport.(PacketTransport).PacketAddr(s.peer.Addr())
+	if err != nil {
+		e.logf("datagram resolve %s: %v", s.peer, err)
+		_ = conn.Close()
+		e.dropQueued(s)
+		e.postEvent(func() { e.senderGone(s) })
+		return
+	}
+	shaper := e.budget.UpShaper(s.linkLimit)
+	maxBatch := e.cfg.BatchSize
+	if c := s.ring.Cap(); maxBatch > c {
+		maxBatch = c
+	}
+	batch := make([]*message.Msg, maxBatch)
+	db := &dgramBatch{
+		e: e, s: s, dest: dest, shaper: shaper,
+		scratch: make([]byte, 0, e.cfg.DatagramMTU),
+	}
+	if bw, ok := e.pconn.(packetBatchWriter); ok {
+		db.bw = bw
+		db.arena = make([]byte, 0, dgramArenaCap)
+	}
+	for {
+		n, err := s.ring.PopBatch(batch)
+		if err != nil {
+			// Ring closed: graceful teardown.
+			_ = conn.Close()
+			return
+		}
+		s.inflight.Store(int32(n))
+		s.sh.sendBatchHist.Observe(int64(n))
+		var held int64
+		for i := 0; i < n; i++ {
+			held += int64(batch[i].WireLen())
+		}
+		var werr error
+		fail := n
+		for i := 0; i < n && werr == nil; i++ {
+			m := batch[i]
+			if m.IsControl() {
+				// A stream write can block on back-pressure; queued
+				// datagrams go out first rather than waiting it out.
+				db.flush()
+				wn, e2 := m.WriteTo(conn)
+				if e2 != nil {
+					werr, fail = e2, i
+					break
+				}
+				s.meter.Add(wn)
+				e.counters.AddOut(wn)
+				continue
+			}
+			// Data loss and volume are accounted inside the batcher; a
+			// failed datagram costs the message, never the link.
+			db.addMsg(m)
+			// Control before data holds inside an in-flight batch here
+			// too: shaped datagram pacing can take seconds, and a failure
+			// notification pushed meanwhile must not wait it out.
+			for {
+				cm, ok := s.ring.TryPopCtrl()
+				if !ok {
+					break
+				}
+				db.flush()
+				cwl := int64(cm.WireLen())
+				e.rec.Emit(trace.KindCtrlBypass, s.peer, cm.App(), cwl)
+				cn, e3 := cm.WriteTo(conn)
+				if e3 != nil {
+					werr, fail = e3, i+1
+					e.counters.AddDropped(cwl)
+				} else {
+					s.meter.Add(cn)
+					e.counters.AddOut(cn)
+				}
+				cm.Release()
+				e.heldBytes.Add(-cwl)
+				if werr != nil {
+					break
+				}
+			}
+		}
+		db.flush()
+		if werr != nil {
+			// The failed control write and everything still queued behind
+			// it never reached any wire.
+			for j := fail; j < n; j++ {
+				e.counters.AddDropped(int64(batch[j].WireLen()))
+			}
+		}
+		for i := 0; i < n; i++ {
+			batch[i].Release()
+			batch[i] = nil
+		}
+		e.heldBytes.Add(-held)
+		if werr != nil {
+			_ = conn.Close()
+			e.dropQueued(s)
+			e.postEvent(func() { e.senderGone(s) })
+			return
+		}
+		s.inflight.Store(0)
+		s.sh.signal()
+		if s.sh.idx != 0 {
+			e.signalWork()
+		}
+	}
+}
+
+// dgramArenaCap bounds the bytes a sender queues between batch flushes.
+const dgramArenaCap = 64 << 10
+
+// dgramBatch frames data messages into datagrams toward one peer. When
+// the endpoint offers the sendmmsg-shaped batch path and the link is
+// unshaped, consecutive messages accumulate into one arena and leave in
+// a single WriteToBatch — one routing decision and one handoff for the
+// lot — with metering folded to one update per flush. A shaped link (or
+// an endpoint without the batch path) sends packet by packet so pacing
+// keeps its per-packet granularity. Oversize messages (past the
+// fragment budget at the configured MTU) are refused with a counted
+// error; a packet write failure drops the message, never the link.
+type dgramBatch struct {
+	e      *Engine
+	s      *sender
+	dest   net.Addr
+	bw     packetBatchWriter // nil: endpoint has no batch path
+	shaper *bandwidth.Shaper
+
+	arena   []byte   // backing for queued frames; never reallocated
+	frames  [][]byte // queued frames, each a view into arena
+	wire    int64    // wire bytes of the messages queued
+	msgs    int64    // messages queued
+	scratch []byte   // per-packet path frame buffer
+	render  []byte   // wire image scratch for messages without one
+}
+
+// wireOf returns m's contiguous wire image, rendering one into the
+// reusable scratch for the rare message that lacks it (derived or
+// externally built). The result is valid until the next call.
+func (d *dgramBatch) wireOf(m *message.Msg) []byte {
+	if w := m.Wire(); w != nil {
+		return w
+	}
+	d.render = m.AppendHeader(d.render[:0])
+	d.render = append(d.render, m.Payload()...)
+	return d.render
+}
+
+// addMsg queues (or sends) one data message.
+func (d *dgramBatch) addMsg(m *message.Msg) {
+	wire := d.wireOf(m)
+	mtu := d.e.cfg.DatagramMTU
+	cnt, err := message.DgramFragments(len(wire), mtu)
+	if err != nil {
+		d.e.counters.AddDgramRefused(int64(len(wire)))
+		d.e.rec.Emit(trace.KindShed, d.s.peer, m.App(), int64(len(wire)))
+		return
+	}
+	need := len(wire) + cnt*message.DgramHeaderSize
+	if d.bw == nil || d.shaper.Active() || need > cap(d.arena) {
+		d.writeNow(wire, cnt, mtu)
+		return
+	}
+	if need > cap(d.arena)-len(d.arena) {
+		d.flush()
+	}
+	chunk := mtu - message.DgramHeaderSize
+	id := d.e.dgramSeq.Add(1)
+	for i := 0; i < cnt; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(wire) {
+			hi = len(wire)
+		}
+		h := message.DgramHeader{Src: d.e.id, MsgID: id, FragIdx: uint16(i), FragCnt: uint16(cnt)}
+		off := len(d.arena)
+		d.arena = message.AppendDgram(d.arena, h, wire[lo:hi])
+		d.frames = append(d.frames, d.arena[off:len(d.arena):len(d.arena)])
+	}
+	d.wire += int64(len(wire))
+	d.msgs++
+}
+
+// flush sends every queued frame in one batch write. A write error
+// drops the queued messages (datagram loss, not link death).
+func (d *dgramBatch) flush() {
+	if len(d.frames) == 0 {
+		return
+	}
+	d.shaper.Wait(len(d.arena))
+	if _, err := d.bw.WriteToBatch(d.frames, d.dest); err != nil {
+		d.e.counters.AddDroppedBatch(d.msgs, d.wire)
+	} else {
+		d.s.meter.Add(d.wire)
+		d.e.counters.AddOutBatch(d.msgs, d.wire)
+	}
+	d.frames = d.frames[:0]
+	d.arena = d.arena[:0]
+	d.wire = 0
+	d.msgs = 0
+}
+
+// writeNow frames and sends one message packet by packet, pacing each
+// datagram through the link shaper.
+func (d *dgramBatch) writeNow(wire []byte, cnt, mtu int) {
+	chunk := mtu - message.DgramHeaderSize
+	id := d.e.dgramSeq.Add(1)
+	for i := 0; i < cnt; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(wire) {
+			hi = len(wire)
+		}
+		h := message.DgramHeader{Src: d.e.id, MsgID: id, FragIdx: uint16(i), FragCnt: uint16(cnt)}
+		d.scratch = message.AppendDgram(d.scratch[:0], h, wire[lo:hi])
+		d.shaper.Wait(len(d.scratch))
+		if _, werr := d.e.pconn.WriteTo(d.scratch, d.dest); werr != nil {
+			d.e.counters.AddDropped(int64(len(wire)))
+			return
+		}
+	}
+	d.s.meter.Add(int64(len(wire)))
+	d.e.counters.AddOut(int64(len(wire)))
+}
+
+// runDgramReader drains the node's packet endpoint: validate the frame,
+// attribute it to the receiver link its source's hello established,
+// reassemble, and push the message onto that receiver's ring without
+// ever blocking. Datagrams from strangers — sources with no admitted
+// receiver link — are dropped after a pass through the admission gate's
+// per-source accounting, so a host spraying an open port walks into the
+// same greylist the accept loop maintains.
+func (e *Engine) runDgramReader(pc net.PacketConn) {
+	defer e.wg.Done()
+	buf := make([]byte, 64<<10)
+	ra := message.NewReassembler(0)
+	maxPayload := e.cfg.MaxPayload
+	if maxPayload <= 0 {
+		maxPayload = message.DefaultMaxPayload
+	}
+	tr, _ := pc.(packetBatchReader)
+	var dgrams []vnet.Dgram
+	if tr != nil {
+		dgrams = make([]vnet.Dgram, dgramReadBatch)
+	}
+
+	// Messages completed by the packets of one wakeup are grouped by
+	// their receiver link and handed over in one TryPushBatch, with one
+	// meter update and one shard wakeup per group — recvmmsg-shaped
+	// amortization of the per-packet bookkeeping. The group flushes on
+	// every source change and at the end of each wakeup's drain, so
+	// nothing lingers past the packets in hand.
+	msgs := make([]*message.Msg, 0, dgramReadBatch)
+	var curR *receiver
+	var curSrc message.NodeID
+	var groupBytes int64
+	flush := func() {
+		if curR == nil || len(msgs) == 0 {
+			return
+		}
+		// Metering the arrival refreshes the link's inactivity detector:
+		// datagram traffic keeps the (quiet) stream link alive.
+		curR.meter.Add(groupBytes)
+		e.counters.AddInBatch(int64(len(msgs)), groupBytes)
+		toPush, reserved := e.shedBatchForBudget(curR.ring, curR.peer, msgs, groupBytes)
+		if len(toPush) > 0 {
+			pushed := curR.ring.TryPushBatch(toPush)
+			if pushed > 0 {
+				curR.sh.signal()
+			}
+			// Ring full (or closed mid-teardown): loss, never
+			// back-pressure on the shared endpoint.
+			for _, m := range toPush[pushed:] {
+				e.counters.AddDropped(int64(m.WireLen()))
+				m.Release()
+			}
+		}
+		e.releaseBudget(reserved)
+		msgs = msgs[:0]
+		groupBytes = 0
+	}
+	// accept validates and reassembles one packet, queueing the
+	// completed message on its receiver's group. owner, when non-nil, is
+	// the packet's refcounted backing buffer: a single-fragment message
+	// then aliases the packet bytes and takes the reference over
+	// (reported by the true return) instead of copying — the zero-copy
+	// receive path, mirroring the stream side's segment pinning.
+	accept := func(pkt []byte, from net.Addr, owner message.Owner) bool {
+		h, chunk, derr := message.DecodeDgram(pkt)
+		if derr != nil {
+			e.counters.AddDgramBad()
+			return false
+		}
+		// One receiver lookup per source burst: datagrams arrive in runs
+		// from one sender and the group flushes on source change anyway.
+		// A receiver torn down mid-burst still fails safe — its closed
+		// ring rejects the push and the messages are counted dropped.
+		if curR == nil || h.Src != curSrc {
+			e.mu.Lock()
+			r := e.receivers[h.Src]
+			e.mu.Unlock()
+			if r == nil {
+				e.gate.AdmitDatagram(sourceHost(from))
+				e.counters.AddDgramNoLink()
+				return false
+			}
+			if r != curR {
+				flush()
+				curR = r
+			}
+			curSrc = h.Src
+		}
+		invalidBefore := ra.Invalid()
+		wire, ok := ra.Accept(h, chunk)
+		if !ok {
+			if ra.Invalid() > invalidBefore {
+				e.counters.AddDgramBad()
+			}
+			return false
+		}
+		if size, _ := message.PeekPayloadLen(wire); size > maxPayload {
+			e.counters.AddDgramBad()
+			return false
+		}
+		var m *message.Msg
+		took := false
+		if owner != nil && h.FragCnt == 1 {
+			// Single-fragment wire aliases the packet: pin, don't copy.
+			m = message.FromOwned(wire, owner)
+			took = true
+		} else {
+			m = message.FromBytes(wire, e.pool)
+		}
+		if m.IsControl() {
+			// Control rides the reliable lane by design; a control frame
+			// arriving by datagram is a protocol violation.
+			m.Release()
+			e.counters.AddDgramBad()
+			return took
+		}
+		msgs = append(msgs, m)
+		groupBytes += int64(m.WireLen())
+		return took
+	}
+
+	for {
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-e.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) || errors.Is(err, vnet.ErrNetworkDown) {
+				return
+			}
+			// Transient (ICMP-induced errors on some platforms): don't
+			// spin on a hot error.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		accept(buf[:n], from, nil)
+		if tr != nil {
+			for len(msgs) < dgramReadBatch {
+				k := tr.TryReadDgrams(dgrams[:dgramReadBatch-len(msgs)])
+				if k == 0 {
+					break
+				}
+				for i := 0; i < k; i++ {
+					if !accept(dgrams[i].Data, dgrams[i].From, dgrams[i].Owner()) {
+						dgrams[i].Release()
+					}
+					dgrams[i] = vnet.Dgram{}
+				}
+			}
+		}
+		flush()
+		curR = nil
+	}
+}

@@ -177,6 +177,21 @@ type Config struct {
 	// report and drive the timeline experiment. Zero selects
 	// DefaultEventLog; negative disables recording entirely.
 	EventLog int
+	// DatagramData, when true, moves the node's data lane onto the
+	// transport's datagram endpoint (UDP on the real network, the vnet
+	// packet endpoints in tests): outgoing data messages are framed into
+	// datagrams toward each admitted peer, while the hello handshake,
+	// Busy refusals and every control-class message stay on the reliable
+	// stream lane. Loss, duplication and reordering are then the
+	// application algorithm's contract. Requires a Transport that also
+	// implements PacketTransport.
+	DatagramData bool
+	// DatagramMTU bounds each outgoing datagram in bytes, frame header
+	// included. Messages needing more than message.MaxFragments datagrams
+	// at this MTU are refused to the sender with a counted error. Zero
+	// selects message.DefaultDgramMTU; values below message.MinDgramMTU
+	// are rejected.
+	DatagramMTU int
 	// LocalTrace, when set, receives every Trace record as a text line in
 	// addition to the observer — the paper's alternative of logging
 	// traces locally at each node when the volume is large. The writer
@@ -235,6 +250,9 @@ func (c *Config) applyDefaults() {
 	if c.BusyProbe == 0 {
 		c.BusyProbe = DefaultBusyProbe
 	}
+	if c.DatagramMTU == 0 {
+		c.DatagramMTU = message.DefaultDgramMTU
+	}
 	// Normalize the two observer fields into one another so every code
 	// path can use Observers as the failover list and Observer as its
 	// head.
@@ -270,6 +288,12 @@ type Engine struct {
 	counters metrics.Counters
 
 	listener net.Listener
+	// pconn is the bound datagram endpoint when Config.DatagramData is
+	// set; senders share it for writes (packet writes are concurrency
+	// safe) and one reader goroutine drains it. dgramSeq numbers outgoing
+	// messages for fragment reassembly at the peers.
+	pconn    net.PacketConn
+	dgramSeq atomic.Uint32
 
 	// gate is the connection-storm admission controller consulted between
 	// Accept and handshake; nil (admit everything) when Config.
@@ -377,6 +401,15 @@ func New(cfg Config) (*Engine, error) {
 		return nil, errors.New("engine: Config.ID is required")
 	}
 	cfg.applyDefaults()
+	if cfg.DatagramData {
+		if _, ok := cfg.Transport.(PacketTransport); !ok {
+			return nil, errors.New("engine: Config.DatagramData requires a Transport implementing PacketTransport")
+		}
+		if cfg.DatagramMTU < message.MinDgramMTU {
+			return nil, fmt.Errorf("engine: Config.DatagramMTU %d below minimum %d",
+				cfg.DatagramMTU, message.MinDgramMTU)
+		}
+	}
 	e := &Engine{
 		cfg:       cfg,
 		id:        cfg.ID,
@@ -670,11 +703,23 @@ func (e *Engine) Start() error {
 		return fmt.Errorf("engine: listen %s: %w", e.id.Addr(), err)
 	}
 	e.listener = l
+	if e.cfg.DatagramData {
+		pc, err := e.cfg.Transport.(PacketTransport).ListenPacket(e.id.Addr())
+		if err != nil {
+			_ = l.Close()
+			return fmt.Errorf("engine: listen datagram %s: %w", e.id.Addr(), err)
+		}
+		e.pconn = pc
+	}
 	e.alg.Attach(e)
 
 	e.wg.Add(2)
 	go e.acceptLoop(l)
 	go e.run()
+	if e.pconn != nil {
+		e.wg.Add(1)
+		go e.runDgramReader(e.pconn)
+	}
 	for _, sh := range e.shards[1:] {
 		e.wg.Add(1)
 		go sh.run()
@@ -750,11 +795,15 @@ func (e *Engine) connectObserver() error {
 	if err != nil {
 		return err
 	}
+	// Bounded like the peer-link hello: a stalled observer socket must
+	// not wedge the (re)connect goroutine indefinitely.
+	_ = conn.SetWriteDeadline(time.Now().Add(e.cfg.HandshakeTimeout))
 	hello := message.New(protocol.TypeHello, e.id, 0, 0, nil)
 	if _, err := hello.WriteTo(conn); err != nil {
 		_ = conn.Close()
 		return err
 	}
+	_ = conn.SetWriteDeadline(time.Time{})
 	o := &observerLink{ring: queue.New(256), conn: conn, peer: target}
 	e.mu.Lock()
 	if e.obs != nil || e.stopping || e.departing {
@@ -910,6 +959,9 @@ func (e *Engine) Stop() {
 
 	close(e.done)
 	_ = e.listener.Close()
+	if e.pconn != nil {
+		_ = e.pconn.Close()
+	}
 	for _, s := range sources {
 		s.halt()
 	}

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
+	"io"
 	"net"
 	"sync/atomic"
 	"time"
@@ -277,6 +279,13 @@ func (e *Engine) runSender(s *sender) {
 	close(s.connReady)
 	e.rec.Emit(trace.KindLinkUp, s.peer, 0, 0)
 
+	if e.cfg.DatagramData {
+		// Data rides the packet endpoint; the admitted stream connection
+		// stays up as the control lane.
+		e.runSenderDgram(s, conn)
+		return
+	}
+
 	bufw := bufio.NewWriterSize(conn, 32<<10)
 	shaped := bandwidth.NewWriter(bufw, e.budget.UpShaper(s.linkLimit))
 	maxBatch := e.cfg.BatchSize
@@ -463,15 +472,20 @@ func (e *Engine) dialPeer(s *sender) (net.Conn, error) {
 			lastErr = err
 			continue
 		}
+		// The hello write is bounded too: a blackholed peer with a full
+		// socket buffer must not stall this goroutine past the handshake
+		// budget (the unbounded-hello bug).
+		_ = conn.SetWriteDeadline(time.Now().Add(e.cfg.HandshakeTimeout))
 		hello := message.New(protocol.TypeHello, e.id, 0, 0, nil)
 		if _, err := hello.WriteTo(conn); err != nil {
 			_ = conn.Close()
 			lastErr = err
 			continue
 		}
-		hint, err := e.probeBusy(conn)
+		_ = conn.SetWriteDeadline(time.Time{})
+		admitted, hint, err := e.probeBusy(conn)
 		if err == nil {
-			return conn, nil
+			return admitted, nil
 		}
 		_ = conn.Close()
 		lastErr = err
@@ -482,36 +496,81 @@ func (e *Engine) dialPeer(s *sender) (net.Conn, error) {
 	return nil, lastErr
 }
 
-// probeBusy listens for a Busy refusal after the hello. It returns
-// (0, nil) when the probe window passes silently (admitted), or the
-// refusal's retry-after hint and errPeerBusy when the peer shed the
-// connection. Any other frame or a closed connection is an error too: a
-// greylisted source is closed without a frame, and an admitted sender
-// link never receives anything.
-func (e *Engine) probeBusy(conn net.Conn) (time.Duration, error) {
+// probeBusy listens for a Busy refusal after the hello. It returns the
+// connection to keep using and (0, nil) when the window passes silently
+// (admitted), or the refusal's retry-after hint and errPeerBusy when the
+// peer shed the connection. The probe sniffs exactly one frame header:
+// anything that is not a Busy refusal — a partial header caught
+// mid-flight at the deadline, or a full header of real traffic from a
+// peer that admitted us and started talking straight away — is handed
+// back to the caller replayed in front of the stream, never consumed.
+// A closed connection is still an error: a greylisted source is shed
+// without a frame.
+func (e *Engine) probeBusy(conn net.Conn) (net.Conn, time.Duration, error) {
 	if e.cfg.BusyProbe < 0 {
-		return 0, nil
+		return conn, 0, nil
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(e.cfg.BusyProbe))
-	m, err := message.Read(conn, nil, 256)
+	defer func() { _ = conn.SetReadDeadline(time.Time{}) }()
+	hdr := make([]byte, message.HeaderSize)
+	n, err := io.ReadFull(conn, hdr)
 	if err != nil {
-		_ = conn.SetReadDeadline(time.Time{})
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
-			return 0, nil // silence: admitted
+			// Silence: admitted. Bytes caught mid-header are the start of
+			// the peer's first real frame — a Busy refusal is the whole
+			// point of the window and arrives in one write — so replay
+			// them; consuming them would corrupt the stream.
+			return replayed(conn, hdr[:n]), 0, nil
 		}
-		return 0, err // hung up pre-handshake (greylist shed, crash)
+		return conn, 0, err // hung up pre-handshake (greylist shed, crash)
 	}
-	_ = conn.SetReadDeadline(time.Time{})
-	defer m.Release()
-	if m.Type() != protocol.TypeBusy {
-		return 0, errPeerBusy // protocol violation; drop the link attempt
+	if typ := message.Type(binary.BigEndian.Uint32(hdr[0:4])); typ != protocol.TypeBusy {
+		// Real traffic inside the probe window: admitted, and the peer is
+		// already talking. Hand the header back unconsumed.
+		return replayed(conn, hdr), 0, nil
 	}
-	bz, derr := protocol.DecodeBusy(m.Payload())
+	size, ok := message.PeekPayloadLen(hdr)
+	if !ok || size > 256 {
+		return conn, 0, errPeerBusy
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return conn, 0, errPeerBusy
+	}
+	bz, derr := protocol.DecodeBusy(payload)
 	if derr != nil {
-		return 0, errPeerBusy
+		return conn, 0, errPeerBusy
 	}
-	return time.Duration(bz.RetryAfterNanos), errPeerBusy
+	return conn, time.Duration(bz.RetryAfterNanos), errPeerBusy
+}
+
+// replayed wraps conn so that residue is read before anything else on
+// the stream; with no residue the conn passes through untouched.
+func replayed(conn net.Conn, residue []byte) net.Conn {
+	if len(residue) == 0 {
+		return conn
+	}
+	return &replayConn{Conn: conn, residue: residue}
+}
+
+// replayConn is a net.Conn with probe residue pushed back in front of
+// the stream. It deliberately does not forward the buffersWriter fast
+// path: a wrapped link is the rare case (the peer wrote within the probe
+// window), and per-message writes there keep this type trivially
+// correct.
+type replayConn struct {
+	net.Conn
+	residue []byte
+}
+
+func (c *replayConn) Read(p []byte) (int, error) {
+	if len(c.residue) > 0 {
+		n := copy(p, c.residue)
+		c.residue = c.residue[n:]
+		return n, nil
+	}
+	return c.Conn.Read(p)
 }
 
 // buffersWriter is the vectored-write fast path vnet connections provide:

@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/protocol"
+	"repro/internal/vnet"
+)
+
+// connPair dials through a vnet and returns both ends of the stream.
+func connPair(t *testing.T, n *vnet.Network) (client, server net.Conn) {
+	t.Helper()
+	ln, err := n.Listen("10.0.0.2:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, aerr := ln.Accept()
+		if aerr == nil {
+			accepted <- c
+		}
+	}()
+	client, err = n.DialFrom("10.0.0.1:7000", "10.0.0.2:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	select {
+	case server = <-accepted:
+	case <-time.After(time.Second):
+		t.Fatal("accept never completed")
+	}
+	t.Cleanup(func() { server.Close() })
+	return client, server
+}
+
+// TestProbeBusyReplaysEarlyData is the byte-residue regression: a peer
+// that admits the dialer and sends real data within the BusyProbe window
+// must lose nothing — the probe has to hand the sniffed bytes back, not
+// consume them and condemn the link.
+func TestProbeBusyReplaysEarlyData(t *testing.T) {
+	n := vnet.New()
+	defer n.Close()
+	client, server := connPair(t, n)
+
+	// The peer speaks immediately after accepting.
+	payload := []byte("early bytes the probe must not eat")
+	early := message.New(message.FirstDataType, message.MakeID("10.0.0.2", 7000), 3, 9, payload)
+	if _, err := early.WriteTo(server); err != nil {
+		t.Fatal(err)
+	}
+
+	e := &Engine{cfg: Config{BusyProbe: 50 * time.Millisecond}}
+	conn, hint, err := e.probeBusy(client)
+	if err != nil {
+		t.Fatalf("probeBusy on early data: %v (hint %v), want admitted", err, hint)
+	}
+	m, err := message.Read(conn, nil, message.DefaultMaxPayload)
+	if err != nil {
+		t.Fatalf("reading the replayed frame: %v", err)
+	}
+	defer m.Release()
+	if string(m.Payload()) != string(payload) || m.App() != 3 || m.Seq() != 9 {
+		t.Errorf("replayed frame corrupted: app=%d seq=%d payload=%q",
+			m.App(), m.Seq(), m.Payload())
+	}
+}
+
+// TestProbeBusyReplaysPartialHeader: the probe deadline fires while the
+// peer's first frame is mid-flight — only part of the header has
+// arrived. Those bytes belong to the stream and must be replayed.
+func TestProbeBusyReplaysPartialHeader(t *testing.T) {
+	n := vnet.New()
+	defer n.Close()
+	client, server := connPair(t, n)
+
+	var img bytes.Buffer
+	full := message.New(message.FirstDataType, message.MakeID("10.0.0.2", 7000), 5, 2, []byte("split across the probe deadline"))
+	if _, err := full.WriteTo(&img); err != nil {
+		t.Fatal(err)
+	}
+	buf := img.Bytes()
+	if _, err := server.Write(buf[:10]); err != nil { // header fragment only
+		t.Fatal(err)
+	}
+	rest := make(chan struct{})
+	go func() {
+		defer close(rest)
+		time.Sleep(80 * time.Millisecond) // past the probe window
+		_, _ = server.Write(buf[10:])
+	}()
+
+	e := &Engine{cfg: Config{BusyProbe: 30 * time.Millisecond}}
+	conn, _, err := e.probeBusy(client)
+	if err != nil {
+		t.Fatalf("probeBusy on partial header: %v, want admitted", err)
+	}
+	m, err := message.Read(conn, nil, message.DefaultMaxPayload)
+	if err != nil {
+		t.Fatalf("reading the reassembled frame: %v", err)
+	}
+	defer m.Release()
+	if string(m.Payload()) != "split across the probe deadline" {
+		t.Errorf("frame corrupted after replay: %q", m.Payload())
+	}
+	<-rest
+}
+
+// TestProbeBusyStillDetectsBusy: the rewrite must not lose the probe's
+// actual job — a Busy refusal is decoded and its hint surfaced.
+func TestProbeBusyStillDetectsBusy(t *testing.T) {
+	n := vnet.New()
+	defer n.Close()
+	client, server := connPair(t, n)
+
+	busy := message.New(protocol.TypeBusy, message.MakeID("10.0.0.2", 7000), 0, 0,
+		protocol.Busy{Reason: protocol.BusyWatermark, RetryAfterNanos: int64(250 * time.Millisecond)}.Encode())
+	if _, err := busy.WriteTo(server); err != nil {
+		t.Fatal(err)
+	}
+
+	e := &Engine{cfg: Config{BusyProbe: 50 * time.Millisecond}}
+	_, hint, err := e.probeBusy(client)
+	if !errors.Is(err, errPeerBusy) {
+		t.Fatalf("probeBusy on a Busy frame: %v, want errPeerBusy", err)
+	}
+	if hint != 250*time.Millisecond {
+		t.Errorf("hint = %v, want 250ms", hint)
+	}
+}
+
+// TestProbeBusySilenceAdmits: nothing at all inside the window still
+// means admitted, on the raw unwrapped connection.
+func TestProbeBusySilenceAdmits(t *testing.T) {
+	n := vnet.New()
+	defer n.Close()
+	client, _ := connPair(t, n)
+
+	e := &Engine{cfg: Config{BusyProbe: 20 * time.Millisecond}}
+	conn, _, err := e.probeBusy(client)
+	if err != nil {
+		t.Fatalf("probeBusy on silence: %v", err)
+	}
+	if conn != client {
+		t.Error("silent probe wrapped the connection; residue-free conns must pass through")
+	}
+}
+
+// TestDialPeerHelloWriteBounded is the unbounded-hello regression: the
+// peer accepts but never reads, and the pipe is smaller than a hello
+// frame, so the write blocks. The handshake's write deadline must bound
+// the stall; before the fix the dialing goroutine hung here forever.
+func TestDialPeerHelloWriteBounded(t *testing.T) {
+	n := vnet.New(vnet.WithPipeCapacity(8)) // hello is HeaderSize=24 bytes: the write must block
+	defer n.Close()
+	peer := message.MakeID("10.0.0.2", 7000)
+	ln, err := n.Listen(peer.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, aerr := ln.Accept()
+			if aerr != nil {
+				return
+			}
+			defer c.Close()
+			_ = c // accepted, never read: socket buffer stays full
+		}
+	}()
+
+	e, err := New(Config{
+		ID:               message.MakeID("10.0.0.1", 7000),
+		Transport:        VNet{Net: n},
+		Algorithm:        nopAlg{},
+		DialAttempts:     1,
+		HandshakeTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		conn, derr := e.dialPeer(&sender{peer: peer})
+		if derr == nil {
+			conn.Close()
+		}
+		done <- derr
+	}()
+	select {
+	case derr := <-done:
+		if derr == nil {
+			t.Error("dial into a never-drained pipe succeeded, want a bounded write failure")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("dialPeer stuck past HandshakeTimeout: hello write is unbounded")
+	}
+}

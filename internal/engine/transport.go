@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"net"
 	"time"
 
@@ -21,10 +22,25 @@ type Transport interface {
 	DialFrom(local, addr string, timeout time.Duration) (net.Conn, error)
 }
 
+// PacketTransport is the optional datagram extension of a Transport:
+// engines configured with DatagramData bind a packet endpoint on their
+// publicized address and move the data lane onto it, while the hello
+// handshake and all control traffic stay on the reliable stream side.
+type PacketTransport interface {
+	// ListenPacket binds the node's datagram endpoint on its publicized
+	// address — the same "ip:port" the stream listener uses; UDP and TCP
+	// ports are separate namespaces, so both bind.
+	ListenPacket(addr string) (net.PacketConn, error)
+	// PacketAddr resolves a publicized "ip:port" address into the
+	// net.Addr this transport's WriteTo accepts.
+	PacketAddr(addr string) (net.Addr, error)
+}
+
 // TCP is the real-network transport.
 type TCP struct{}
 
 var _ Transport = TCP{}
+var _ PacketTransport = TCP{}
 
 // Listen binds a TCP listener.
 func (TCP) Listen(addr string) (net.Listener, error) {
@@ -39,12 +55,23 @@ func (TCP) DialFrom(_, addr string, timeout time.Duration) (net.Conn, error) {
 	return net.Dial("tcp", addr)
 }
 
+// ListenPacket binds a UDP endpoint on the publicized address.
+func (TCP) ListenPacket(addr string) (net.PacketConn, error) {
+	return net.ListenPacket("udp", addr)
+}
+
+// PacketAddr resolves a publicized address for UDP writes.
+func (TCP) PacketAddr(addr string) (net.Addr, error) {
+	return net.ResolveUDPAddr("udp", addr)
+}
+
 // VNet adapts a virtual network to the Transport interface.
 type VNet struct {
 	Net *vnet.Network
 }
 
 var _ Transport = VNet{}
+var _ PacketTransport = VNet{}
 
 // Listen binds a virtual listener.
 func (v VNet) Listen(addr string) (net.Listener, error) {
@@ -52,8 +79,43 @@ func (v VNet) Listen(addr string) (net.Listener, error) {
 }
 
 // DialFrom dials through the virtual network, preserving the local
-// address so traffic is attributable in tests. Virtual dials complete (or
-// are refused) instantly, so the timeout never binds.
-func (v VNet) DialFrom(local, addr string, _ time.Duration) (net.Conn, error) {
-	return v.Net.DialFrom(local, addr)
+// address so traffic is attributable in tests. Virtual dials resolve (or
+// are refused) without blocking on any remote party, so the timeout can
+// only expire when this goroutine was starved past the whole deadline —
+// in which case the contract the caller asked for still holds: the
+// result is a timeout error, not a connection delivered late.
+func (v VNet) DialFrom(local, addr string, timeout time.Duration) (net.Conn, error) {
+	start := time.Now()
+	conn, err := v.Net.DialFrom(local, addr)
+	if timeout > 0 && time.Since(start) > timeout {
+		if err == nil {
+			_ = conn.Close()
+		}
+		return nil, &dialTimeoutError{addr: addr, budget: timeout}
+	}
+	return conn, err
 }
+
+// ListenPacket binds a virtual datagram endpoint.
+func (v VNet) ListenPacket(addr string) (net.PacketConn, error) {
+	return v.Net.ListenPacket(addr)
+}
+
+// PacketAddr wraps a virtual address for datagram writes.
+func (v VNet) PacketAddr(a string) (net.Addr, error) {
+	return vnet.Addr(a), nil
+}
+
+// dialTimeoutError satisfies net.Error for dial attempts that exceeded
+// their budget; Timeout() lets callers classify it like a real
+// connect(2) timeout.
+type dialTimeoutError struct {
+	addr   string
+	budget time.Duration
+}
+
+func (e *dialTimeoutError) Error() string {
+	return fmt.Sprintf("engine: dial %s: timeout after %v", e.addr, e.budget)
+}
+func (e *dialTimeoutError) Timeout() bool   { return true }
+func (e *dialTimeoutError) Temporary() bool { return true }

@@ -23,6 +23,9 @@ import (
 // Accept-path functions are recognized by the documented naming
 // convention: any function whose name mentions accept or handshake, plus
 // the shedding helpers (serveConn, shedConn, sendBusy, probeBusy).
+// Datagram receive paths (names mentioning dgramread) are held to the
+// same contract: the shared packet endpoint is the accept loop of the
+// datagram plane, and one full ring must never stop it draining.
 const checkNameAdmission = "admission"
 
 var admissionHelperNames = map[string]bool{
@@ -36,6 +39,7 @@ func isAdmissionPath(name string) bool {
 	lower := strings.ToLower(name)
 	return strings.Contains(lower, "accept") ||
 		strings.Contains(lower, "handshake") ||
+		strings.Contains(lower, "dgramread") ||
 		admissionHelperNames[name]
 }
 

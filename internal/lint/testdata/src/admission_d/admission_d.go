@@ -1,0 +1,78 @@
+// Package engine (fixture admission_d) seeds datagram receive-path
+// violations: the shared packet endpoint is the datagram plane's accept
+// loop, so its reader is held to the admission contract — never block on
+// a ring (one full lane must not stop the endpoint draining) and never
+// hold a lock across connection I/O. The clean reader below shows the
+// intended shape: lock-free TryPush, lookups under a short pure
+// critical section.
+package engine
+
+import (
+	"net"
+	"sync"
+
+	"repro/internal/message"
+	"repro/internal/queue"
+)
+
+func msgFor(b []byte) *message.Msg {
+	return message.New(message.FirstDataType, message.NodeID{}, 0, 0, b)
+}
+
+type node struct {
+	mu    sync.Mutex
+	rings map[string]*queue.Ring
+	conn  net.Conn
+}
+
+// runDgramReader blocks the shared endpoint behind one full ring: every
+// other source's packets rot in the kernel buffer meanwhile.
+func (n *node) runDgramReader(pc net.PacketConn) {
+	buf := make([]byte, 2048)
+	for {
+		sz, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		r := n.rings[from.String()]
+		n.mu.Unlock()
+		if r == nil {
+			continue
+		}
+		_ = r.Push(msgFor(buf[:sz])) // want "blocks on Ring.Push" // want "blocking Ring.Push in engine code"
+	}
+}
+
+// dgramReadLocked pins the lock across the endpoint read itself.
+func (n *node) dgramReadLocked(pc net.PacketConn, buf []byte) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sz, _, err := n.conn.Read(buf) // want "connection I/O with a lock held"
+	if err != nil {
+		return 0
+	}
+	_ = pc
+	return sz
+}
+
+// runDgramReaderClean is the contract-conforming shape: TryPush only,
+// and the lock guards nothing but the map lookup.
+func (n *node) runDgramReaderClean(pc net.PacketConn) {
+	buf := make([]byte, 2048)
+	for {
+		sz, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		r := n.rings[from.String()]
+		n.mu.Unlock()
+		if r == nil {
+			continue
+		}
+		if !r.TryPush(msgFor(buf[:sz])) {
+			continue // loss, never back-pressure
+		}
+	}
+}

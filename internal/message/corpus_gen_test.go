@@ -58,6 +58,16 @@ func TestRegenerateSeedCorpus(t *testing.T) {
 	writeCorpusFile(t, "FuzzReadContinued", "seed-mid-split",
 		small[:HeaderSize+4], small[HeaderSize+4:], false)
 
+	dgramSrc := NodeID{IP: 0x0a000001, Port: 7000}
+	writeCorpusFile(t, "FuzzDgramDecode", "seed-whole",
+		AppendDgram(nil, DgramHeader{Src: dgramSrc, MsgID: 1, FragCnt: 1}, small))
+	writeCorpusFile(t, "FuzzDgramDecode", "seed-fragment",
+		AppendDgram(nil, DgramHeader{Src: dgramSrc, MsgID: 2, FragIdx: 1, FragCnt: 3}, small[:16]))
+	writeCorpusFile(t, "FuzzDgramDecode", "seed-control-frame",
+		AppendDgram(nil, DgramHeader{Src: dgramSrc, MsgID: 3, FragCnt: 1}, ctrl))
+	writeCorpusFile(t, "FuzzDgramDecode", "seed-truncated",
+		AppendDgram(nil, DgramHeader{Src: dgramSrc, MsgID: 4, FragCnt: 1}, boundary)[:DgramHeaderSize+7])
+
 	writeCorpusFile(t, "FuzzWireRoundTrip", "seed-data",
 		uint32(FirstDataType), uint32(0x0a000001), uint32(7000),
 		uint32(1), uint32(2), []byte("payload"), false)

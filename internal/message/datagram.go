@@ -1,0 +1,298 @@
+// Datagram framing: the self-contained frame format messages ride in
+// when an engine's data plane runs over a packet transport (UDP or the
+// vnet datagram endpoints) instead of a stream.
+//
+// A stream carries bare wire images back to back and lets TCP handle
+// loss and ordering; a datagram network delivers whole packets, loses
+// whole packets, duplicates them and reorders them. Each datagram
+// therefore carries a 20-byte frame header in front of a chunk of the
+// ordinary message wire image:
+//
+//	magic (2) | frag index (2) | frag count (2) | reserved (2) |
+//	src IP (4) | src port (4) | msg id (4)
+//
+// src is the LINK-level sender — the engine that wrote the datagram —
+// which on a stream transport would have been learned from the hello
+// handshake; the wire header inside the payload still names the
+// original end-to-end sender. (src, msg id) identifies one message for
+// reassembly; messages whose wire image fits the MTU budget travel as a
+// single fragment and skip reassembly entirely.
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DgramHeaderSize is the fixed size of the datagram frame header.
+const DgramHeaderSize = 20
+
+// dgramMagic marks a frame as an iOverlay datagram; anything else is
+// refused before any field is trusted.
+const dgramMagic uint16 = 0xD6A7
+
+// DefaultDgramMTU is the default per-datagram byte budget (frame header
+// included): conservative for 1500-byte Ethernet paths after IP and UDP
+// overhead.
+const DefaultDgramMTU = 1400
+
+// MinDgramMTU bounds how small a configured MTU may be: the frame
+// header plus at least one wire-header's worth of progress per
+// fragment, so fragmentation always terminates.
+const MinDgramMTU = DgramHeaderSize + HeaderSize
+
+// MaxFragments bounds how many fragments one message may be split into;
+// larger messages are refused to the sender with a counted error rather
+// than sprayed across the network with (1-loss)^n delivery odds.
+const MaxFragments = 64
+
+// Errors reported by the datagram codec.
+var (
+	ErrDgramBad      = errors.New("message: malformed datagram frame")
+	ErrDgramTooLarge = errors.New("message: message exceeds datagram fragment budget")
+)
+
+// DgramHeader is the decoded frame header.
+type DgramHeader struct {
+	// Src is the link-level sender: the engine whose packet endpoint
+	// wrote this datagram.
+	Src NodeID
+	// MsgID identifies the message among those sent by Src; fragments
+	// sharing (Src, MsgID) reassemble into one wire image.
+	MsgID uint32
+	// FragIdx and FragCnt place this fragment: index in [0, FragCnt),
+	// count in [1, MaxFragments].
+	FragIdx, FragCnt uint16
+}
+
+// AppendDgram appends a datagram frame — header plus payload chunk — to
+// dst and returns the extended slice; senders reuse one scratch buffer
+// across packets.
+func AppendDgram(dst []byte, h DgramHeader, payload []byte) []byte {
+	var b [DgramHeaderSize]byte
+	binary.BigEndian.PutUint16(b[0:2], dgramMagic)
+	binary.BigEndian.PutUint16(b[2:4], h.FragIdx)
+	binary.BigEndian.PutUint16(b[4:6], h.FragCnt)
+	// b[6:8] reserved, zero
+	binary.BigEndian.PutUint32(b[8:12], h.Src.IP)
+	binary.BigEndian.PutUint32(b[12:16], h.Src.Port)
+	binary.BigEndian.PutUint32(b[16:20], h.MsgID)
+	return append(append(dst, b[:]...), payload...)
+}
+
+// DecodeDgram validates one received datagram and returns its header
+// and payload chunk. The payload aliases b. Every malformed shape — a
+// short frame, a foreign magic, a nonzero reserved field, an empty
+// chunk, fragment fields out of range — is ErrDgramBad: a datagram
+// socket is an open port, so nothing in the frame is trusted before it
+// is checked.
+func DecodeDgram(b []byte) (DgramHeader, []byte, error) {
+	if len(b) <= DgramHeaderSize {
+		return DgramHeader{}, nil, fmt.Errorf("%w: %d bytes", ErrDgramBad, len(b))
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != dgramMagic {
+		return DgramHeader{}, nil, fmt.Errorf("%w: bad magic", ErrDgramBad)
+	}
+	if binary.BigEndian.Uint16(b[6:8]) != 0 {
+		return DgramHeader{}, nil, fmt.Errorf("%w: reserved bits set", ErrDgramBad)
+	}
+	h := DgramHeader{
+		FragIdx: binary.BigEndian.Uint16(b[2:4]),
+		FragCnt: binary.BigEndian.Uint16(b[4:6]),
+		Src: NodeID{
+			IP:   binary.BigEndian.Uint32(b[8:12]),
+			Port: binary.BigEndian.Uint32(b[12:16]),
+		},
+		MsgID: binary.BigEndian.Uint32(b[16:20]),
+	}
+	if h.FragCnt < 1 || h.FragCnt > MaxFragments || h.FragIdx >= h.FragCnt {
+		return DgramHeader{}, nil, fmt.Errorf("%w: fragment %d/%d", ErrDgramBad, h.FragIdx, h.FragCnt)
+	}
+	return h, b[DgramHeaderSize:], nil
+}
+
+// DgramFragments reports how many datagrams a wire image of wireLen
+// bytes needs under the given MTU (frame header included), or
+// ErrDgramTooLarge past the MaxFragments budget.
+func DgramFragments(wireLen, mtu int) (int, error) {
+	chunk := mtu - DgramHeaderSize
+	if chunk < HeaderSize {
+		return 0, fmt.Errorf("message: datagram MTU %d below minimum %d", mtu, MinDgramMTU)
+	}
+	n := (wireLen + chunk - 1) / chunk
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxFragments {
+		return 0, fmt.Errorf("%w: %d bytes need %d fragments (max %d at MTU %d)",
+			ErrDgramTooLarge, wireLen, n, MaxFragments, mtu)
+	}
+	return n, nil
+}
+
+// reasmKey identifies one in-flight message at the reassembler.
+type reasmKey struct {
+	src NodeID
+	id  uint32
+}
+
+// reasmEntry is one partially arrived message.
+type reasmEntry struct {
+	cnt   int
+	got   int
+	bytes int
+	frags [][]byte
+}
+
+// Reassembler assembles multi-fragment messages from datagrams that may
+// arrive lossy, duplicated and out of order. It is intentionally
+// single-goroutine (the engine's datagram reader owns one) and strictly
+// bounded: at most maxPending partial messages are held, and when a new
+// message arrives at a full table the oldest partial is evicted — a
+// lost fragment must not leak its siblings forever. There is no
+// retransmission: an evicted or never-completed message is simply loss,
+// the contract a datagram data plane signs up for.
+type Reassembler struct {
+	maxPending int
+	maxBytes   int
+	entries    map[reasmKey]*reasmEntry
+	order      []reasmKey // FIFO insertion order, the eviction policy
+	held       int        // bytes buffered across all partials
+
+	evicted int64 // partials dropped to admit newer messages
+	invalid int64 // completed messages whose wire image failed validation
+}
+
+// DefaultReassemblyPending bounds concurrently reassembling messages.
+const DefaultReassemblyPending = 128
+
+// DefaultReassemblyBytes bounds the bytes buffered across all partial
+// messages — the hard memory ceiling an open datagram port can be
+// pushed to, whatever fragment sizes arrive.
+const DefaultReassemblyBytes = 4 << 20
+
+// NewReassembler builds a reassembler holding at most maxPending
+// partial messages (<=0 selects DefaultReassemblyPending).
+func NewReassembler(maxPending int) *Reassembler {
+	if maxPending <= 0 {
+		maxPending = DefaultReassemblyPending
+	}
+	return &Reassembler{
+		maxPending: maxPending,
+		maxBytes:   DefaultReassemblyBytes,
+		entries:    make(map[reasmKey]*reasmEntry),
+	}
+}
+
+// Accept folds one validated datagram in. When the datagram completes a
+// message it returns the full wire image and true; otherwise (partial,
+// duplicate, or invalid on completion) nil and false. Single-fragment
+// messages return their chunk directly — it aliases the caller's read
+// buffer and must be consumed before the next read. Multi-fragment
+// chunks are copied, so the caller's buffer is immediately reusable.
+func (ra *Reassembler) Accept(h DgramHeader, chunk []byte) ([]byte, bool) {
+	if h.FragCnt == 1 {
+		if !ra.validWire(chunk) {
+			return nil, false
+		}
+		return chunk, true
+	}
+	key := reasmKey{src: h.Src, id: h.MsgID}
+	e := ra.entries[key]
+	if e != nil && e.cnt != int(h.FragCnt) {
+		// The fragment count contradicts earlier fragments of the same
+		// (src, id): a stale wrap or garbage. Start over with the new
+		// claim; the old partial was never completable against it.
+		ra.dropEntry(key)
+		e = nil
+	}
+	if e == nil {
+		if len(ra.order) >= ra.maxPending {
+			ra.evictOldest()
+		}
+		e = &reasmEntry{cnt: int(h.FragCnt), frags: make([][]byte, h.FragCnt)}
+		ra.entries[key] = e
+		ra.order = append(ra.order, key)
+	}
+	if e.frags[h.FragIdx] != nil {
+		return nil, false // duplicate fragment
+	}
+	e.frags[h.FragIdx] = append([]byte(nil), chunk...)
+	e.got++
+	e.bytes += len(chunk)
+	ra.held += len(chunk)
+	for ra.held > ra.maxBytes && len(ra.order) > 1 {
+		// Older partials make way for the newest bytes; the key just
+		// written is never evicted from under its own completion check.
+		if ra.order[0] == key {
+			break
+		}
+		ra.evictOldest()
+	}
+	if e.got < e.cnt {
+		return nil, false
+	}
+	ra.dropEntry(key)
+	size := 0
+	for _, f := range e.frags {
+		size += len(f)
+	}
+	wire := make([]byte, 0, size)
+	for _, f := range e.frags {
+		wire = append(wire, f...)
+	}
+	if !ra.validWire(wire) {
+		return nil, false
+	}
+	return wire, true
+}
+
+// validWire checks that an assembled image is exactly one complete
+// message, counting failures.
+func (ra *Reassembler) validWire(wire []byte) bool {
+	size, ok := PeekPayloadLen(wire)
+	if !ok || HeaderSize+size != len(wire) {
+		ra.invalid++
+		return false
+	}
+	return true
+}
+
+// Pending reports the number of partial messages currently held.
+func (ra *Reassembler) Pending() int { return len(ra.entries) }
+
+// Evicted reports partial messages dropped to bound the table.
+func (ra *Reassembler) Evicted() int64 { return ra.evicted }
+
+// Invalid reports completed messages whose wire image was not exactly
+// one well-formed message.
+func (ra *Reassembler) Invalid() int64 { return ra.invalid }
+
+// dropEntry removes key from the table and the insertion order.
+func (ra *Reassembler) dropEntry(key reasmKey) {
+	if e, ok := ra.entries[key]; ok {
+		ra.held -= e.bytes
+	}
+	delete(ra.entries, key)
+	for i, k := range ra.order {
+		if k == key {
+			ra.order = append(ra.order[:i], ra.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// evictOldest drops the oldest partial message to admit a newer one.
+func (ra *Reassembler) evictOldest() {
+	if len(ra.order) == 0 {
+		return
+	}
+	key := ra.order[0]
+	ra.order = ra.order[1:]
+	if e, ok := ra.entries[key]; ok {
+		ra.held -= e.bytes
+	}
+	delete(ra.entries, key)
+	ra.evicted++
+}

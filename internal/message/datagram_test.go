@@ -1,0 +1,269 @@
+package message
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+var dgramSrc = NodeID{IP: 0x0a000002, Port: 7001}
+
+// splitDgrams renders every datagram frame for one wire image the way
+// the engine's sender does.
+func splitDgrams(t *testing.T, wire []byte, src NodeID, id uint32, mtu int) [][]byte {
+	t.Helper()
+	cnt, err := DgramFragments(len(wire), mtu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := mtu - DgramHeaderSize
+	out := make([][]byte, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(wire) {
+			hi = len(wire)
+		}
+		h := DgramHeader{Src: src, MsgID: id, FragIdx: uint16(i), FragCnt: uint16(cnt)}
+		out = append(out, AppendDgram(nil, h, wire[lo:hi]))
+	}
+	return out
+}
+
+// TestDgramRoundTripSingle covers the single-fragment fast path: encode,
+// decode, reassemble, and get the identical wire image back.
+func TestDgramRoundTripSingle(t *testing.T) {
+	wire := fuzzWire(FirstDataType, []byte("single fragment payload"))
+	frames := splitDgrams(t, wire, dgramSrc, 7, DefaultDgramMTU)
+	if len(frames) != 1 {
+		t.Fatalf("got %d frames, want 1", len(frames))
+	}
+	h, chunk, err := DecodeDgram(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Src != dgramSrc || h.MsgID != 7 || h.FragIdx != 0 || h.FragCnt != 1 {
+		t.Fatalf("header %+v", h)
+	}
+	ra := NewReassembler(0)
+	got, ok := ra.Accept(h, chunk)
+	if !ok || !bytes.Equal(got, wire) {
+		t.Fatalf("reassembled %d bytes ok=%v, want the original %d", len(got), ok, len(wire))
+	}
+	if ra.Pending() != 0 {
+		t.Fatalf("pending %d after single-fragment completion", ra.Pending())
+	}
+}
+
+// TestDgramRoundTripFragmented splits a large message and reassembles it
+// from every fragment-arrival order, with duplicates sprinkled in.
+func TestDgramRoundTripFragmented(t *testing.T) {
+	wire := fuzzWire(FirstDataType, bytes.Repeat([]byte("0123456789"), 1000))
+	const mtu = 1400
+	frames := splitDgrams(t, wire, dgramSrc, 42, mtu)
+	if len(frames) < 3 {
+		t.Fatalf("want a multi-fragment split, got %d frames", len(frames))
+	}
+	orders := [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7},          // in order
+		{7, 6, 5, 4, 3, 2, 1, 0},          // reversed
+		{3, 0, 7, 1, 5, 2, 6, 4},          // shuffled
+		{0, 0, 1, 1, 2, 3, 4, 5, 6, 6, 7}, // duplicates
+	}
+	for _, order := range orders {
+		ra := NewReassembler(0)
+		var got []byte
+		done := 0
+		for _, idx := range order {
+			if idx >= len(frames) {
+				continue
+			}
+			h, chunk, err := DecodeDgram(frames[idx])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w, ok := ra.Accept(h, chunk); ok {
+				got = w
+				done++
+			}
+		}
+		if done != 1 {
+			t.Fatalf("order %v completed %d times, want exactly once", order, done)
+		}
+		if !bytes.Equal(got, wire) {
+			t.Fatalf("order %v reassembled image differs", order)
+		}
+		if ra.Pending() != 0 {
+			t.Fatalf("order %v left %d pending", order, ra.Pending())
+		}
+	}
+}
+
+// TestDgramDecodeRejects tables the malformed-frame shapes DecodeDgram
+// must refuse.
+func TestDgramDecodeRejects(t *testing.T) {
+	good := splitDgrams(t, fuzzWire(FirstDataType, []byte("x")), dgramSrc, 1, DefaultDgramMTU)[0]
+	mangle := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mut(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"short", good[:DgramHeaderSize-1]},
+		{"header-only", good[:DgramHeaderSize]},
+		{"bad-magic", mangle(func(b []byte) { b[0] = 0x00 })},
+		{"reserved-set", mangle(func(b []byte) { b[6] = 1 })},
+		{"zero-frag-count", mangle(func(b []byte) { binary.BigEndian.PutUint16(b[4:6], 0) })},
+		{"index-past-count", mangle(func(b []byte) { binary.BigEndian.PutUint16(b[2:4], 1) })},
+		{"count-past-max", mangle(func(b []byte) {
+			binary.BigEndian.PutUint16(b[2:4], 0)
+			binary.BigEndian.PutUint16(b[4:6], MaxFragments+1)
+		})},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeDgram(tc.in); !errors.Is(err, ErrDgramBad) {
+			t.Errorf("%s: err = %v, want ErrDgramBad", tc.name, err)
+		}
+	}
+	for i := 1; i < len(good); i++ {
+		// Every truncation either fails to decode or (when only payload
+		// bytes are missing) fails wire validation at reassembly.
+		h, chunk, err := DecodeDgram(good[:i])
+		if err != nil {
+			continue
+		}
+		ra := NewReassembler(0)
+		if _, ok := ra.Accept(h, chunk); ok {
+			t.Fatalf("truncation to %d bytes yielded a complete message", i)
+		}
+		if ra.Invalid() == 0 {
+			t.Fatalf("truncation to %d bytes not counted invalid", i)
+		}
+	}
+}
+
+// TestDgramFragmentBudget checks the refusal path for oversize messages
+// and undersized MTUs.
+func TestDgramFragmentBudget(t *testing.T) {
+	if _, err := DgramFragments(10, MinDgramMTU-1); err == nil {
+		t.Fatal("MTU below minimum accepted")
+	}
+	chunk := DefaultDgramMTU - DgramHeaderSize
+	if n, err := DgramFragments(MaxFragments*chunk, DefaultDgramMTU); err != nil || n != MaxFragments {
+		t.Fatalf("exact budget: n=%d err=%v", n, err)
+	}
+	if _, err := DgramFragments(MaxFragments*chunk+1, DefaultDgramMTU); !errors.Is(err, ErrDgramTooLarge) {
+		t.Fatalf("over budget: err = %v, want ErrDgramTooLarge", err)
+	}
+	if n, err := DgramFragments(0, DefaultDgramMTU); err != nil || n != 1 {
+		t.Fatalf("empty wire: n=%d err=%v, want 1 fragment", n, err)
+	}
+}
+
+// TestDgramReassemblerEviction fills the pending table past its bound
+// with incomplete messages and checks FIFO eviction: the oldest partial
+// goes first, and an evicted message can no longer complete.
+func TestDgramReassemblerEviction(t *testing.T) {
+	ra := NewReassembler(2)
+	frame := func(id uint32, idx uint16) (DgramHeader, []byte) {
+		return DgramHeader{Src: dgramSrc, MsgID: id, FragIdx: idx, FragCnt: 2}, []byte("chunk")
+	}
+	ra.Accept(frame(1, 0))
+	ra.Accept(frame(2, 0))
+	if ra.Pending() != 2 {
+		t.Fatalf("pending %d, want 2", ra.Pending())
+	}
+	ra.Accept(frame(3, 0)) // evicts id 1
+	if ra.Pending() != 2 || ra.Evicted() != 1 {
+		t.Fatalf("pending %d evicted %d, want 2/1", ra.Pending(), ra.Evicted())
+	}
+	if _, ok := ra.Accept(frame(1, 1)); ok {
+		t.Fatal("evicted message completed")
+	}
+	// Completing id 2 still works: eviction took the oldest, not it.
+	wire := fuzzWire(FirstDataType, []byte("evict-survivor"))
+	frames := splitDgrams(t, wire, dgramSrc, 9, DgramHeaderSize+HeaderSize)
+	ra2 := NewReassembler(2)
+	var got []byte
+	for _, f := range frames {
+		h, chunk, err := DecodeDgram(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w, ok := ra2.Accept(h, chunk); ok {
+			got = w
+		}
+	}
+	if !bytes.Equal(got, wire) {
+		t.Fatal("tiny-MTU reassembly failed")
+	}
+}
+
+// TestDgramReassemblerByteBudget floods the reassembler with large
+// never-completing partials and checks the byte ceiling holds by
+// evicting older partials.
+func TestDgramReassemblerByteBudget(t *testing.T) {
+	ra := NewReassembler(1 << 20) // entry bound out of the way
+	big := make([]byte, 64<<10)
+	for id := uint32(0); id < 200; id++ {
+		h := DgramHeader{Src: dgramSrc, MsgID: id, FragIdx: 0, FragCnt: 2}
+		ra.Accept(h, big)
+	}
+	if ra.held > DefaultReassemblyBytes {
+		t.Fatalf("held %d bytes, budget %d", ra.held, DefaultReassemblyBytes)
+	}
+	if ra.Evicted() == 0 {
+		t.Fatal("byte budget never evicted")
+	}
+}
+
+// TestDgramFragCntConflict: a fragment claiming a different count for an
+// in-flight (src, id) restarts the entry instead of corrupting it.
+func TestDgramFragCntConflict(t *testing.T) {
+	ra := NewReassembler(0)
+	ra.Accept(DgramHeader{Src: dgramSrc, MsgID: 5, FragIdx: 0, FragCnt: 3}, []byte("a"))
+	ra.Accept(DgramHeader{Src: dgramSrc, MsgID: 5, FragIdx: 0, FragCnt: 2}, []byte("b"))
+	if ra.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", ra.Pending())
+	}
+	// The entry now reassembles under the new count; completing it with
+	// garbage still fails wire validation rather than panicking.
+	if _, ok := ra.Accept(DgramHeader{Src: dgramSrc, MsgID: 5, FragIdx: 1, FragCnt: 2}, []byte("c")); ok {
+		t.Fatal("garbage image passed wire validation")
+	}
+	if ra.Invalid() != 1 {
+		t.Fatalf("invalid %d, want 1", ra.Invalid())
+	}
+}
+
+// TestDgramPerSourceIsolation: identical msg ids from different sources
+// never mix.
+func TestDgramPerSourceIsolation(t *testing.T) {
+	wireA := fuzzWire(FirstDataType, bytes.Repeat([]byte("A"), 3000))
+	wireB := fuzzWire(FirstDataType, bytes.Repeat([]byte("B"), 3000))
+	srcB := NodeID{IP: 0x0a000003, Port: 7002}
+	framesA := splitDgrams(t, wireA, dgramSrc, 11, 1400)
+	framesB := splitDgrams(t, wireB, srcB, 11, 1400)
+	ra := NewReassembler(0)
+	results := make(map[string][]byte)
+	for i := range framesA {
+		for _, f := range [][]byte{framesA[i], framesB[i]} {
+			h, chunk, err := DecodeDgram(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w, ok := ra.Accept(h, chunk); ok {
+				results[fmt.Sprintf("%s", h.Src)] = w
+			}
+		}
+	}
+	if !bytes.Equal(results[dgramSrc.String()], wireA) || !bytes.Equal(results[srcB.String()], wireB) {
+		t.Fatal("interleaved sources cross-contaminated reassembly")
+	}
+}

@@ -109,7 +109,13 @@ type Msg struct {
 	pool   *Pool
 	parent *Msg     // set by Derive: the message owning the shared payload
 	seg    *Segment // set by FromSegment: the receive buffer aliased
+	owner  Owner    // set by FromOwned: the external buffer aliased
 }
+
+// Owner is an external reference-counted buffer a message can alias via
+// FromOwned; its Release is called when the message's last reference
+// drops.
+type Owner interface{ Release() }
 
 // Segment is a pooled, reference-counted receive buffer. A receiver fills
 // one with a single bulk socket read and decodes the messages inside it in
@@ -233,6 +239,12 @@ func (m *Msg) Release() {
 			m.raw = nil
 			m.payload = nil
 			s.Release()
+		case m.owner != nil:
+			o := m.owner
+			m.owner = nil
+			m.raw = nil
+			m.payload = nil
+			o.Release()
 		case m.pool != nil:
 			m.pool.putBuf(m.raw)
 			m.raw = nil
@@ -443,6 +455,22 @@ func FromSegment(seg *Segment, off int) *Msg {
 	m.raw = b[:wire:wire]
 	m.seg = seg
 	seg.refs.Add(1)
+	return m
+}
+
+// FromOwned decodes the complete message at the start of b without
+// copying: payload and wire image alias b, and the message takes over
+// the caller's reference on owner, releasing it when the message's own
+// count reaches zero. The datagram counterpart of FromSegment — the
+// receive buffer is pinned, not copied — except the reference is handed
+// over rather than added: the caller must not release owner itself. The
+// caller must have validated the wire image.
+func FromOwned(b []byte, owner Owner) *Msg {
+	size := int(binary.BigEndian.Uint32(b[20:24]))
+	wire := HeaderSize + size
+	m := headerMsg(b, b[HeaderSize:wire:wire])
+	m.raw = b[:wire:wire]
+	m.owner = owner
 	return m
 }
 

@@ -208,6 +208,9 @@ type Counters struct {
 	connsShed    int64
 	hsFailed     int64
 	acceptRetry  int64
+	dgramBad     int64
+	dgramNoLink  int64
+	dgramRefused int64
 }
 
 // CountersSnapshot is an immutable copy of Counters.
@@ -232,6 +235,16 @@ type CountersSnapshot struct {
 	// AcceptRetries counts transient listener Accept errors survived by
 	// backing off and retrying instead of abandoning the listener.
 	AcceptRetries int64
+	// DgramBad counts received datagrams refused before reassembly — a
+	// malformed frame, an oversize declared payload, or a completed image
+	// that was not exactly one message.
+	DgramBad int64
+	// DgramNoLink counts datagrams dropped because their link-level
+	// source never completed a hello handshake on the control lane.
+	DgramNoLink int64
+	// DgramRefused counts outgoing messages refused at the sender because
+	// their wire image exceeds the fragment budget at the configured MTU.
+	DgramRefused int64
 }
 
 // AddIn records a received message of n bytes.
@@ -248,6 +261,33 @@ func (c *Counters) AddOut(n int64) {
 	defer c.mu.Unlock()
 	c.msgsOut++
 	c.bytesOut += n
+}
+
+// AddInBatch records msgs received messages totalling n bytes in one
+// update — the batched receive paths fold a whole burst into a single
+// counter acquisition.
+func (c *Counters) AddInBatch(msgs, n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgsIn += msgs
+	c.bytesIn += n
+}
+
+// AddOutBatch records msgs sent messages totalling n bytes in one update.
+func (c *Counters) AddOutBatch(msgs, n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgsOut += msgs
+	c.bytesOut += n
+}
+
+// AddDroppedBatch records msgs messages totalling n bytes lost to one
+// failure in a single update.
+func (c *Counters) AddDroppedBatch(msgs, n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgsDropped += msgs
+	c.bytesDropped += n
 }
 
 // AddDropped records a message of n bytes lost to a failure, the paper's
@@ -306,6 +346,32 @@ func (c *Counters) AddAcceptRetry() {
 	c.acceptRetry++
 }
 
+// AddDgramBad records one received datagram refused before reassembly.
+func (c *Counters) AddDgramBad() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dgramBad++
+}
+
+// AddDgramNoLink records one datagram dropped for lacking an
+// established link.
+func (c *Counters) AddDgramNoLink() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dgramNoLink++
+}
+
+// AddDgramRefused records an outgoing message of n bytes refused at the
+// sender for exceeding the datagram fragment budget. The message never
+// reaches the wire, so it is loss too.
+func (c *Counters) AddDgramRefused(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dgramRefused++
+	c.msgsDropped++
+	c.bytesDropped += n
+}
+
 // Snapshot copies the counters.
 func (c *Counters) Snapshot() CountersSnapshot {
 	c.mu.Lock()
@@ -318,6 +384,8 @@ func (c *Counters) Snapshot() CountersSnapshot {
 		Failovers: c.failovers,
 		ConnsIn:   c.connsIn, ConnsShed: c.connsShed,
 		HandshakesFailed: c.hsFailed, AcceptRetries: c.acceptRetry,
+		DgramBad: c.dgramBad, DgramNoLink: c.dgramNoLink,
+		DgramRefused: c.dgramRefused,
 	}
 }
 

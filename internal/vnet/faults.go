@@ -128,11 +128,20 @@ func (n *Network) Heal() {
 	n.flaky = make(map[pairKey]flakySpec)
 	n.groups = nil
 	n.crashed = make(map[string]struct{})
+	n.dgram = make(map[pairKey]dgramSpec)
+	held := n.dgramHeld
+	n.dgramHeld = make(map[pairKey]*heldDgram)
 	conns := make([]*Conn, 0, len(n.conns))
 	for c := range n.conns {
 		conns = append(conns, c)
 	}
 	n.mu.Unlock()
+	for _, h := range held {
+		// Release, don't drop: a healed link stops misbehaving, and the
+		// held packet was delayed, not lost.
+		h.timer.Stop()
+		h.to.deliverBatch([]dgram{h.pkt})
+	}
 	for _, c := range conns {
 		c.rd.setFault(nil, time.Time{})
 		c.wr.setFault(nil, time.Time{})

@@ -38,6 +38,7 @@ var (
 type Network struct {
 	mu        sync.Mutex
 	listeners map[string]*Listener
+	packets   map[string]*PacketConn
 	conns     map[*Conn]struct{}
 	latency   time.Duration
 	latencyFn func(a, b string) time.Duration
@@ -48,10 +49,12 @@ type Network struct {
 	// Fault-injection state (faults.go). cuts and flaky are keyed by the
 	// normalized address pair; groups maps an address to its partition
 	// group; crashed marks addresses whose node is down.
-	cuts    map[pairKey]struct{}
-	flaky   map[pairKey]flakySpec
-	groups  map[string]int
-	crashed map[string]struct{}
+	cuts      map[pairKey]struct{}
+	flaky     map[pairKey]flakySpec
+	groups    map[string]int
+	crashed   map[string]struct{}
+	dgram     map[pairKey]dgramSpec
+	dgramHeld map[pairKey]*heldDgram
 
 	// rng drives probabilistic faults (Flaky drops); seeded so chaos
 	// schedules replay deterministically.
@@ -90,12 +93,15 @@ func WithSeed(seed int64) Option {
 func New(opts ...Option) *Network {
 	n := &Network{
 		listeners: make(map[string]*Listener),
+		packets:   make(map[string]*PacketConn),
 		conns:     make(map[*Conn]struct{}),
 		pipeCap:   DefaultPipeCapacity,
 		nextEphem: 40000,
 		cuts:      make(map[pairKey]struct{}),
 		flaky:     make(map[pairKey]flakySpec),
 		crashed:   make(map[string]struct{}),
+		dgram:     make(map[pairKey]dgramSpec),
+		dgramHeld: make(map[pairKey]*heldDgram),
 		rng:       rand.New(rand.NewSource(1)),
 	}
 	for _, o := range opts {
@@ -231,9 +237,13 @@ func (n *Network) SeverNode(address string) int {
 	}
 	l := n.listeners[address]
 	delete(n.listeners, address)
+	p := n.packets[address]
 	n.mu.Unlock()
 	if l != nil {
 		l.close(false)
+	}
+	if p != nil {
+		p.Close()
 	}
 	for _, c := range victims {
 		c.breakConn()
@@ -257,11 +267,18 @@ func (n *Network) Close() {
 	for c := range n.conns {
 		conns = append(conns, c)
 	}
+	packets := make([]*PacketConn, 0, len(n.packets))
+	for _, p := range n.packets {
+		packets = append(packets, p)
+	}
 	n.listeners = map[string]*Listener{}
 	n.mu.Unlock()
 
 	for _, l := range listeners {
 		l.close(false)
+	}
+	for _, p := range packets {
+		p.Close()
 	}
 	for _, c := range conns {
 		c.breakConn()
